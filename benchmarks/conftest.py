@@ -1,0 +1,28 @@
+"""Benchmark harness support.
+
+Each benchmark regenerates one paper table/figure, prints it, and saves
+the text to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can be
+assembled from the artefacts.  ``benchmark.pedantic(..., rounds=1)`` is
+used throughout: the interesting output is the experiment's *result*;
+wall-clock is reported once, not statistically sampled.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a regenerated table/figure and persist it."""
+    banner = f"\n{'#' * 72}\n# {name}\n{'#' * 72}\n"
+    print(banner + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")
+
+
+@pytest.fixture()
+def report():
+    return emit

@@ -1,0 +1,24 @@
+"""Extension ablation (DESIGN.md): effect of the candidate-shape menu
+size M on the greedy partition's traffic and throughput.
+
+Probes Sec. 4.3's design choice of a small predefined candidate set:
+how much does the greedy chooser gain from more shape options, and does
+the run-time scheduling stay hidden?"""
+
+from repro.core import format_table, run_patch_candidate_ablation
+
+
+def test_ablation_patch_candidates(benchmark, report):
+    rows = benchmark.pedantic(run_patch_candidate_ablation, rounds=1,
+                              iterations=1)
+    table = [[row["num_candidates"], row["fps"], row["prefetch_mb"],
+              row["utilization"]] for row in rows]
+    text = format_table(["M", "FPS", "Prefetch MB", "PE util"],
+                        table, title="Ablation — candidate-set size")
+    report("ablation_patch_candidates", text)
+
+    first = rows[0]
+    last = rows[-1]
+    # More candidates never hurt traffic (greedy is monotone in menu).
+    assert last["prefetch_mb"] <= first["prefetch_mb"] * 1.01
+    assert last["fps"] >= first["fps"] * 0.95

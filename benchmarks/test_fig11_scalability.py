@@ -1,0 +1,46 @@
+"""Regenerate paper Fig. 11: scalability of the throughput advantage
+with the number of source views {10, 6, 4, 2, 1} and sampled points
+{128, 112, 96, 80, 64} on NeRF-Synthetic 800x800."""
+
+from repro.core import ascii_line_chart, format_table, run_fig11
+
+PAPER_MIN_SPEEDUP = 208.8   # "consistently outperforms ... >= 208.8x"
+
+
+def test_fig11_scalability(benchmark, report):
+    results = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+
+    view_rows = [[r["num_views"], r["gen_nerf_fps"], r["rtx2080ti_fps"],
+                  r["tx2_fps"], r["speedup_vs_2080ti"]]
+                 for r in results["views"]]
+    point_rows = [[r["points_per_ray"], r["gen_nerf_fps"],
+                   r["rtx2080ti_fps"], r["tx2_fps"],
+                   r["speedup_vs_2080ti"]]
+                  for r in results["points"]]
+    text = format_table(
+        ["#Views", "Gen-NeRF FPS", "2080Ti FPS", "TX2 FPS", "Speedup"],
+        view_rows, title="Fig. 11 (left) — FPS vs #source views")
+    text += "\n\n" + format_table(
+        ["#Points", "Gen-NeRF FPS", "2080Ti FPS", "TX2 FPS", "Speedup"],
+        point_rows, title="Fig. 11 (right) — FPS vs #sampled points")
+    text += "\n\n" + ascii_line_chart(
+        {"gen_nerf": ([r["num_views"] for r in results["views"]],
+                      [r["gen_nerf_fps"] for r in results["views"]]),
+         "2080Ti x100": ([r["num_views"] for r in results["views"]],
+                         [100 * r["rtx2080ti_fps"]
+                          for r in results["views"]])},
+        title="Fig. 11 (left) — FPS vs #views (GPU scaled x100)",
+        x_label="#source views", y_label="FPS")
+    report("fig11_scalability", text)
+
+    # Shape: the accelerator wins by a large factor at EVERY setting
+    # (paper: >= 208.8x; we accept the same order of magnitude).
+    for r in results["views"] + results["points"]:
+        assert r["speedup_vs_2080ti"] > 60
+    # Monotonicity: fewer views and fewer points are both (weakly)
+    # faster on the accelerator; at 1-2 views a view-independent stage
+    # saturates, so allow ties.
+    view_fps = [r["gen_nerf_fps"] for r in results["views"]]     # 10 -> 1
+    assert all(b >= a * 0.999 for a, b in zip(view_fps, view_fps[1:]))
+    point_fps = [r["gen_nerf_fps"] for r in results["points"]]   # 128 -> 64
+    assert all(b >= a * 0.999 for a, b in zip(point_fps, point_fps[1:]))

@@ -1,0 +1,55 @@
+"""Regenerate paper Fig. 9: PSNR vs sampled points (top row) and vs
+MFLOPs/pixel (bottom row), Gen-NeRF's coarse-then-focus sampling against
+IBRNet's hierarchical sampling, on the three dataset families."""
+
+import numpy as np
+
+from repro.core import ascii_line_chart, format_table, run_fig9
+
+
+def test_fig9_psnr_vs_points(benchmark, report):
+    results = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+
+    rows = []
+    for dataset, curves in results.items():
+        for curve_name, points in curves.items():
+            for point in points:
+                rows.append([dataset, curve_name, point.label,
+                             point.avg_points, point.mflops_per_pixel,
+                             point.psnr])
+    text = format_table(
+        ["Dataset", "Curve", "Config", "Avg points", "MFLOPs/px", "PSNR"],
+        rows, title="Fig. 9 — rendering quality vs sampling budget")
+    for dataset, curves in results.items():
+        chart = ascii_line_chart(
+            {name: ([p.avg_points for p in pts], [p.psnr for p in pts])
+             for name, pts in curves.items()},
+            title=f"Fig. 9 (top) — {dataset}", x_label="avg points/ray",
+            y_label="PSNR dB")
+        text += "\n\n" + chart
+    report("fig9_psnr_vs_points", text)
+
+    for dataset, curves in results.items():
+        gen = curves["gen_nerf"]
+        ibr = curves["ibrnet"]
+        # (1) At every matched point budget Gen-NeRF wins (paper: "a
+        # better PSNR under the same number of sampled points").
+        for g in gen:
+            matched = min(ibr, key=lambda p: abs(p.avg_points
+                                                 - g.avg_points))
+            if abs(matched.avg_points - g.avg_points) < 8:
+                assert g.psnr > matched.psnr, \
+                    f"{dataset}: {g.label} vs {matched.label}"
+        # (2) Paper calls out ~+4.67 dB at 24 points on NeRF Synthetic;
+        # our oracle evaluation gives at least that gap at ~24 points.
+        if dataset == "nerf_synthetic":
+            g24 = min(gen, key=lambda p: abs(p.avg_points - 24))
+            i24 = min(ibr, key=lambda p: abs(p.avg_points - 24))
+            assert g24.psnr - i24.psnr > 4.0
+        # (3) FLOPs at matched points are no higher for Gen-NeRF (the
+        # lightweight coarse pass; paper Fig. 9 bottom).
+        for g in gen:
+            matched = min(ibr, key=lambda p: abs(p.avg_points
+                                                 - g.avg_points))
+            if abs(matched.avg_points - g.avg_points) < 8:
+                assert g.mflops_per_pixel <= matched.mflops_per_pixel * 1.1

@@ -1,0 +1,60 @@
+"""Micro-benchmarks of the reproduction's own hot paths.
+
+These are genuine pytest-benchmark timings (multiple rounds) of the
+simulator primitives, so regressions in the Python implementation
+itself are visible — distinct from the paper-figure harnesses, which
+run once and check shapes.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.pipeline import hardware_rig
+from repro.hardware import GreedyPatchScheduler, SchedulerConfig
+from repro.models.oracle import OracleStrategy, oracle_render
+from repro.geometry import rays_for_image
+from repro.scenes import make_scene
+from repro.scenes.datasets import DatasetSpec
+
+SMALL_SPEC = DatasetSpec("small", width=256, height=192, fov_x_deg=50.0,
+                         near=2.0, far=6.0, rig="orbit", rig_distance=4.0)
+
+
+def test_bench_scheduler_plan(benchmark):
+    """Greedy partition of a 256x192 frame with 4 views."""
+    rig = hardware_rig(SMALL_SPEC, num_views=4)
+    scheduler = GreedyPatchScheduler(SchedulerConfig())
+    plan = benchmark(scheduler.plan_frame, rig.novel, rig.sources,
+                     rig.near, rig.far)
+    assert plan.num_patches > 0
+
+
+def test_bench_oracle_coarse_focus(benchmark):
+    """Coarse-then-focus oracle rendering of 1k rays."""
+    scene = make_scene("nerf_synthetic", seed=3, image_scale=1 / 8)
+    bundle = rays_for_image(scene.target_camera, scene.near, scene.far,
+                            step=3)
+    strategy = OracleStrategy(kind="coarse_focus", coarse_points=8,
+                              points=16, white_background=True)
+    pixels, _ = benchmark(oracle_render, scene.field, bundle, strategy)
+    assert np.isfinite(pixels).all()
+
+
+def test_bench_autograd_training_step(benchmark):
+    """One Adam step through a 4-layer MLP on a 256-row batch."""
+    rng = np.random.default_rng(0)
+    model = nn.MLP(32, [64, 64, 64], 3, rng=rng)
+    optimizer = nn.Adam(model.parameters(), lr=1e-3)
+    data = rng.standard_normal((256, 32)).astype(np.float32)
+    target = rng.standard_normal((256, 3)).astype(np.float32)
+
+    def step():
+        optimizer.zero_grad()
+        loss = nn.functional.mse_loss(model(nn.Tensor(data)), target)
+        loss.backward()
+        optimizer.step()
+        return loss.item()
+
+    value = benchmark(step)
+    assert np.isfinite(value)

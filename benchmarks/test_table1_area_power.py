@@ -1,0 +1,15 @@
+"""Regenerate paper Table 1: per-module area and power (28 nm @ 1 GHz)."""
+
+from repro.core import format_table, run_table1
+
+
+def test_table1_area_power(benchmark, report):
+    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    text = format_table(
+        ["Module", "Area mm^2", "Paper", "Power mW", "Paper"],
+        rows, title="Table 1 — Gen-NeRF hardware module area/power")
+    report("table1_area_power", text)
+
+    for name, area, paper_area, power, paper_power in rows:
+        assert abs(area - paper_area) <= 0.10 * paper_area
+        assert abs(power - paper_power) <= 0.10 * paper_power

@@ -1,0 +1,34 @@
+"""Regenerate paper Table 4: device specification and typical-throughput
+comparison (Gen-NeRF vs ICARUS vs Jetson TX2 vs RTX 2080Ti)."""
+
+from repro.core import format_table, ratio_note, run_table4
+
+
+def test_table4_devices(benchmark, report):
+    rows = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+
+    table = [[r["device"], r["sram_mb"], r["area_mm2"], r["frequency_ghz"],
+              r["dram"], r["bandwidth_gb_s"], r["technology_nm"],
+              r["typical_power_w"], r["typical_fps"]] for r in rows]
+    text = format_table(
+        ["Device", "SRAM MB", "Area mm^2", "GHz", "DRAM", "GB/s", "nm",
+         "Power W", "Typical FPS"],
+        table, title="Table 4 — accelerator and device comparison")
+
+    simulated = rows[0]
+    paper_gen_nerf = next(r for r in rows if r["device"] == "Gen-NeRF (paper)")
+    icarus = next(r for r in rows if "ICARUS" in r["device"])
+    text += "\n\n" + ratio_note(simulated["typical_fps"],
+                                paper_gen_nerf["typical_fps"],
+                                "simulated vs paper typical FPS")
+    report("table4_devices", text)
+
+    # Our simulated row reproduces the paper's headline comparisons:
+    assert abs(simulated["typical_fps"] - paper_gen_nerf["typical_fps"]) \
+        <= 0.25 * paper_gen_nerf["typical_fps"]
+    assert abs(simulated["typical_power_w"]
+               - paper_gen_nerf["typical_power_w"]) <= 1.0
+    assert abs(simulated["area_mm2"] - paper_gen_nerf["area_mm2"]) <= 1.8
+    # ">1000x FPS over ICARUS under a comparable area" (Sec. 5.3).
+    assert simulated["typical_fps"] / icarus["typical_fps"] > 1000
+    assert simulated["area_mm2"] < 1.3 * icarus["area_mm2"]

@@ -1,0 +1,50 @@
+"""Compare sampling strategies under the oracle field (paper Fig. 9).
+
+Shows *why* coarse-then-focus sampling wins: at a matched total point
+budget it concentrates samples where the coarse pass found hitting
+probability, so rendering quality per sampled point is much higher than
+stratified/hierarchical baselines.  Uses the oracle-field evaluator (no
+training), so it runs in seconds and isolates the sampling effect.
+"""
+
+import numpy as np
+
+from repro import models as M
+from repro.core import format_table
+from repro.models.oracle import OracleStrategy, oracle_render_image
+from repro.scenes import make_scene
+
+
+def main() -> None:
+    scene = make_scene("nerf_synthetic", seed=3, image_scale=1 / 8)
+    reference = M.render_target_reference(scene, num_points=384, step=4)
+    print(f"scene {scene.name} — reference rendered with 384 points/ray\n")
+
+    strategies = [
+        OracleStrategy(kind="uniform", points=16, white_background=True),
+        OracleStrategy(kind="uniform", points=48, white_background=True),
+        OracleStrategy(kind="hierarchical", coarse_points=8, points=16,
+                       white_background=True),
+        OracleStrategy(kind="hierarchical", coarse_points=16, points=32,
+                       white_background=True),
+        OracleStrategy(kind="coarse_focus", coarse_points=8, points=16,
+                       white_background=True),
+        OracleStrategy(kind="coarse_focus", coarse_points=16, points=32,
+                       white_background=True),
+    ]
+    rows = []
+    for strategy in strategies:
+        image, stats = oracle_render_image(
+            scene.field, scene.target_camera, scene.near, scene.far,
+            strategy, step=4)
+        rows.append([strategy.label, f"{stats['avg_points']:.1f}",
+                     f"{M.psnr(image, reference):.2f}",
+                     f"{M.ssim(image, reference):.3f}"])
+    print(format_table(["strategy", "avg points/ray", "PSNR", "SSIM"], rows,
+                       title="Sampling strategies at matched budgets"))
+    print("\nNote how coarse-then-focus at ~24 points matches or beats "
+          "uniform sampling at twice the budget — the paper's Fig. 9.")
+
+
+if __name__ == "__main__":
+    main()

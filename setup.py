@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment has setuptools but not ``wheel``, so PEP 660
+editable installs (``pip install -e .`` with build isolation) cannot
+build; this shim keeps the classic ``setup.py develop`` / legacy
+``pip install -e . --no-build-isolation --no-use-pep517`` paths working.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,18 @@
+"""Gen-NeRF (ISCA 2023) reproduction.
+
+Top-level namespace; subpackages:
+
+* :mod:`repro.nn` — numpy autograd neural-network substrate.
+* :mod:`repro.geometry` — cameras, rays, epipolar geometry, frusta.
+* :mod:`repro.scenes` — procedural volumetric scenes and camera rigs.
+* :mod:`repro.models` — generalizable NeRF models (IBRNet baseline,
+  Ray-Mixer, coarse-then-focus sampling, volume rendering, training).
+* :mod:`repro.hardware` — cycle-level accelerator simulator, DRAM/SRAM
+  models, scheduler, GPU roofline baselines.
+* :mod:`repro.core` — end-to-end co-design pipeline and the experiment
+  registry reproducing every paper table and figure.
+"""
+
+from .version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,27 @@
+"""``repro.core`` — co-design glue and the experiment registry.
+
+:mod:`repro.core.pipeline` runs paper-scale workloads on device models;
+:mod:`repro.core.experiments` regenerates every table and figure of the
+paper; :mod:`repro.core.reporting` renders them as text.
+"""
+
+from .figures import (ascii_bar_chart, ascii_line_chart,
+                      stacked_latency_chart)
+from .experiments import (AblationRow, FIG9_PAIRS, Fig9Point,
+                          run_coarse_budget_ablation, run_fig2, run_fig9,
+                          run_fig10, run_fig11, run_fig12,
+                          run_patch_candidate_ablation, run_table1,
+                          run_table2, run_table3, run_table4)
+from .pipeline import (CoDesignPipeline, HardwareRig, dataflow_ablation,
+                       hardware_rig)
+from .reporting import format_series, format_table, ratio_note
+
+__all__ = [
+    "CoDesignPipeline", "HardwareRig", "hardware_rig", "dataflow_ablation",
+    "format_table", "format_series", "ratio_note",
+    "run_table1", "run_fig2", "run_fig9", "run_table2", "run_table3",
+    "run_fig10", "run_fig11", "run_table4", "run_fig12",
+    "run_coarse_budget_ablation", "run_patch_candidate_ablation",
+    "Fig9Point", "AblationRow", "FIG9_PAIRS",
+    "ascii_line_chart", "ascii_bar_chart", "stacked_latency_chart",
+]

@@ -1,0 +1,470 @@
+"""Experiment registry: one runnable per paper table/figure.
+
+Each ``run_*`` function regenerates the data behind one table or figure
+of the paper (see DESIGN.md's experiment index) and returns plain
+Python structures; the ``benchmarks/`` suite calls these and formats
+them with :mod:`repro.core.reporting`.  Hardware experiments execute at
+the paper's full resolutions (the simulator does not march rays);
+algorithm experiments take scale knobs so the numpy training stays
+tractable, with defaults chosen to finish in minutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import models as M
+from ..hardware.area_power import PAPER_TABLE1, full_chip_budget
+from ..hardware.energy import typical_chip_power_w
+from ..hardware.gpu_model import GpuModel, JETSON_TX2, RTX_2080TI
+from ..hardware.icarus import TABLE4_PAPER_ROWS
+from ..models.oracle import OracleStrategy, oracle_render_image
+from ..models.workload import (RenderWorkload, profiling_workload,
+                               table2_workload, typical_workload)
+from ..scenes.datasets import DATASETS, Scene, llff_eval_scenes, make_scene
+from .pipeline import CoDesignPipeline, dataflow_ablation
+
+PROFILE_DATASETS = ("deepvoxels", "nerf_synthetic", "llff")
+
+# Fig. 9's coarse/focused pairs (paper Sec. 5.2).
+FIG9_PAIRS = ((8, 8), (8, 16), (16, 32), (32, 64))
+FIG9_UNIFORM_POINTS = (16, 24, 48, 96, 192)
+
+
+# ----------------------------------------------------------------------
+# Table 1 — area / power
+# ----------------------------------------------------------------------
+def run_table1() -> List[Tuple[str, float, float, float, float]]:
+    """Rows: (module, area, paper area, power, paper power)."""
+    budget = full_chip_budget()
+    rows = []
+    for key in ("scheduler", "ppu", "engine", "prefetch", "total"):
+        paper_area, paper_power = PAPER_TABLE1[key]
+        module = budget[key]
+        rows.append((module.name, module.area_mm2, paper_area,
+                     module.power_mw, paper_power))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fig. 2 — GPU latency breakdown of the profiling workload
+# ----------------------------------------------------------------------
+def run_fig2() -> Dict[str, Dict[str, Dict[str, float]]]:
+    """{device: {dataset: {phase: seconds, 'total': s, 'fps': f}}}.
+
+    Profiling setup of Sec. 2.3: 10 source views, 196 points per ray,
+    the vanilla (ray transformer) model.
+    """
+    devices = {"rtx2080ti": GpuModel(RTX_2080TI), "tx2": GpuModel(JETSON_TX2)}
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for device_name, model in devices.items():
+        per_dataset = {}
+        for dataset in PROFILE_DATASETS:
+            spec = DATASETS[dataset]
+            workload = profiling_workload(spec.height, spec.width)
+            sim = model.simulate_frame(workload)
+            phases = {
+                "acquire_features": sim.phase_seconds["gather"],
+                "mlp": sim.phase_seconds["mlp"],
+                "ray_transformer": sim.phase_seconds["ray_module"],
+                "others": (sim.phase_seconds["sampling"]
+                           + sim.phase_seconds["others"]),
+            }
+            phases["total"] = sim.total_time_s
+            phases["fps"] = sim.fps
+            phases["attention_dnn_fraction"] = sim.dnn_attention_fraction()
+            per_dataset[dataset] = phases
+        results[device_name] = per_dataset
+    return results
+
+
+# ----------------------------------------------------------------------
+# Fig. 9 — PSNR vs sampled points / MFLOPs (oracle-field evaluation)
+# ----------------------------------------------------------------------
+@dataclass
+class Fig9Point:
+    label: str
+    avg_points: float
+    mflops_per_pixel: float
+    psnr: float
+
+
+def _fig9_flops(strategy: OracleStrategy, num_views: int = 10) -> float:
+    """MFLOPs/pixel of the paper-scale model under this sampling."""
+    if strategy.kind == "coarse_focus":
+        workload = RenderWorkload(height=1, width=1, num_views=num_views,
+                                  points_per_ray=strategy.points,
+                                  ray_module="mixer",
+                                  coarse_points=strategy.coarse_points,
+                                  n_max=max(64, strategy.points
+                                            + strategy.coarse_points))
+    else:
+        total = strategy.points + strategy.coarse_points
+        workload = RenderWorkload(height=1, width=1, num_views=num_views,
+                                  points_per_ray=total,
+                                  ray_module="transformer")
+    return workload.flops_per_pixel() / 1e6
+
+
+def run_fig9(datasets: Sequence[str] = PROFILE_DATASETS, seed: int = 3,
+             step: int = 4, reference_points: int = 384,
+             pairs: Sequence[Tuple[int, int]] = FIG9_PAIRS,
+             uniform_points: Sequence[int] = FIG9_UNIFORM_POINTS,
+             image_scale: float = 1 / 8
+             ) -> Dict[str, Dict[str, List[Fig9Point]]]:
+    """{dataset: {"gen_nerf": [...], "ibrnet": [...]}} curves.
+
+    Oracle-field evaluation isolates the sampling strategies (see
+    ``repro.models.oracle``); IBRNet's curve uses its hierarchical
+    sampler at matched total point budgets.
+    """
+    results: Dict[str, Dict[str, List[Fig9Point]]] = {}
+    for dataset in datasets:
+        scene = make_scene(dataset, seed=seed, image_scale=image_scale)
+        reference = M.render_target_reference(scene, reference_points, step)
+        curves: Dict[str, List[Fig9Point]] = {"gen_nerf": [], "ibrnet": []}
+
+        background = scene.spec.white_background
+        for coarse, focused in pairs:
+            strategy = OracleStrategy(kind="coarse_focus",
+                                      coarse_points=coarse, points=focused,
+                                      white_background=background)
+            image, stats = oracle_render_image(
+                scene.field, scene.target_camera, scene.near, scene.far,
+                strategy, step=step)
+            curves["gen_nerf"].append(Fig9Point(
+                label=strategy.label, avg_points=stats["avg_points"],
+                mflops_per_pixel=_fig9_flops(strategy),
+                psnr=M.psnr(image, reference)))
+
+        for total in uniform_points:
+            coarse = max(4, total // 3)
+            strategy = OracleStrategy(kind="hierarchical",
+                                      coarse_points=coarse,
+                                      points=total - coarse,
+                                      white_background=background)
+            image, stats = oracle_render_image(
+                scene.field, scene.target_camera, scene.near, scene.far,
+                strategy, step=step)
+            curves["ibrnet"].append(Fig9Point(
+                label=strategy.label, avg_points=stats["avg_points"],
+                mflops_per_pixel=_fig9_flops(strategy),
+                psnr=M.psnr(image, reference)))
+        results[dataset] = curves
+    return results
+
+
+# ----------------------------------------------------------------------
+# Tables 2 & 3 — component ablation and per-scene finetuning
+# ----------------------------------------------------------------------
+@dataclass
+class AblationRow:
+    method: str
+    mflops_per_pixel: float
+    per_scene: Dict[str, Tuple[float, float]]   # scene -> (psnr, lpips)
+
+
+def _small_model_config(ray_module: str, n_max: int) -> M.ModelConfig:
+    return M.ModelConfig(feature_dim=12, view_hidden=12, score_hidden=6,
+                         density_hidden=24, density_feature_dim=8,
+                         ray_module=ray_module, n_max=n_max,
+                         encoder_hidden=8)
+
+
+def _subset_views(scene: Scene, source_images: np.ndarray, views: int
+                  ) -> Tuple[Scene, np.ndarray]:
+    """Restrict a scene to its ``views`` closest source views (IBRNet's
+    conditioning rule), keeping cameras and images aligned."""
+    from dataclasses import replace as dc_replace
+
+    if views >= scene.num_source_views:
+        return scene, source_images
+    indices = scene.closest_source_indices(views)
+    subset = dc_replace(scene, source_cameras=[scene.source_cameras[i]
+                                               for i in indices])
+    return subset, source_images[indices]
+
+
+def _evaluate_model(model, scene: Scene, source_images: np.ndarray,
+                    num_points: int, step: int,
+                    hierarchical: bool = True,
+                    views: Optional[int] = None) -> Tuple[float, float]:
+    if views is not None:
+        scene, source_images = _subset_views(scene, source_images, views)
+    reference = M.render_target_reference(scene, num_points=192, step=step)
+    if isinstance(model, M.GenNeRF):
+        image, _ = M.render_image_gen_nerf(model, scene, source_images,
+                                           step=step)
+    else:
+        image = M.render_image_ibrnet(model, scene, source_images,
+                                      num_points=num_points, step=step,
+                                      hierarchical=hierarchical)
+    image = np.clip(image, 0.0, 1.0)
+    return M.psnr(image, reference), M.lpips_proxy(image, reference)
+
+
+def run_table2(train_steps: int = 240, eval_step: int = 8,
+               image_scale: float = 1 / 12, num_points: int = 20,
+               seed: int = 1, scenes: Sequence[str] = ("fern", "fortress",
+                                                       "horns", "trex"),
+               num_source_views: int = 10) -> List[AblationRow]:
+    """Component ablation (paper Table 2) at numpy scale.
+
+    Trains each variant with an identical schedule on the four LLFF
+    scene analogues, then evaluates PSNR/LPIPS-proxy per scene.
+    MFLOPs/pixel columns come from the paper-scale workload model.
+    """
+    eval_scenes = llff_eval_scenes(image_scale, num_source_views, seed=seed)
+    scene_data = {name: M.SceneData.prepare(sc, gt_points=128)
+                  for name, sc in eval_scenes.items() if name in scenes}
+    train_cfg = M.TrainConfig(steps=train_steps, rays_per_batch=40,
+                              num_points=num_points, seed=seed)
+    n_max = num_points
+
+    def train(model) -> None:
+        trainer = M.Trainer(model, list(scene_data.values()), train_cfg)
+        trainer.fit(train_steps)
+        model.eval()
+
+    rows: List[AblationRow] = []
+
+    def evaluate(model, method: str, workload_row: str,
+                 views: int = 10, hierarchical: bool = True) -> None:
+        workload = table2_workload(workload_row, num_views=views)
+        per_scene = {}
+        for name, data in scene_data.items():
+            per_scene[name] = _evaluate_model(model, data.scene,
+                                              data.source_images, num_points,
+                                              eval_step, hierarchical,
+                                              views=views)
+        rows.append(AblationRow(method=method,
+                                mflops_per_pixel=workload.flops_per_pixel()
+                                / 1e6, per_scene=per_scene))
+
+    rng = np.random.default_rng(seed)
+    vanilla = M.GeneralizableNeRF(_small_model_config("transformer", n_max),
+                                  rng=rng)
+    train(vanilla)
+    evaluate(vanilla, "vanilla IBRNet", "vanilla")
+
+    rng = np.random.default_rng(seed)
+    no_transformer = M.GeneralizableNeRF(_small_model_config("none", n_max),
+                                         rng=rng)
+    train(no_transformer)
+    evaluate(no_transformer, "- ray transformer", "no_ray_transformer")
+
+    rng = np.random.default_rng(seed)
+    mixer = M.GeneralizableNeRF(_small_model_config("mixer", n_max), rng=rng)
+    train(mixer)
+    evaluate(mixer, "+ Ray-Mixer", "ray_mixer")
+
+    rng = np.random.default_rng(seed)
+    gen_cfg = M.GenNerfConfig(fine=_small_model_config("mixer", n_max),
+                              coarse_points=8,
+                              focused_points=max(8, num_points - 8))
+    gen_nerf = M.GenNeRF(gen_cfg, rng=rng)
+    train(gen_nerf)
+    evaluate(gen_nerf, "+ Coarse-then-Focus", "coarse_focus")
+
+    pruned = M.prune_gen_nerf(gen_nerf, sparsity=0.75)
+    M.finetune(pruned, list(scene_data.values())[0].scene,
+               steps=max(30, train_steps // 6),
+               config=M.TrainConfig(steps=train_steps, rays_per_batch=40,
+                                    num_points=num_points, seed=seed + 1,
+                                    learning_rate=2e-4))
+    pruned.eval()
+    for views in (10, 6, 4):
+        evaluate(pruned, f"+ channel pruning ({views} views)", "pruned",
+                 views=views)
+    return rows
+
+
+def run_table3(train_steps: int = 240, finetune_steps: int = 80,
+               eval_step: int = 8, image_scale: float = 1 / 12,
+               num_points: int = 20, seed: int = 1,
+               view_counts: Sequence[int] = (4, 10)) -> List[AblationRow]:
+    """Per-scene finetuning comparison (paper Table 3).
+
+    Pretrains an IBRNet baseline and a Gen-NeRF model, then finetunes a
+    copy on each scene before evaluation.
+    """
+    rows: List[AblationRow] = []
+    for views in view_counts:
+        eval_scenes = llff_eval_scenes(image_scale, max(views, 6), seed=seed)
+        scene_data = {name: M.SceneData.prepare(sc, gt_points=128)
+                      for name, sc in eval_scenes.items()}
+        train_cfg = M.TrainConfig(steps=train_steps, rays_per_batch=40,
+                                  num_points=num_points, seed=seed)
+
+        rng = np.random.default_rng(seed)
+        ibrnet = M.GeneralizableNeRF(
+            _small_model_config("transformer", num_points), rng=rng)
+        M.Trainer(ibrnet, list(scene_data.values()), train_cfg).fit(
+            train_steps)
+
+        rng = np.random.default_rng(seed)
+        gen_cfg = M.GenNerfConfig(
+            fine=_small_model_config("mixer", num_points), coarse_points=8,
+            focused_points=max(8, num_points - 8))
+        gen_nerf = M.GenNeRF(gen_cfg, rng=rng)
+        M.Trainer(gen_nerf, list(scene_data.values()), train_cfg).fit(
+            train_steps)
+
+        for method, model, row in (("IBRNet", ibrnet, "vanilla"),
+                                   ("Gen-NeRF", gen_nerf, "pruned")):
+            per_scene = {}
+            for name, data in scene_data.items():
+                state = model.state_dict()
+                M.finetune(model, data.scene, steps=finetune_steps,
+                           config=M.TrainConfig(steps=finetune_steps,
+                                                rays_per_batch=40,
+                                                num_points=num_points,
+                                                seed=seed + 7,
+                                                learning_rate=2e-4))
+                model.eval()
+                per_scene[name] = _evaluate_model(
+                    model, data.scene, data.source_images, num_points,
+                    eval_step)
+                model.load_state_dict(state)   # reset to the pretrained net
+            workload = table2_workload(row, num_views=views)
+            rows.append(AblationRow(
+                method=f"{method} ({views} views)",
+                mflops_per_pixel=workload.flops_per_pixel() / 1e6,
+                per_scene=per_scene))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fig. 10 / Fig. 11 / Table 4 — accelerator vs devices
+# ----------------------------------------------------------------------
+def run_fig10(seed: int = 0) -> Dict[str, Dict[str, float]]:
+    """FPS of Gen-NeRF accelerator vs RTX 2080Ti vs TX2 on 3 datasets."""
+    pipeline = CoDesignPipeline()
+    return {dataset: pipeline.fps_comparison(dataset, seed=seed)
+            for dataset in PROFILE_DATASETS}
+
+
+def run_fig11(view_counts: Sequence[int] = (10, 6, 4, 2, 1),
+              point_counts: Sequence[int] = (128, 112, 96, 80, 64),
+              seed: int = 0) -> Dict[str, List[Dict[str, float]]]:
+    """Scalability sweeps on NeRF-Synthetic 800x800 (paper Fig. 11)."""
+    pipeline = CoDesignPipeline()
+    by_views = []
+    for views in view_counts:
+        row = pipeline.fps_comparison("nerf_synthetic", num_views=views,
+                                      seed=seed)
+        row["num_views"] = views
+        by_views.append(row)
+    by_points = []
+    for points in point_counts:
+        row = pipeline.fps_comparison("nerf_synthetic",
+                                      points_per_ray=points, seed=seed)
+        row["points_per_ray"] = points
+        by_points.append(row)
+    return {"views": by_views, "points": by_points}
+
+
+def run_table4(seed: int = 0) -> List[Dict[str, object]]:
+    """Device spec table with our measured Gen-NeRF row alongside the
+    paper's reported rows."""
+    pipeline = CoDesignPipeline()
+    sim = pipeline.simulate_accelerator("nerf_synthetic", seed=seed)
+    rows: List[Dict[str, object]] = [{
+        "device": "Gen-NeRF (simulated)",
+        "sram_mb": 0.8,
+        "area_mm2": full_chip_budget()["total"].area_mm2,
+        "frequency_ghz": 1.0,
+        "dram": "LPDDR4-2400",
+        "bandwidth_gb_s": 17.8,
+        "technology_nm": 28,
+        "typical_power_w": typical_chip_power_w(),
+        "typical_fps": sim.fps,
+    }]
+    for spec in TABLE4_PAPER_ROWS:
+        rows.append({
+            "device": spec.name + " (paper)",
+            "sram_mb": spec.sram_mb,
+            "area_mm2": spec.area_mm2,
+            "frequency_ghz": spec.frequency_ghz,
+            "dram": spec.dram,
+            "bandwidth_gb_s": spec.bandwidth_gb_s,
+            "technology_nm": spec.technology_nm,
+            "typical_power_w": spec.typical_power_w,
+            "typical_fps": spec.typical_fps,
+        })
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fig. 12 — dataflow / storage ablation
+# ----------------------------------------------------------------------
+def run_fig12(view_counts: Sequence[int] = (10, 6, 2), seed: int = 0
+              ) -> Dict[int, Dict[str, Dict[str, float]]]:
+    """{views: {variant: {data_s, compute_s, total_s, utilization}}}."""
+    results: Dict[int, Dict[str, Dict[str, float]]] = {}
+    for views in view_counts:
+        per_variant = {}
+        for name, sim in dataflow_ablation("nerf_synthetic", views,
+                                           seed=seed).items():
+            per_variant[name] = {
+                "data_s": sim.fetch_time_s,
+                "compute_s": sim.compute_time_s,
+                "total_s": sim.total_time_s,
+                "exposed_data_s": sim.data_time_s,
+                "utilization": sim.pe_utilization,
+                "prefetch_mb": sim.prefetch_bytes / 1e6,
+            }
+        results[views] = per_variant
+    return results
+
+
+# ----------------------------------------------------------------------
+# Extensions beyond the paper (DESIGN.md "ablation" bullets)
+# ----------------------------------------------------------------------
+def run_coarse_budget_ablation(dataset: str = "nerf_synthetic", seed: int = 3,
+                               step: int = 8, image_scale: float = 1 / 8,
+                               coarse_counts: Sequence[int] = (4, 8, 16, 32),
+                               taus: Sequence[float] = (1e-4, 1e-3, 1e-2),
+                               focused: int = 32) -> List[Dict[str, float]]:
+    """PSNR sensitivity to the coarse-pass budget N_c and threshold tau."""
+    scene = make_scene(dataset, seed=seed, image_scale=image_scale)
+    reference = M.render_target_reference(scene, 384, step)
+    rows = []
+    for coarse in coarse_counts:
+        for tau in taus:
+            strategy = OracleStrategy(kind="coarse_focus",
+                                      coarse_points=coarse, points=focused,
+                                      tau=tau,
+                                      white_background=scene.spec.white_background)
+            image, stats = oracle_render_image(
+                scene.field, scene.target_camera, scene.near, scene.far,
+                strategy, step=step)
+            rows.append({"coarse_points": float(coarse), "tau": tau,
+                         "avg_points": stats["avg_points"],
+                         "psnr": M.psnr(image, reference)})
+    return rows
+
+
+def run_patch_candidate_ablation(seed: int = 0) -> List[Dict[str, float]]:
+    """Prefetch traffic and FPS vs the candidate-set size M."""
+    from ..hardware.accelerator import AcceleratorConfig, GenNerfAccelerator
+    from ..hardware.scheduler import DEFAULT_CANDIDATES, SchedulerConfig
+    from .pipeline import hardware_rig
+
+    spec = DATASETS["nerf_synthetic"]
+    rig = hardware_rig(spec, 6, seed=seed)
+    workload = typical_workload(spec.height, spec.width, 6)
+    rows = []
+    for m in (1, 2, 4, len(DEFAULT_CANDIDATES)):
+        config = AcceleratorConfig(
+            name=f"M={m}",
+            scheduler=SchedulerConfig(candidates=DEFAULT_CANDIDATES[:m]))
+        sim = GenNerfAccelerator(config).simulate_frame(
+            workload, rig.novel, rig.sources, rig.near, rig.far)
+        rows.append({"num_candidates": float(m), "fps": sim.fps,
+                     "prefetch_mb": sim.prefetch_bytes / 1e6,
+                     "utilization": sim.pe_utilization})
+    return rows

@@ -1,0 +1,66 @@
+"""Plain-text table and series formatting for the experiment harness.
+
+Every benchmark regenerates its paper table/figure as text; these
+helpers keep the output layout consistent (fixed-width columns, one
+header row, optional paper-reference column) so EXPERIMENTS.md can be
+assembled straight from bench logs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, float, int]
+
+
+def _format_cell(value: Cell, precision: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 10 ** (-precision):
+            return f"{value:.3g}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Cell]],
+                 title: Optional[str] = None, precision: int = 3) -> str:
+    """Render rows as a fixed-width text table."""
+    text_rows = [[_format_cell(cell, precision) for cell in row]
+                 for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width)
+                         for cell, width in zip(cells, widths)).rstrip()
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)
+
+
+def format_series(name: str, xs: Sequence[Cell], ys: Sequence[Cell],
+                  x_label: str = "x", y_label: str = "y",
+                  precision: int = 3) -> str:
+    """Render an (x, y) series — one figure curve — as aligned text."""
+    rows = list(zip(xs, ys))
+    return format_table([x_label, y_label], rows, title=name,
+                        precision=precision)
+
+
+def ratio_note(measured: float, paper: float, label: str = "") -> str:
+    """One-line paper-vs-measured comparison used in bench output."""
+    if paper == 0:
+        return f"{label}: measured {measured:.4g} (paper N/A)"
+    return (f"{label}: measured {measured:.4g} vs paper {paper:.4g} "
+            f"(ratio {measured / paper:.2f}x)")

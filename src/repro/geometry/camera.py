@@ -1,0 +1,157 @@
+"""Pinhole camera model (OpenCV convention).
+
+Camera frame: +x right, +y down, +z forward (viewing direction).  The
+extrinsics map world to camera, ``x_cam = R @ x_world + t``; the camera
+centre in world coordinates is ``C = -R.T @ t``.  Pixels are ``(u, v)``
+with ``u`` along image width and ``v`` along height; a 3D point projects
+via ``K @ x_cam`` followed by perspective division.
+
+This is the coordinate machinery under everything in the reproduction:
+ray emission (paper Step 1), point-to-source-view projection π (Step 2),
+and the epipolar analysis of Sec. 4.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Intrinsics:
+    """Pinhole intrinsics: focal lengths and principal point, in pixels."""
+
+    fx: float
+    fy: float
+    cx: float
+    cy: float
+    width: int
+    height: int
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return np.array([[self.fx, 0.0, self.cx],
+                         [0.0, self.fy, self.cy],
+                         [0.0, 0.0, 1.0]])
+
+    @property
+    def inverse(self) -> np.ndarray:
+        return np.array([[1.0 / self.fx, 0.0, -self.cx / self.fx],
+                         [0.0, 1.0 / self.fy, -self.cy / self.fy],
+                         [0.0, 0.0, 1.0]])
+
+    def scaled(self, factor: float) -> "Intrinsics":
+        """Intrinsics for an image resized by ``factor`` (e.g. a CNN
+        feature map at stride 1/factor of the input)."""
+        return Intrinsics(self.fx * factor, self.fy * factor,
+                          self.cx * factor, self.cy * factor,
+                          max(1, int(round(self.width * factor))),
+                          max(1, int(round(self.height * factor))))
+
+    @staticmethod
+    def from_fov(width: int, height: int, fov_x_deg: float) -> "Intrinsics":
+        """Square-pixel intrinsics from a horizontal field of view."""
+        fx = 0.5 * width / np.tan(np.radians(fov_x_deg) / 2.0)
+        return Intrinsics(fx, fx, width / 2.0, height / 2.0, width, height)
+
+
+@dataclass(frozen=True)
+class Camera:
+    """A posed pinhole camera.
+
+    ``rotation`` and ``translation`` are the world-to-camera transform.
+    """
+
+    intrinsics: Intrinsics
+    rotation: np.ndarray = field(default_factory=lambda: np.eye(3))
+    translation: np.ndarray = field(default_factory=lambda: np.zeros(3))
+
+    def __post_init__(self):
+        rotation = np.asarray(self.rotation, dtype=np.float64)
+        translation = np.asarray(self.translation, dtype=np.float64).reshape(3)
+        if rotation.shape != (3, 3):
+            raise ValueError(f"rotation must be 3x3, got {rotation.shape}")
+        if not np.allclose(rotation @ rotation.T, np.eye(3), atol=1e-6):
+            raise ValueError("rotation is not orthonormal")
+        object.__setattr__(self, "rotation", rotation)
+        object.__setattr__(self, "translation", translation)
+
+    # ------------------------------------------------------------------
+    @property
+    def center(self) -> np.ndarray:
+        """Camera centre in world coordinates."""
+        return -self.rotation.T @ self.translation
+
+    @property
+    def forward(self) -> np.ndarray:
+        """Unit viewing direction (+z of the camera frame) in world."""
+        return self.rotation.T @ np.array([0.0, 0.0, 1.0])
+
+    @property
+    def projection_matrix(self) -> np.ndarray:
+        """3x4 matrix P = K [R | t]."""
+        return self.intrinsics.matrix @ np.hstack(
+            [self.rotation, self.translation.reshape(3, 1)])
+
+    # ------------------------------------------------------------------
+    def world_to_camera(self, points: np.ndarray) -> np.ndarray:
+        """Map (..., 3) world points into the camera frame."""
+        pts = np.asarray(points, dtype=np.float64)
+        return pts @ self.rotation.T + self.translation
+
+    def camera_to_world(self, points: np.ndarray) -> np.ndarray:
+        pts = np.asarray(points, dtype=np.float64)
+        return (pts - self.translation) @ self.rotation
+
+    def project(self, points: np.ndarray,
+                return_depth: bool = False):
+        """Project (..., 3) world points to (..., 2) pixels.
+
+        Points behind the camera produce non-finite pixels; callers that
+        care (e.g. the frustum area calculator) should mask on depth.
+        """
+        cam = self.world_to_camera(points)
+        depth = cam[..., 2]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            u = self.intrinsics.fx * cam[..., 0] / depth + self.intrinsics.cx
+            v = self.intrinsics.fy * cam[..., 1] / depth + self.intrinsics.cy
+        pixels = np.stack([u, v], axis=-1)
+        if return_depth:
+            return pixels, depth
+        return pixels
+
+    def unproject(self, pixels: np.ndarray, depth: np.ndarray) -> np.ndarray:
+        """Lift (..., 2) pixels at camera-frame depth z to world points."""
+        pix = np.asarray(pixels, dtype=np.float64)
+        z = np.asarray(depth, dtype=np.float64)
+        x = (pix[..., 0] - self.intrinsics.cx) / self.intrinsics.fx * z
+        y = (pix[..., 1] - self.intrinsics.cy) / self.intrinsics.fy * z
+        cam = np.stack([x, y, z], axis=-1)
+        return self.camera_to_world(cam)
+
+    def pixel_ray_directions(self, pixels: np.ndarray) -> np.ndarray:
+        """Unit world-space ray directions through (..., 2) pixels."""
+        pix = np.asarray(pixels, dtype=np.float64)
+        x = (pix[..., 0] - self.intrinsics.cx) / self.intrinsics.fx
+        y = (pix[..., 1] - self.intrinsics.cy) / self.intrinsics.fy
+        dirs_cam = np.stack([x, y, np.ones_like(x)], axis=-1)
+        dirs_world = dirs_cam @ self.rotation
+        norms = np.linalg.norm(dirs_world, axis=-1, keepdims=True)
+        return dirs_world / norms
+
+    def in_view(self, points: np.ndarray, margin: float = 0.0) -> np.ndarray:
+        """Boolean mask: points in front of the camera and inside the image."""
+        pixels, depth = self.project(points, return_depth=True)
+        inside = ((depth > 0)
+                  & (pixels[..., 0] >= -margin)
+                  & (pixels[..., 0] <= self.intrinsics.width - 1 + margin)
+                  & (pixels[..., 1] >= -margin)
+                  & (pixels[..., 1] <= self.intrinsics.height - 1 + margin))
+        return inside
+
+    def resized(self, factor: float) -> "Camera":
+        """Same pose, intrinsics scaled by ``factor``."""
+        return Camera(self.intrinsics.scaled(factor), self.rotation,
+                      self.translation)

@@ -1,0 +1,205 @@
+"""Epipolar geometry between a novel view and source views (paper Sec. 4.1).
+
+The Gen-NeRF accelerator's dataflow is justified by three properties the
+paper deduces from two-view geometry (Hartley & Zisserman):
+
+* **Property-1** — the projections of all sampled 3D points along one ray
+  lie on a single *epipolar line* in each source view.
+* **Property-2** — novel-view pixels collinear with the epipole ``e_n``
+  share one epipolar plane, hence one epipolar line per source view.
+* **Property-3** — 3D points that are close in space project to close
+  epipolar lines / regions on every source view.
+
+This module implements the machinery (essential/fundamental matrices,
+epipoles, epipolar lines, point-line distances) and exposes executable
+checks of the properties, which the test suite verifies on random camera
+pairs and which the workload scheduler uses to group rays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .camera import Camera
+
+
+def skew(vector: np.ndarray) -> np.ndarray:
+    """The cross-product matrix [v]_x with [v]_x w = v × w."""
+    x, y, z = np.asarray(vector, dtype=np.float64).reshape(3)
+    return np.array([[0.0, -z, y],
+                     [z, 0.0, -x],
+                     [-y, x, 0.0]])
+
+
+def relative_pose(source: Camera, novel: Camera) -> Tuple[np.ndarray, np.ndarray]:
+    """(R_rel, t_rel) mapping novel-camera coordinates into source-camera
+    coordinates: ``x_s = R_rel @ x_n + t_rel``."""
+    r_rel = source.rotation @ novel.rotation.T
+    t_rel = source.translation - r_rel @ novel.translation
+    return r_rel, t_rel
+
+
+def essential_matrix(source: Camera, novel: Camera) -> np.ndarray:
+    """Essential matrix E with x_s_cam^T E x_n_cam = 0 (normalised coords)."""
+    r_rel, t_rel = relative_pose(source, novel)
+    return skew(t_rel) @ r_rel
+
+
+def fundamental_matrix(source: Camera, novel: Camera) -> np.ndarray:
+    """Fundamental matrix F with ``p_s^T F p_n = 0`` for corresponding
+    homogeneous pixels p_n (novel view) and p_s (source view)."""
+    essential = essential_matrix(source, novel)
+    k_s_inv = source.intrinsics.inverse
+    k_n_inv = novel.intrinsics.inverse
+    return k_s_inv.T @ essential @ k_n_inv
+
+
+def epipole_in_source(source: Camera, novel: Camera) -> np.ndarray:
+    """Pixel location e_s: the novel camera centre seen from the source.
+
+    May lie far outside the image (or at infinity for parallel motion);
+    returned as an unnormalised homogeneous 3-vector to stay robust.
+    """
+    center_h = np.append(novel.center, 1.0)
+    return source.projection_matrix @ center_h
+
+
+def epipole_in_novel(source: Camera, novel: Camera) -> np.ndarray:
+    """Homogeneous pixel e_n: the source camera centre seen from the
+    novel view."""
+    center_h = np.append(source.center, 1.0)
+    return novel.projection_matrix @ center_h
+
+
+def epipolar_line(fundamental: np.ndarray, pixel_novel: np.ndarray) -> np.ndarray:
+    """Line coefficients l = F p_n (ax + by + c = 0) in the source view."""
+    pix = np.asarray(pixel_novel, dtype=np.float64)
+    if pix.shape[-1] == 2:
+        pix = np.concatenate([pix, np.ones(pix.shape[:-1] + (1,))], axis=-1)
+    return pix @ fundamental.T
+
+
+def point_line_distance(line: np.ndarray, pixel: np.ndarray) -> np.ndarray:
+    """Perpendicular pixel distance from points to lines (broadcasting)."""
+    line = np.asarray(line, dtype=np.float64)
+    pix = np.asarray(pixel, dtype=np.float64)
+    if pix.shape[-1] == 2:
+        pix = np.concatenate([pix, np.ones(pix.shape[:-1] + (1,))], axis=-1)
+    numer = np.abs(np.sum(line * pix, axis=-1))
+    denom = np.linalg.norm(line[..., :2], axis=-1)
+    return numer / np.maximum(denom, 1e-12)
+
+
+@dataclass
+class EpipolarPair:
+    """Cached two-view geometry between one novel view and one source view."""
+
+    novel: Camera
+    source: Camera
+
+    def __post_init__(self):
+        self.fundamental = fundamental_matrix(self.source, self.novel)
+        self.epipole_source = epipole_in_source(self.source, self.novel)
+        self.epipole_novel = epipole_in_novel(self.source, self.novel)
+
+    def line_for_pixel(self, pixel_novel: np.ndarray) -> np.ndarray:
+        return epipolar_line(self.fundamental, pixel_novel)
+
+    # -- executable forms of the paper's properties ---------------------
+    def property1_residual(self, pixel_novel: np.ndarray,
+                           depths: np.ndarray) -> np.ndarray:
+        """Max distance from projected ray samples to the epipolar line.
+
+        Zero (up to float error) certifies Property-1 for this pixel.
+        """
+        from .rays import rays_for_pixels  # local import to avoid a cycle
+
+        bundle = rays_for_pixels(self.novel, np.atleast_2d(pixel_novel),
+                                 near=1e-3, far=1e3)
+        points = bundle.points_at(np.atleast_2d(depths))
+        projections = self.source.project(points)[0]
+        line = self.line_for_pixel(np.atleast_2d(pixel_novel))[0]
+        return point_line_distance(line, projections).max()
+
+    def property2_line_spread(self, pixels_novel: np.ndarray) -> float:
+        """Angle spread (radians) among epipolar lines of several pixels.
+
+        When the pixels are collinear with the epipole e_n the spread is
+        ~0: they share a single epipolar line (Property-2).
+        """
+        lines = self.line_for_pixel(np.atleast_2d(pixels_novel))
+        normals = lines[:, :2]
+        normals = normals / np.linalg.norm(normals, axis=1, keepdims=True)
+        # Lines are orientation-less: fold antipodal normals together.
+        reference = normals[0]
+        cosines = np.abs(normals @ reference)
+        return float(np.arccos(np.clip(cosines, -1.0, 1.0)).max())
+
+    def property3_projection_spread(self, points: np.ndarray) -> float:
+        """Diameter (pixels) of the source-view footprint of a 3D point set.
+
+        Property-3 says spatially small point sets yield small footprints;
+        the scheduler's area calculator is built on exactly this measure.
+        """
+        projections = self.source.project(np.asarray(points))
+        finite = np.isfinite(projections).all(axis=-1)
+        projections = projections[finite]
+        if len(projections) < 2:
+            return 0.0
+        diffs = projections[:, None, :] - projections[None, :, :]
+        return float(np.linalg.norm(diffs, axis=-1).max())
+
+
+def pixels_through_epipole(epipole_novel: np.ndarray, angle: float,
+                           count: int, spacing: float = 6.0) -> np.ndarray:
+    """Sample ``count`` collinear pixels on the line through the epipole
+    e_n at direction ``angle`` — the single-source-view ray grouping of
+    paper Sec. 4.2 (each such line is one ray group)."""
+    epi = np.asarray(epipole_novel, dtype=np.float64)
+    if epi.shape[-1] == 3:
+        if abs(epi[2]) < 1e-12:
+            # Epipole at infinity: lines "through" it are parallel lines
+            # in direction epi[:2]; anchor one at the origin.
+            base = np.zeros(2)
+            direction = epi[:2] / np.linalg.norm(epi[:2])
+        else:
+            base = epi[:2] / epi[2]
+            direction = np.array([np.cos(angle), np.sin(angle)])
+    else:
+        base = epi
+        direction = np.array([np.cos(angle), np.sin(angle)])
+    steps = (np.arange(count) + 1.0) * spacing
+    return base[None, :] + steps[:, None] * direction[None, :]
+
+
+def group_rays_by_epipolar_lines(novel: Camera, source: Camera,
+                                 pixels: np.ndarray,
+                                 num_groups: int = 16) -> np.ndarray:
+    """Assign novel-view pixels to ray groups by epipolar-line angle.
+
+    Implements the single-source-view dataflow of Sec. 4.2: pixels whose
+    connecting line to the epipole e_n shares an angle bucket share (near)
+    the same epipolar line and are scheduled together.  Returns an (R,)
+    integer group id per pixel.
+    """
+    pair = EpipolarPair(novel, source)
+    epi = pair.epipole_novel
+    pix = np.asarray(pixels, dtype=np.float64)
+    if abs(epi[2]) < 1e-12:
+        direction = epi[:2] / np.linalg.norm(epi[:2])
+        # Parallel-line pencil: bucket by signed perpendicular offset.
+        normal = np.array([-direction[1], direction[0]])
+        keys = pix @ normal
+    else:
+        center = epi[:2] / epi[2]
+        angles = np.arctan2(pix[:, 1] - center[1], pix[:, 0] - center[0])
+        # Lines are undirected: fold angle and angle+pi together.
+        keys = np.mod(angles, np.pi)
+    # Quantile bucketing keeps group sizes balanced even when the
+    # epipole sits far outside the image (keys then span a tiny range) —
+    # the hardware wants equal-sized ray groups to keep the engine fed.
+    edges = np.quantile(keys, np.linspace(0, 1, num_groups + 1)[1:-1])
+    return np.searchsorted(edges, keys).astype(int)

@@ -1,0 +1,108 @@
+"""Camera rays and depth parameterisation (paper Sec. 2.1, Step 1).
+
+A ray is r(t) = o + t·d with origin o (camera centre), unit direction d,
+and t in [t_near, t_far].  :class:`RayBundle` holds a batch of rays in
+structure-of-arrays form, which every sampler and renderer consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .camera import Camera
+
+
+@dataclass
+class RayBundle:
+    """A batch of rays.
+
+    Attributes
+    ----------
+    origins:      (R, 3) ray origins.
+    directions:   (R, 3) unit directions.
+    near, far:    scalar depth bounds shared by the bundle.
+    pixels:       (R, 2) pixel coordinates the rays pass through, kept so
+                  the hardware scheduler can map rays back to image tiles.
+    """
+
+    origins: np.ndarray
+    directions: np.ndarray
+    near: float
+    far: float
+    pixels: Optional[np.ndarray] = None
+
+    def __post_init__(self):
+        self.origins = np.asarray(self.origins, dtype=np.float64)
+        self.directions = np.asarray(self.directions, dtype=np.float64)
+        if self.origins.shape != self.directions.shape:
+            raise ValueError("origins and directions must have equal shapes")
+        if self.near >= self.far:
+            raise ValueError(f"near={self.near} must be < far={self.far}")
+
+    def __len__(self) -> int:
+        return self.origins.shape[0]
+
+    def points_at(self, depths: np.ndarray) -> np.ndarray:
+        """World points r(t) for per-ray depths of shape (R, P) -> (R, P, 3)."""
+        depths = np.asarray(depths, dtype=np.float64)
+        return (self.origins[:, None, :]
+                + depths[..., None] * self.directions[:, None, :])
+
+    def select(self, index) -> "RayBundle":
+        """Sub-bundle by boolean mask or integer index array."""
+        pixels = self.pixels[index] if self.pixels is not None else None
+        return RayBundle(self.origins[index], self.directions[index],
+                         self.near, self.far, pixels)
+
+
+def rays_for_pixels(camera: Camera, pixels: np.ndarray, near: float,
+                    far: float) -> RayBundle:
+    """Rays through the centres of the given (R, 2) pixel coordinates."""
+    pixels = np.asarray(pixels, dtype=np.float64)
+    directions = camera.pixel_ray_directions(pixels)
+    origins = np.broadcast_to(camera.center, directions.shape).copy()
+    return RayBundle(origins, directions, near, far, pixels=pixels)
+
+
+def rays_for_image(camera: Camera, near: float, far: float,
+                   step: int = 1) -> RayBundle:
+    """Rays for a full image in row-major order, optionally strided.
+
+    ``step`` > 1 renders a regularly subsampled image — used by tests and
+    the oracle evaluators to keep numpy runtimes sane at paper-scale
+    resolutions.
+    """
+    height = camera.intrinsics.height
+    width = camera.intrinsics.width
+    vs, us = np.meshgrid(np.arange(0, height, step),
+                         np.arange(0, width, step), indexing="ij")
+    pixels = np.stack([us.ravel() + 0.5, vs.ravel() + 0.5], axis=-1)
+    return rays_for_pixels(camera, pixels, near, far)
+
+
+def image_shape_for_step(camera: Camera, step: int) -> Tuple[int, int]:
+    """(rows, cols) of the image produced by :func:`rays_for_image`."""
+    height = camera.intrinsics.height
+    width = camera.intrinsics.width
+    return (len(range(0, height, step)), len(range(0, width, step)))
+
+
+def stratified_depths(rng: np.random.Generator, num_rays: int,
+                      num_points: int, near: float, far: float,
+                      jitter: bool = True) -> np.ndarray:
+    """Stratified uniform depth samples, the vanilla-NeRF baseline.
+
+    Divides [near, far] into ``num_points`` bins and samples one depth per
+    bin (uniformly within the bin when ``jitter``; bin centres otherwise).
+    Returns (num_rays, num_points), sorted along the last axis.
+    """
+    edges = np.linspace(near, far, num_points + 1)
+    lower, upper = edges[:-1], edges[1:]
+    if jitter:
+        u = rng.random((num_rays, num_points))
+    else:
+        u = np.full((num_rays, num_points), 0.5)
+    return lower + (upper - lower) * u

@@ -1,0 +1,253 @@
+"""Top-level Gen-NeRF accelerator: cycle-level frame simulation.
+
+Composes the pieces of Fig. 7 — workload scheduler, memory controller +
+LPDDR4 DRAM, prefetch double buffer, rendering engine (PPU, PE pool,
+SFU) — into a per-frame simulation:
+
+1. The scheduler partitions the H x W x D cube into point patches
+   (greedy, or Var-1's fixed slicing for the ablation).
+2. Each patch's prefetch time comes from the DRAM bank model under the
+   configured feature-storage layout (spatial interleaving, or Var-2/3's
+   row/view interleaving).
+3. Each patch's compute time comes from the rendering engine model; the
+   on-chip SRAM balance of the layout throttles the interpolator.
+4. The double buffer overlaps fetch i+1 with compute i; the frame time
+   is the pipelined fold plus the coarse stage (stage 1 of Sec. 4.5).
+
+Results carry the latency breakdown (data vs compute), PE utilisation
+and energy — the quantities in Figs. 10-12 and Tables 1/4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..geometry.camera import Camera
+from ..models.workload import RenderWorkload
+from .dram import DramConfig, DramModel
+from .engine import EngineConfig, RenderingEngine
+from .interleave import FeatureStore, balance_factor, bank_load_for_footprints
+from .scheduler import (FramePlan, GreedyPatchScheduler, SchedulerConfig,
+                        fixed_partition)
+from .sram import PrefetchDoubleBuffer, SramConfig
+from .units import ACCELERATOR_FREQ_HZ, DEFAULT_ENERGY, EnergyTable
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """The paper's accelerator instance (Sec. 5.1 / Table 4)."""
+
+    name: str = "Gen-NeRF"
+    frequency_hz: float = ACCELERATOR_FREQ_HZ
+    engine: EngineConfig = EngineConfig()
+    dram: DramConfig = DramConfig()
+    scheduler: SchedulerConfig = SchedulerConfig()
+    feature_layout: str = "spatial_interleaved"
+    use_greedy_partition: bool = True
+    energy: EnergyTable = DEFAULT_ENERGY
+
+    def variant(self, **changes) -> "AcceleratorConfig":
+        return replace(self, **changes)
+
+
+@dataclass
+class FrameSimulation:
+    """Outcome of simulating one rendered frame."""
+
+    config_name: str
+    total_time_s: float
+    data_time_s: float          # exposed (non-hidden) prefetch time
+    fetch_time_s: float         # total DRAM prefetch time (hidden or not)
+    compute_time_s: float       # rendering-engine busy time
+    coarse_time_s: float
+    prefetch_bytes: float
+    pool_macs: float
+    pe_utilization: float
+    num_patches: int
+    energy_j: float
+    scheduler_hidden: bool      # run-time partition kept ahead of engine
+    plan: Optional[FramePlan] = None
+
+    @property
+    def fps(self) -> float:
+        return 0.0 if self.total_time_s <= 0 else 1.0 / self.total_time_s
+
+    @property
+    def power_w(self) -> float:
+        return 0.0 if self.total_time_s <= 0 else \
+            self.energy_j / self.total_time_s
+
+
+class GenNerfAccelerator:
+    """Cycle-level simulator for the Gen-NeRF accelerator and variants."""
+
+    def __init__(self, config: AcceleratorConfig = AcceleratorConfig()):
+        self.config = config
+        self.engine = RenderingEngine(config.engine)
+        self.dram = DramModel(config.dram)
+        self.double_buffer = PrefetchDoubleBuffer(
+            config.engine.prefetch_sram)
+
+    # ------------------------------------------------------------------
+    def _feature_store(self, workload: RenderWorkload,
+                       sources: Sequence[Camera]) -> FeatureStore:
+        scale = self.config.scheduler.feature_scale
+        intr = sources[0].intrinsics
+        return FeatureStore(
+            num_views=len(sources),
+            height=max(1, int(round(intr.height * scale))),
+            width=max(1, int(round(intr.width * scale))),
+            channels=workload.fine_dims.feature_dim,
+            bytes_per_element=1,
+            layout=self.config.feature_layout)
+
+    def _plan(self, novel: Camera, sources: Sequence[Camera], near: float,
+              far: float, workload: RenderWorkload) -> FramePlan:
+        sched_cfg = replace(self.config.scheduler,
+                            channels=workload.fine_dims.feature_dim)
+        if self.config.use_greedy_partition:
+            return GreedyPatchScheduler(sched_cfg).plan_frame(
+                novel, sources, near, far)
+        return fixed_partition(novel, sources, near, far, sched_cfg)
+
+    # ------------------------------------------------------------------
+    def simulate_frame(self, workload: RenderWorkload, novel: Camera,
+                       sources: Sequence[Camera], near: float, far: float,
+                       keep_plan: bool = False) -> FrameSimulation:
+        """Simulate rendering one frame of ``workload`` from ``novel``."""
+        if len(sources) != workload.num_views:
+            raise ValueError(f"workload expects {workload.num_views} views, "
+                             f"got {len(sources)} cameras")
+        cfg = self.config
+        freq = cfg.frequency_hz
+        plan = self._plan(novel, sources, near, far, workload)
+        store = self._feature_store(workload, sources)
+        # On-chip copy of the layout: the prefetch scratchpads use the
+        # same interleaving scheme over their own bank count (Sec. 4.5).
+        sram_banks = cfg.engine.prefetch_sram.num_banks
+        sram_store = store
+
+        cube_cells = plan.image_height * plan.image_width * plan.depth_bins
+        points_per_cell = workload.fine_points_per_ray / plan.depth_bins
+
+        fetch_times = np.empty(plan.num_patches)
+        compute_times = np.empty(plan.num_patches)
+        pool_macs = 0.0
+        pool_busy_cycles = 0.0
+        dram_energy_pj = 0.0
+        sram_bytes = 0.0
+        sfu_ops = 0.0
+
+        for index, patch in enumerate(plan.patches):
+            bank_bytes, bank_acts = bank_load_for_footprints(
+                store, patch.footprints, cfg.dram.num_banks)
+            stats = self.dram.service(bank_bytes, bank_acts)
+            fetch_times[index] = stats.service_time_s
+            dram_energy_pj += stats.energy_pj
+
+            sram_bank_bytes, _ = bank_load_for_footprints(
+                sram_store, patch.resident_footprints, sram_banks)
+            balance = balance_factor(sram_bank_bytes)
+            cells = patch.num_pixels * patch.num_depth_bins
+            num_points = max(1, int(round(cells * points_per_cell)))
+            num_rays = patch.num_pixels
+            compute = self.engine.patch_compute(workload, num_points,
+                                                num_rays,
+                                                sram_balance=balance)
+            compute_times[index] = compute.cycles / freq
+            pool_macs += compute.pool_macs
+            pool_busy_cycles += compute.pool_cycles
+            sram_bytes += patch.prefetch_bytes * 2  # write then read
+            sfu_ops += self.engine.sfu.ops_for_points(num_points)
+
+        pipeline_s, engine_busy_s = PrefetchDoubleBuffer.pipeline_time(
+            fetch_times, compute_times)
+
+        # Stage 1: the lightweight coarse pass.  It reuses the same patch
+        # plan with the coarse model's views/channels; its traffic and
+        # compute scale accordingly (Sec. 4.5's two-stage execution).
+        coarse_time_s = 0.0
+        if workload.coarse_points > 0:
+            coarse_points_total = (plan.image_height * plan.image_width
+                                   * workload.coarse_points)
+            avg_points = max(1, int(round(coarse_points_total
+                                          / max(plan.num_patches, 1))))
+            compute = self.engine.patch_compute(
+                workload, avg_points, num_rays=0, coarse_stage=True)
+            coarse_compute_s = compute.cycles * plan.num_patches / freq
+            traffic_scale = ((workload.coarse_dims.feature_dim
+                              / workload.fine_dims.feature_dim)
+                             * (workload.coarse_views
+                                / max(workload.num_views, 1)))
+            coarse_bytes = plan.total_prefetch_bytes * traffic_scale
+            coarse_fetch_s = coarse_bytes / cfg.dram.peak_bandwidth_bytes
+            coarse_time_s = max(coarse_compute_s, coarse_fetch_s)
+            pool_macs += compute.pool_macs * plan.num_patches
+            pool_busy_cycles += compute.cycles * plan.num_patches
+            dram_energy_pj += coarse_bytes * cfg.dram.io_pj_per_byte
+            sram_bytes += coarse_bytes * 2
+
+        total_time_s = pipeline_s + coarse_time_s
+        exposed_data_s = max(0.0, pipeline_s - engine_busy_s)
+
+        # Scheduler run-ahead check: the partition for frame t+1 computes
+        # during frame t; hidden iff its cycles fit in the frame time.
+        sched = GreedyPatchScheduler(cfg.scheduler)
+        sched_cycles = sched.scheduling_cycles(len(sources),
+                                               plan.image_height,
+                                               plan.image_width)
+        scheduler_hidden = (sched_cycles / freq) <= total_time_s
+
+        peak_macs_per_s = cfg.engine.pool.macs_per_cycle * freq
+        pe_utilization = pool_macs / max(peak_macs_per_s * total_time_s, 1e-12)
+
+        energy_j = (pool_macs * cfg.energy.mac_int8_pj
+                    + sram_bytes * (cfg.energy.sram_read_pj_per_byte
+                                    + cfg.energy.sram_write_pj_per_byte) / 2
+                    + sfu_ops * cfg.energy.special_func_pj
+                    + dram_energy_pj) * 1e-12
+
+        return FrameSimulation(
+            config_name=cfg.name,
+            total_time_s=total_time_s,
+            data_time_s=exposed_data_s,
+            fetch_time_s=float(fetch_times.sum()),
+            compute_time_s=engine_busy_s,
+            coarse_time_s=coarse_time_s,
+            prefetch_bytes=plan.total_prefetch_bytes,
+            pool_macs=pool_macs,
+            pe_utilization=pe_utilization,
+            num_patches=plan.num_patches,
+            energy_j=energy_j,
+            scheduler_hidden=scheduler_hidden,
+            plan=plan if keep_plan else None,
+        )
+
+
+# Fig. 12 ablation variants -------------------------------------------------
+def variant_config(name: str) -> AcceleratorConfig:
+    """Named configurations of the dataflow/storage ablation.
+
+    * ``ours``  — greedy partition + spatial interleaving.
+    * ``var1``  — fixed {k, k, D} partition + spatial interleaving.
+    * ``var2``  — fixed partition + row-major storage (Fig. 6a).
+    * ``var3``  — fixed partition + view-wise interleaving.
+    """
+    base = AcceleratorConfig()
+    if name == "ours":
+        return base.variant(name="Gen-NeRF (ours)")
+    if name == "var1":
+        return base.variant(name="Var-1 (fixed slicing)",
+                            use_greedy_partition=False)
+    if name == "var2":
+        return base.variant(name="Var-2 (row-major storage)",
+                            use_greedy_partition=False,
+                            feature_layout="row_major")
+    if name == "var3":
+        return base.variant(name="Var-3 (view-wise storage)",
+                            use_greedy_partition=False,
+                            feature_layout="view_interleaved")
+    raise KeyError(f"unknown variant {name!r}")

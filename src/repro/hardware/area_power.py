@@ -1,0 +1,136 @@
+"""Area/power component model (paper Table 1, 28 nm @ 1 GHz).
+
+The paper synthesises Verilog with Cadence Genus on a commercial 28 nm
+library.  Offline we substitute a component model: per-unit area/power
+cost tables (MAC arrays, SRAM macros, special-function lanes, control)
+multiplied by the block's provisioned resources.  Unit constants were
+calibrated once so the four module rows reproduce Table 1 within a few
+percent; the calibration is asserted in
+``tests/hardware/test_area_power.py`` and the calibrated values are what
+:mod:`repro.hardware.accelerator` and the energy model consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .engine import EngineConfig
+from .scheduler import SchedulerConfig
+from .sram import SramConfig
+from .units import KB, MB
+
+
+# Calibrated 28 nm unit costs (area mm^2, power mW at 1 GHz, typical load).
+MAC_INT8_AREA_MM2 = 1.30e-3        # one INT8 MAC incl. pipeline registers
+MAC_INT8_POWER_MW = 0.74
+SRAM_AREA_MM2_PER_KB = 2.4e-3      # single-port scratchpad macro
+SRAM_POWER_MW_PER_KB = 0.82
+SFU_LANE_AREA_MM2 = 0.021          # exp/accumulate PE
+SFU_LANE_POWER_MW = 11.0
+SAMPLER_LANE_AREA_MM2 = 0.015      # RNG + comparator + CDF lane
+SAMPLER_LANE_POWER_MW = 8.0
+PROJECTOR_AREA_MM2 = 0.035         # 3x4 MAC array w/ divider, per lane
+PROJECTOR_POWER_MW = 18.0
+INTERP_LANE_AREA_MM2 = 0.053       # 4-corner blend datapath per lane
+INTERP_LANE_POWER_MW = 30.0
+CONTROL_AREA_MM2 = 0.045           # FSMs, queues, sequencers per block
+CONTROL_POWER_MW = 22.0
+COMPARATOR_BLOCK_AREA_MM2 = 0.030  # area comparator + update-mask FSM
+COMPARATOR_BLOCK_POWER_MW = 50.0
+
+
+@dataclass(frozen=True)
+class ModuleBudget:
+    """Area and typical power of one accelerator block."""
+
+    name: str
+    area_mm2: float
+    power_mw: float
+
+
+def workload_scheduler_budget(config: SchedulerConfig = SchedulerConfig()
+                              ) -> ModuleBudget:
+    """Top-left sequencer + mask bitmap + vertex projector + area
+    calculator/comparator + patch queue (Fig. 7 right)."""
+    mask_bitmap_kb = 8          # 1 bit per macro tile position, generous
+    queue_kb = 4
+    vertex_projector = 2 * PROJECTOR_AREA_MM2, 2 * PROJECTOR_POWER_MW
+    area_calc_macs = 48         # adder trees for shoelace + compare
+    area = (CONTROL_AREA_MM2 + COMPARATOR_BLOCK_AREA_MM2
+            + (mask_bitmap_kb + queue_kb) * SRAM_AREA_MM2_PER_KB
+            + vertex_projector[0]
+            + area_calc_macs * MAC_INT8_AREA_MM2)
+    power = (CONTROL_POWER_MW + COMPARATOR_BLOCK_POWER_MW
+             + (mask_bitmap_kb + queue_kb) * SRAM_POWER_MW_PER_KB
+             + vertex_projector[1]
+             + area_calc_macs * MAC_INT8_POWER_MW)
+    return ModuleBudget("Workload Scheduler", area, power)
+
+
+def preprocessing_unit_budget(config: EngineConfig = EngineConfig()
+                              ) -> ModuleBudget:
+    """Monte-Carlo sampler + projector + interpolator (Fig. 7 left)."""
+    ppu = config.ppu
+    area = (CONTROL_AREA_MM2
+            + ppu.sampler_lanes * SAMPLER_LANE_AREA_MM2
+            + ppu.projector_lanes * PROJECTOR_AREA_MM2
+            + ppu.interp_lanes * INTERP_LANE_AREA_MM2
+            + 16 * SRAM_AREA_MM2_PER_KB)        # CDF / staging buffers
+    power = (CONTROL_POWER_MW
+             + ppu.sampler_lanes * SAMPLER_LANE_POWER_MW
+             + ppu.projector_lanes * PROJECTOR_POWER_MW
+             + ppu.interp_lanes * INTERP_LANE_POWER_MW
+             + 16 * SRAM_POWER_MW_PER_KB)
+    return ModuleBudget("Preprocessing Unit (PPU)", area, power)
+
+
+def rendering_engine_budget(config: EngineConfig = EngineConfig()
+                            ) -> ModuleBudget:
+    """PE pool + local/weight buffers + SFU (engine minus the PPU)."""
+    pool = config.pool
+    macs = pool.num_arrays * pool.array.macs_per_cycle
+    local_buffer_kb = 256
+    weight_buffer_kb = 8
+    area = (macs * MAC_INT8_AREA_MM2
+            + (local_buffer_kb + weight_buffer_kb) * SRAM_AREA_MM2_PER_KB
+            + config.sfu.lanes * SFU_LANE_AREA_MM2
+            + 2 * CONTROL_AREA_MM2)
+    power = (macs * MAC_INT8_POWER_MW
+             + (local_buffer_kb + weight_buffer_kb) * SRAM_POWER_MW_PER_KB
+             + config.sfu.lanes * SFU_LANE_POWER_MW
+             + 2 * CONTROL_POWER_MW)
+    return ModuleBudget("Rendering Engine (except PPU)", area, power)
+
+
+def prefetch_buffer_budget(config: SramConfig = SramConfig()
+                           ) -> ModuleBudget:
+    """The pair of prefetch scratchpads (double buffer)."""
+    total_kb = 2 * config.capacity_bytes / KB
+    area = total_kb * SRAM_AREA_MM2_PER_KB + CONTROL_AREA_MM2
+    power = total_kb * SRAM_POWER_MW_PER_KB + 0.5 * CONTROL_POWER_MW
+    return ModuleBudget("Prefetch Buffer", area, power)
+
+
+def full_chip_budget() -> Dict[str, ModuleBudget]:
+    """All Table 1 rows plus the total."""
+    modules = {
+        "scheduler": workload_scheduler_budget(),
+        "ppu": preprocessing_unit_budget(),
+        "engine": rendering_engine_budget(),
+        "prefetch": prefetch_buffer_budget(),
+    }
+    total_area = sum(m.area_mm2 for m in modules.values())
+    total_power = sum(m.power_mw for m in modules.values())
+    modules["total"] = ModuleBudget("Total", total_area, total_power)
+    return modules
+
+
+# Paper Table 1 reference values for calibration tests.
+PAPER_TABLE1 = {
+    "scheduler": (0.24, 156.2),
+    "ppu": (1.24, 696.0),
+    "engine": (14.98, 8359.2),
+    "prefetch": (1.34, 473.6),
+    "total": (17.80, 9685.0),
+}

@@ -1,0 +1,111 @@
+"""LPDDR4 DRAM timing model (Ramulator substitute — see DESIGN.md).
+
+The paper feeds its cycle simulator with Ramulator's latency/energy for
+an LPDDR4-2400 part at 17.8 GB/s (the class used in AR/VR headsets,
+Sec. 5.1).  This model captures the two phenomena the evaluation leans
+on:
+
+* a hard bandwidth ceiling (data bytes / peak bandwidth), and
+* per-bank serialisation with row-buffer behaviour: accesses to a bank
+  pay the row cycle time on row misses, so a storage layout that piles
+  requests onto few banks (Fig. 6a) serialises while a balanced layout
+  (Fig. 6b) streams.
+
+Requests are aggregated per (bank, row-span) rather than replayed per
+beat — the simulator processes whole point-patch prefetches, and at that
+granularity the aggregate model matches a beat-level replay to within a
+few percent while staying fast enough to schedule full frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from .units import GB_PER_S
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """LPDDR4-2400-ish device; defaults match the paper's part."""
+
+    name: str = "LPDDR4-2400"
+    peak_bandwidth_bytes: float = 17.8 * GB_PER_S
+    num_banks: int = 8
+    row_bytes: int = 2048            # row buffer (page) size
+    t_rc_s: float = 60e-9            # row cycle (ACT..PRE..ACT) on a miss
+    t_burst_s: float = 3.33e-9       # 32-byte burst at 2400 MT/s x32
+    burst_bytes: int = 32
+    activate_energy_pj: float = 900.0
+    io_pj_per_byte: float = 18.0
+
+
+@dataclass
+class DramAccessStats:
+    """Outcome of servicing one aggregated access batch."""
+
+    bytes_transferred: float
+    service_time_s: float
+    row_activations: int
+    energy_pj: float
+
+    @property
+    def effective_bandwidth(self) -> float:
+        if self.service_time_s <= 0:
+            return 0.0
+        return self.bytes_transferred / self.service_time_s
+
+
+class DramModel:
+    """Bank-level service model for aggregated request batches."""
+
+    def __init__(self, config: DramConfig = DramConfig()):
+        self.config = config
+
+    def service(self, per_bank_bytes: Sequence[float],
+                per_bank_row_activations: Sequence[int]) -> DramAccessStats:
+        """Service a batch described by per-bank byte and activation counts.
+
+        Banks operate in parallel; each bank's busy time is its burst
+        time plus its row-activation penalty.  The channel data bus caps
+        the whole batch at peak bandwidth.
+        """
+        cfg = self.config
+        per_bank_bytes = np.asarray(per_bank_bytes, dtype=np.float64)
+        per_bank_acts = np.asarray(per_bank_row_activations, dtype=np.float64)
+        if per_bank_bytes.shape != per_bank_acts.shape:
+            raise ValueError("per-bank arrays must align")
+
+        total_bytes = float(per_bank_bytes.sum())
+        bursts = np.ceil(per_bank_bytes / cfg.burst_bytes)
+        bank_time = bursts * cfg.t_burst_s + per_bank_acts * cfg.t_rc_s
+        slowest_bank = float(bank_time.max()) if bank_time.size else 0.0
+        bus_time = total_bytes / cfg.peak_bandwidth_bytes
+        service_time = max(slowest_bank, bus_time)
+
+        energy = (total_bytes * cfg.io_pj_per_byte
+                  + float(per_bank_acts.sum()) * cfg.activate_energy_pj)
+        return DramAccessStats(bytes_transferred=total_bytes,
+                               service_time_s=service_time,
+                               row_activations=int(per_bank_acts.sum()),
+                               energy_pj=energy)
+
+    def stream_time(self, total_bytes: float) -> float:
+        """Best-case time: perfectly balanced, row-hit streaming."""
+        per_bank = total_bytes / self.config.num_banks
+        rows = np.ceil(per_bank / self.config.row_bytes)
+        stats = self.service([per_bank] * self.config.num_banks,
+                             [int(rows)] * self.config.num_banks)
+        return stats.service_time_s
+
+
+# Device DRAM configs used by the baseline models (paper Table 4).
+LPDDR4_2400 = DramConfig()
+LPDDR4_1600_TX2 = DramConfig(name="LPDDR4-1600 (Jetson TX2)",
+                             peak_bandwidth_bytes=25.6 * GB_PER_S,
+                             t_burst_s=5.0e-9)
+GDDR6_2080TI = DramConfig(name="GDDR6 (RTX 2080Ti)",
+                          peak_bandwidth_bytes=616.0 * GB_PER_S,
+                          num_banks=32, t_burst_s=0.2e-9)

@@ -1,0 +1,159 @@
+"""Rendering engine compute model: PPU + PE pool + SFU per point patch.
+
+Maps the paper-scale generalizable-NeRF layers
+(:class:`repro.models.workload.PaperScaleDims`) onto the PE pool's
+systolic arrays as batched GEMMs, and the sampling/projection/
+interpolation and compositing work onto the PPU and SFU.  Steps 1-4 run
+pipelined (paper Sec. 4.5), so a patch's compute time is bounded by its
+slowest stage.
+
+The Ray-Mixer (and Step 5 compositing) need a whole ray; thanks to the
+scheduler's constraint (1) the depth patches of a pixel tile are
+processed back-to-back, and the mixer cost is amortised per depth slab
+here (its total per-frame cost is exact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..models.workload import (DIRECTION_DIM, PaperScaleDims, RGB_DIM,
+                               RenderWorkload)
+from .pe_pool import PePool, PePoolConfig, PoolExecution
+from .preprocessing import PreprocessingConfig, PreprocessingUnit
+from .special_function import SfuConfig, SpecialFunctionUnit
+from .sram import SramConfig
+from .systolic import GemmShape
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    pool: PePoolConfig = PePoolConfig()
+    ppu: PreprocessingConfig = PreprocessingConfig()
+    sfu: SfuConfig = SfuConfig()
+    prefetch_sram: SramConfig = SramConfig()
+
+
+@dataclass
+class PatchCompute:
+    """Cycle breakdown for one patch's compute."""
+
+    ppu_cycles: float
+    pool_cycles: float
+    sfu_cycles: float
+    pool_macs: float
+
+    @property
+    def cycles(self) -> float:
+        """Pipelined stages: throughput set by the slowest stage."""
+        return max(self.ppu_cycles, self.pool_cycles, self.sfu_cycles)
+
+
+def point_network_gemms(dims: PaperScaleDims, num_points: int,
+                        num_views: int) -> List[GemmShape]:
+    """GEMM list for the per-point network over a batch of points."""
+    view_in = dims.feature_dim + RGB_DIM + DIRECTION_DIM
+    h1, h2, hd = dims.view_hidden, dims.score_hidden, dims.density_hidden
+    return [
+        GemmShape(num_points, view_in, h1, count=num_views),     # view MLP 1
+        GemmShape(num_points, h1, h1, count=num_views),          # view MLP 2
+        GemmShape(num_points, 3 * h1, h2, count=num_views),      # score 1
+        GemmShape(num_points, h2, 1, count=num_views),           # score 2
+        GemmShape(num_points, 2 * h1 + DIRECTION_DIM, h2,
+                  count=num_views),                              # colour 1
+        GemmShape(num_points, h2, 1, count=num_views),           # colour 2
+        GemmShape(num_points, 2 * h1, hd),                       # density 1
+        GemmShape(num_points, hd, dims.density_feature_dim),     # density 2
+    ]
+
+
+def ray_module_gemms(workload: RenderWorkload, num_rays: int
+                     ) -> List[GemmShape]:
+    """GEMM list for the cross-point module over ``num_rays`` rays."""
+    dims = workload.fine_dims
+    d_sigma = dims.density_feature_dim
+    if workload.ray_module == "mixer":
+        n = workload.n_max
+        return [
+            GemmShape(d_sigma, n, n, count=num_rays),        # W1 token mix
+            GemmShape(n, d_sigma, d_sigma, count=num_rays),  # W2 channel mix
+            GemmShape(n, d_sigma, 1, count=num_rays),        # W3 head
+        ]
+    if workload.ray_module == "none":
+        return [GemmShape(int(workload.fine_points_per_ray), d_sigma, 1,
+                          count=num_rays)]
+    # Transformer: QKV/out projections (weight-shared) plus the two
+    # attention matmuls, whose operands are per-ray dynamic data — the
+    # systolic arrays must reload them per ray (shared_weights=False),
+    # which is the micro-architectural cost of attention the Ray-Mixer
+    # removes (Sec. 3.3).
+    points = int(round(workload.fine_points_per_ray))
+    qk = dims.transformer_qk_dim
+    return [
+        GemmShape(points, d_sigma, qk, count=4 * num_rays),
+        GemmShape(points, qk, points, count=num_rays,
+                  shared_weights=False),                 # scores
+        GemmShape(points, points, qk, count=num_rays,
+                  shared_weights=False),                 # mix
+        GemmShape(points, d_sigma, 1, count=num_rays),   # head
+    ]
+
+
+class RenderingEngine:
+    """Compute-side model shared by all accelerator variants."""
+
+    def __init__(self, config: EngineConfig = EngineConfig()):
+        self.config = config
+        self.pool = PePool(config.pool)
+        self.ppu = PreprocessingUnit(config.ppu, config.prefetch_sram)
+        self.sfu = SpecialFunctionUnit(config.sfu)
+        self._cache: Dict[Tuple, PatchCompute] = {}
+
+    def patch_compute(self, workload: RenderWorkload, num_points: int,
+                      num_rays: int, sram_balance: float = 1.0,
+                      coarse_stage: bool = False) -> PatchCompute:
+        """Cycle breakdown for a patch with ``num_points`` samples from
+        ``num_rays`` rays.
+
+        ``coarse_stage`` selects the lightweight coarse model (stage 1 of
+        the two-stage rendering flow, Sec. 4.5).
+        """
+        # RenderWorkload is a frozen dataclass, so it hashes by value —
+        # never key on id(): CPython reuses addresses after GC and a
+        # stale hit would silently time the wrong configuration.
+        key = (num_points, num_rays, round(sram_balance, 3), coarse_stage,
+               workload)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        if coarse_stage:
+            dims = workload.coarse_dims
+            views = workload.coarse_views
+        else:
+            dims = workload.fine_dims
+            views = workload.num_views
+        gemms = point_network_gemms(dims, num_points, views)
+
+        execution = self.pool.run(gemms)
+        pool_cycles = execution.cycles
+        pool_macs = execution.macs
+        if not coarse_stage and num_rays > 0:
+            # Fraction of each ray's points contained in this patch.
+            fraction = min(1.0, (num_points / max(num_rays, 1))
+                           / max(workload.fine_points_per_ray, 1e-9))
+            module = self.pool.run(ray_module_gemms(workload, num_rays))
+            pool_cycles += module.cycles * fraction
+            pool_macs += module.macs * fraction
+
+        ppu_cycles = self.ppu.cycles_for_patch(num_points, views,
+                                               dims.feature_dim,
+                                               sram_balance)
+        sfu_cycles = self.sfu.cycles_for_points(num_points)
+        result = PatchCompute(ppu_cycles=ppu_cycles, pool_cycles=pool_cycles,
+                              sfu_cycles=sfu_cycles, pool_macs=pool_macs)
+        self._cache[key] = result
+        return result

@@ -1,0 +1,80 @@
+"""ICARUS baseline (Rao et al., 2022) — reported-number comparison.
+
+The paper benchmarks against ICARUS using ICARUS's own published
+figures (Table 4), since no RTL or simulator is available; we mirror
+that: this module is a spec table, not a performance model.  ICARUS
+accelerates the *vanilla* per-scene NeRF (MLP-dominated), so it has no
+scene-feature acquisition stage at all — which is exactly why the paper
+argues it "cannot well handle the data movement cost in generalizable
+NeRFs" (Sec. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AcceleratorSpec:
+    """One row of the paper's Table 4."""
+
+    name: str
+    sram_mb: float
+    area_mm2: float
+    frequency_ghz: float
+    dram: str
+    bandwidth_gb_s: float
+    technology_nm: int
+    typical_power_w: float
+    typical_fps: float
+
+
+ICARUS = AcceleratorSpec(
+    name="ICARUS",
+    sram_mb=0.96,
+    area_mm2=16.5,
+    frequency_ghz=0.4,
+    dram="-",
+    bandwidth_gb_s=0.0,
+    technology_nm=40,
+    typical_power_w=0.2828,
+    typical_fps=0.02,
+)
+
+GEN_NERF_SPEC = AcceleratorSpec(
+    name="Gen-NeRF",
+    sram_mb=0.8,
+    area_mm2=17.80,
+    frequency_ghz=1.0,
+    dram="LPDDR4-2400",
+    bandwidth_gb_s=17.8,
+    technology_nm=28,
+    typical_power_w=9.7,
+    typical_fps=24.9,
+)
+
+JETSON_TX2_SPEC = AcceleratorSpec(
+    name="Jetson TX2",
+    sram_mb=2.5,
+    area_mm2=350.0,
+    frequency_ghz=0.9,
+    dram="LPDDR4-1600",
+    bandwidth_gb_s=25.6,
+    technology_nm=16,
+    typical_power_w=10.0,
+    typical_fps=0.003,
+)
+
+RTX_2080TI_SPEC = AcceleratorSpec(
+    name="RTX 2080Ti",
+    sram_mb=29.5,
+    area_mm2=754.0,
+    frequency_ghz=1.35,
+    dram="GDDR6",
+    bandwidth_gb_s=616.0,
+    technology_nm=12,
+    typical_power_w=250.0,
+    typical_fps=0.096,
+)
+
+TABLE4_PAPER_ROWS = (GEN_NERF_SPEC, ICARUS, JETSON_TX2_SPEC, RTX_2080TI_SPEC)

@@ -1,0 +1,182 @@
+"""Scene-feature storage layouts and bank mapping (paper Sec. 4.4, Fig. 6).
+
+Scene features have shape (S, Hs, Ws, C).  How their elements map onto
+DRAM/SRAM banks decides whether a point patch's footprint — a compact 2D
+region per source view (projection locality, Property-3) — can be
+fetched from all banks in parallel:
+
+* ``row_major``       — Fig. 6(a): consecutive feature rows fill a bank
+  before moving on; a local 2D footprint lands on one or two banks.
+* ``row_interleaved`` — Var-2 of Fig. 12: whole feature rows round-robin
+  over banks; a footprint with few rows loads few banks.
+* ``view_interleaved``— Var-3: banks partitioned by source view, so at
+  most S banks ever serve a prefetch and per-view footprint imbalance
+  concentrates traffic further.
+* ``spatial_interleaved`` — the paper's scheme, Fig. 6(b): neighbouring
+  (h, w) locations map to different banks along both axes via a skewed
+  assignment ``bank = (skew * row + col) mod B``, so any local 2D region
+  — even a one-or-two-row epipolar stripe — spreads evenly.
+
+A patch footprint is a rectangle of feature locations per view; bank
+loads for a rectangle are computed exactly from residue counts (O(banks)
+per rectangle, not O(area)), which keeps full-frame schedules cheap.
+The resulting per-bank (bytes, activations) arrays feed
+:class:`repro.hardware.dram.DramModel`; their imbalance is what Fig. 12's
+Var-2/Var-3 ablation measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+LAYOUTS = ("row_major", "row_interleaved", "view_interleaved",
+           "spatial_interleaved")
+
+
+@dataclass(frozen=True)
+class FootprintRegion:
+    """A patch's feature footprint on one source view (feature pixels)."""
+
+    view: int
+    row0: int
+    row1: int          # exclusive
+    col0: int
+    col1: int          # exclusive
+
+    @property
+    def num_rows(self) -> int:
+        return max(0, self.row1 - self.row0)
+
+    @property
+    def num_cols(self) -> int:
+        return max(0, self.col1 - self.col0)
+
+    @property
+    def num_locations(self) -> int:
+        return self.num_rows * self.num_cols
+
+
+def spatial_skew(num_banks: int) -> int:
+    """Row skew of the spatial interleaving; coprime-ish with the bank
+    count so vertical stripes also spread (3 works for 8/16 banks)."""
+    skew = max(1, num_banks // 2 - 1)
+    while num_banks % skew == 0 and skew > 1:
+        skew -= 1
+    return skew
+
+
+def _residue_counts(start: int, stop: int, modulus: int) -> np.ndarray:
+    """How many integers in [start, stop) fall in each residue class."""
+    length = max(0, stop - start)
+    counts = np.full(modulus, length // modulus, dtype=np.int64)
+    remainder = length % modulus
+    if remainder:
+        first = start % modulus
+        wrapped = (first + np.arange(remainder)) % modulus
+        np.add.at(counts, wrapped, 1)
+    return counts
+
+
+@dataclass(frozen=True)
+class FeatureStore:
+    """Geometry and layout of the stored scene features."""
+
+    num_views: int
+    height: int               # Hs (feature map rows)
+    width: int                # Ws
+    channels: int             # C
+    bytes_per_element: int = 1
+    layout: str = "spatial_interleaved"
+
+    def __post_init__(self):
+        if self.layout not in LAYOUTS:
+            raise ValueError(f"unknown layout {self.layout!r}; "
+                             f"choose from {LAYOUTS}")
+
+    @property
+    def location_bytes(self) -> int:
+        """Bytes of one (h, w) feature vector (C channels, packed)."""
+        return self.channels * self.bytes_per_element
+
+    @property
+    def total_bytes(self) -> int:
+        return self.num_views * self.height * self.width * self.location_bytes
+
+    # ------------------------------------------------------------------
+    def rectangle_bank_load(self, region: FootprintRegion, num_banks: int
+                            ) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact per-bank (location counts, row activations) for a
+        rectangular footprint under this layout.
+
+        Row activations count distinct (bank, feature-row) pairs — each
+        feature row a bank touches costs one DRAM row activation in the
+        aggregate model (feature rows are row-buffer sized or smaller at
+        the paper's map sizes).
+        """
+        loads = np.zeros(num_banks, dtype=np.int64)
+        acts = np.zeros(num_banks, dtype=np.int64)
+        rows, cols = region.num_rows, region.num_cols
+        if rows <= 0 or cols <= 0:
+            return loads, acts
+
+        if self.layout == "row_major":
+            rows_per_bank = max(1, (self.num_views * self.height)
+                                // num_banks)
+            flat0 = region.view * self.height + region.row0
+            for flat in range(flat0, flat0 + rows):
+                bank = min(flat // rows_per_bank, num_banks - 1)
+                loads[bank] += cols
+                acts[bank] += 1
+            return loads, acts
+
+        if self.layout == "row_interleaved":
+            flat0 = region.view * self.height + region.row0
+            row_counts = _residue_counts(flat0, flat0 + rows, num_banks)
+            loads += row_counts * cols
+            acts += row_counts
+            return loads, acts
+
+        if self.layout == "view_interleaved":
+            bank = region.view % num_banks
+            loads[bank] = rows * cols
+            acts[bank] = rows
+            return loads, acts
+
+        # spatial_interleaved: skewed mapping
+        # bank = (skew * row + col) mod num_banks.  Within one feature
+        # row the columns sweep residues contiguously, so per-row loads
+        # reduce to a residue count with a row-dependent offset.
+        skew = spatial_skew(num_banks)
+        for row in range(region.row0, region.row1):
+            offset = skew * row
+            row_counts = _residue_counts(offset + region.col0,
+                                         offset + region.col1, num_banks)
+            loads += row_counts
+            acts += (row_counts > 0).astype(np.int64)
+        return loads, acts
+
+
+def bank_load_for_footprints(store: FeatureStore,
+                             footprints: Sequence[FootprintRegion],
+                             num_banks: int
+                             ) -> Tuple[np.ndarray, np.ndarray]:
+    """Aggregate per-bank (bytes, activations) over several footprints."""
+    bytes_per_bank = np.zeros(num_banks, dtype=np.float64)
+    acts_per_bank = np.zeros(num_banks, dtype=np.int64)
+    for region in footprints:
+        loads, acts = store.rectangle_bank_load(region, num_banks)
+        bytes_per_bank += loads * float(store.location_bytes)
+        acts_per_bank += acts
+    return bytes_per_bank, acts_per_bank
+
+
+def balance_factor(bytes_per_bank: np.ndarray) -> float:
+    """Mean/max bank load in (0, 1]; 1.0 means perfectly balanced."""
+    loads = np.asarray(bytes_per_bank, dtype=np.float64)
+    peak = loads.max()
+    if peak <= 0:
+        return 1.0
+    return float(loads.mean() / peak)

@@ -1,0 +1,70 @@
+"""PE pool: 40 systolic arrays executing the MLP and Ray-Mixer workloads.
+
+The pool (paper Fig. 7) is the rendering engine's main compute block.
+Because Gen-NeRF unified the workload to FC layers only (Ray-Mixer
+replacing attention), the pool runs one kind of kernel: batched GEMMs.
+Work is distributed across arrays at GEMM-instance / M-tile granularity;
+the model charges the slowest array (barrel distribution), which for the
+large point batches of a patch is near-perfectly balanced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from .systolic import GemmShape, SystolicConfig, gemm_cycles
+
+
+@dataclass(frozen=True)
+class PePoolConfig:
+    num_arrays: int = 40
+    array: SystolicConfig = SystolicConfig()
+
+    @property
+    def macs_per_cycle(self) -> int:
+        return self.num_arrays * self.array.macs_per_cycle
+
+
+@dataclass
+class PoolExecution:
+    """Result of running a GEMM list on the pool."""
+
+    cycles: float
+    macs: float
+
+
+class PePool:
+    """Cycle model of the 40-array pool."""
+
+    def __init__(self, config: PePoolConfig = PePoolConfig()):
+        self.config = config
+
+    def run(self, gemms: Sequence[GemmShape]) -> PoolExecution:
+        """Execute the GEMMs, splitting each along its M dimension.
+
+        Each GEMM's instances x M-rows are sliced over the arrays; a
+        GEMM therefore runs in ~1/num_arrays of its single-array time
+        plus a fill quantum, and GEMMs execute back-to-back (the layers
+        of one batch are dependent, so no inter-GEMM overlap).
+        """
+        arrays = self.config.num_arrays
+        total_cycles = 0.0
+        total_macs = 0.0
+        for shape in gemms:
+            if shape.macs <= 0:
+                continue
+            work_units = shape.count * max(1, int(np.ceil(
+                shape.m / self.config.array.rows)))
+            parallel = min(arrays, work_units)
+            single = gemm_cycles(shape, self.config.array)
+            total_cycles += single / parallel + self.config.array.fill_overhead
+            total_macs += shape.macs
+        return PoolExecution(cycles=total_cycles, macs=total_macs)
+
+    def utilization(self, execution: PoolExecution) -> float:
+        """Useful MACs over provisioned MAC slots for the execution."""
+        provisioned = execution.cycles * self.config.macs_per_cycle
+        return 0.0 if provisioned <= 0 else execution.macs / provisioned

@@ -1,0 +1,83 @@
+"""Preprocessing unit: focused sampling + projection + interpolation.
+
+Paper Fig. 7 (left): the PPU contains
+
+* a Monte-Carlo sampler — PDF-to-CDF conversion, uniform RNG, and a
+  comparator array implementing inverse-transform sampling (Step 3 of
+  the coarse-then-focus pipeline);
+* a projector — MAC array applying the 3x4 projective transform to map
+  sampled points onto source image planes (Step 2);
+* an interpolator — fetches the four neighbouring feature vectors from
+  the prefetch buffer and blends them bilinearly.
+
+Each block is modelled with lane-level throughput; the interpolator's
+SRAM reads are charged against the prefetch buffer's banked ports with
+the balance factor of the configured storage layout, which is how an
+unfortunate on-chip layout (Fig. 12 Var-2/3) throttles the engine even
+when DRAM keeps up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .sram import SramBank, SramConfig
+
+
+@dataclass(frozen=True)
+class PreprocessingConfig:
+    sampler_lanes: int = 16        # inverse-CDF comparisons per cycle
+    cdf_ops_per_point: int = 3     # scan + compare + lerp
+    projector_lanes: int = 8       # points projected per cycle per view lane
+    projector_macs_per_point: int = 12   # 3x4 transform + divide
+    interp_lanes: int = 12         # points interpolated per cycle
+    # Effective corner fetches per (point, view): bilinear needs 4, but
+    # consecutive points on a ray project to adjacent feature locations
+    # (Property-1 locality), so half the corners are register-reused.
+    corner_reads_per_point: int = 2
+
+
+class PreprocessingUnit:
+    """Cycle model of the PPU."""
+
+    def __init__(self, config: PreprocessingConfig = PreprocessingConfig(),
+                 buffer_config: SramConfig = SramConfig()):
+        self.config = config
+        self.buffer = SramBank(buffer_config)
+
+    def sampling_cycles(self, num_points: float) -> float:
+        """Inverse-transform sampling of the focused points."""
+        return num_points * self.config.cdf_ops_per_point \
+            / self.config.sampler_lanes
+
+    def projection_cycles(self, num_points: float, num_views: int) -> float:
+        """Project each sampled point onto every source view."""
+        return num_points * num_views / self.config.projector_lanes
+
+    def interpolation_cycles(self, num_points: float, num_views: int,
+                             channels: int, sram_balance: float = 1.0
+                             ) -> float:
+        """Bilinear feature interpolation, throttled by buffer ports.
+
+        Each (point, view) reads 4 corner feature vectors of ``channels``
+        bytes (INT8) from the prefetch buffer and blends them; the read
+        side is charged on the banked SRAM with the layout's balance.
+        """
+        blends = num_points * num_views / self.config.interp_lanes
+        read_bytes = (num_points * num_views
+                      * self.config.corner_reads_per_point * channels)
+        reads = self.buffer.read_cycles(read_bytes, balance=sram_balance)
+        return max(blends, reads)
+
+    def cycles_for_patch(self, num_points: float, num_views: int,
+                         channels: int, sram_balance: float = 1.0) -> float:
+        """Total PPU cycles for a point patch (stages are pipelined, so
+        the slowest stage bounds throughput; sampling is per point,
+        projection/interpolation per point-view)."""
+        stages = (
+            self.sampling_cycles(num_points),
+            self.projection_cycles(num_points, num_views),
+            self.interpolation_cycles(num_points, num_views, channels,
+                                      sram_balance),
+        )
+        return max(stages)

@@ -1,0 +1,448 @@
+"""Workload scheduler: greedy 3D-point-patch partition (paper Sec. 4.3).
+
+The H x W x D workload cube (pixels x pixels x depth bins) is divided
+into point patches processed one prefetch at a time.  For each *local
+region* (a macro tile of the image times the full depth range — "the
+same number of 3D sampled points" per region, as the paper specifies)
+the scheduler evaluates M candidate patch shapes {dh, dw, dd}: each
+candidate's frusta are projected onto every source view (the *vertex
+projector*), the covered tetragon areas estimate the prefetch bytes (the
+*area calculator*), and the shape minimising bytes-per-point wins (the
+*area comparator*) subject to the paper's two constraints:
+
+1. patches at the same (h, w) share one partition across depth — here by
+   construction, since a candidate fixes (dh, dw) for a whole region;
+2. a patch's prefetch bytes must fit the prefetch buffer.
+
+The run-time cost of scheduling itself is modelled
+(:meth:`GreedyPatchScheduler.scheduling_cycles`) so the claim that the
+scheduler keeps ahead of the rendering engine is testable.
+
+``fixed_partition`` provides Fig. 12's Var-1 baseline: constant
+{k, k, D} patches sliced along rows/columns with the largest k that fits
+the buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry.camera import Camera
+from .interleave import FeatureStore, FootprintRegion
+from .units import KB
+
+
+@dataclass(frozen=True)
+class PatchShape:
+    """A candidate patch shape in workload-cube units."""
+
+    dh: int
+    dw: int
+    dd: int
+
+    @property
+    def cells(self) -> int:
+        return self.dh * self.dw * self.dd
+
+
+DEFAULT_CANDIDATES: Tuple[PatchShape, ...] = (
+    PatchShape(32, 32, 8),
+    PatchShape(32, 32, 16),
+    PatchShape(16, 16, 16),
+    PatchShape(16, 16, 64),
+    PatchShape(8, 8, 64),
+    PatchShape(16, 32, 16),
+    PatchShape(32, 16, 16),
+)
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Static configuration of the partition."""
+
+    depth_bins: int = 64
+    macro_tile: int = 32
+    candidates: Tuple[PatchShape, ...] = DEFAULT_CANDIDATES
+    buffer_bytes: int = 256 * KB
+    feature_scale: float = 0.5
+    channels: int = 32
+    bytes_per_element: int = 1
+    guard_band: float = 2.0     # bilinear guard ring in feature pixels
+
+    def __post_init__(self):
+        for cand in self.candidates:
+            if self.macro_tile % cand.dh or self.macro_tile % cand.dw:
+                raise ValueError(f"candidate {cand} does not tile the "
+                                 f"{self.macro_tile}px macro tile")
+            if self.depth_bins % cand.dd:
+                raise ValueError(f"candidate {cand} does not divide "
+                                 f"depth_bins={self.depth_bins}")
+
+
+@dataclass
+class Patch:
+    """One scheduled point patch.
+
+    ``footprints`` describe the DRAM-visible *delta* regions actually
+    fetched (after on-chip reuse of the previous slab's overlap);
+    ``resident_footprints`` the full per-view regions resident in the
+    prefetch buffer while the patch computes — the interpolator's SRAM
+    reads spread over the banks holding these.
+    """
+
+    h0: int
+    h1: int
+    w0: int
+    w1: int
+    d0: int
+    d1: int
+    prefetch_bytes: float
+    footprints: List[FootprintRegion]
+    resident_footprints: List[FootprintRegion] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.resident_footprints:
+            self.resident_footprints = list(self.footprints)
+
+    @property
+    def num_pixels(self) -> int:
+        return (self.h1 - self.h0) * (self.w1 - self.w0)
+
+    @property
+    def num_depth_bins(self) -> int:
+        return self.d1 - self.d0
+
+
+@dataclass
+class FramePlan:
+    """Output of scheduling one frame."""
+
+    patches: List[Patch]
+    total_prefetch_bytes: float
+    candidate_histogram: Dict[PatchShape, int]
+    image_height: int
+    image_width: int
+    depth_bins: int
+
+    @property
+    def num_patches(self) -> int:
+        return len(self.patches)
+
+    def bytes_per_cube_cell(self) -> float:
+        cells = self.image_height * self.image_width * self.depth_bins
+        return self.total_prefetch_bytes / max(cells, 1)
+
+
+def _polygon_areas(points: np.ndarray) -> np.ndarray:
+    """Areas of near-convex point sets (T, K, 2) via centroid-angle sort.
+
+    Exact for points in convex position (true for projected frustum
+    corners away from degeneracies); a documented estimator otherwise —
+    this is the same quantity the hardware's area calculator produces
+    from the projected tetragon.
+    """
+    centroid = points.mean(axis=1, keepdims=True)
+    angles = np.arctan2(points[..., 1] - centroid[..., 1],
+                        points[..., 0] - centroid[..., 0])
+    order = np.argsort(angles, axis=1)
+    ordered = np.take_along_axis(points, order[..., None], axis=1)
+    x, y = ordered[..., 0], ordered[..., 1]
+    x_next = np.roll(x, -1, axis=1)
+    y_next = np.roll(y, -1, axis=1)
+    return 0.5 * np.abs(np.sum(x * y_next - y * x_next, axis=1))
+
+
+class GreedyPatchScheduler:
+    """Software model of the workload scheduler block (Fig. 7, right)."""
+
+    def __init__(self, config: SchedulerConfig = SchedulerConfig()):
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def _tile_grid(self, height: int, width: int, shape: PatchShape
+                   ) -> Tuple[np.ndarray, np.ndarray]:
+        hs = np.arange(0, height, shape.dh)
+        ws = np.arange(0, width, shape.dw)
+        grid_h, grid_w = np.meshgrid(hs, ws, indexing="ij")
+        return grid_h.ravel(), grid_w.ravel()
+
+    def _frustum_corners(self, novel: Camera, h0: np.ndarray, w0: np.ndarray,
+                         h1: np.ndarray, w1: np.ndarray, depth_lo: float,
+                         depth_hi: float) -> np.ndarray:
+        """(T, 8, 3) world corners for T pixel tiles at a depth slab."""
+        tiles = h0.shape[0]
+        pixel_corners = np.stack([
+            np.stack([w0, h0], axis=-1),
+            np.stack([w1, h0], axis=-1),
+            np.stack([w1, h1], axis=-1),
+            np.stack([w0, h1], axis=-1),
+        ], axis=1).astype(np.float64)                      # (T, 4, 2)
+        corners = np.empty((tiles, 8, 3))
+        for index, depth in enumerate((depth_lo, depth_hi)):
+            pts = novel.unproject(pixel_corners.reshape(-1, 2),
+                                  np.full(tiles * 4, depth))
+            corners[:, index * 4:(index + 1) * 4, :] = pts.reshape(tiles, 4, 3)
+        return corners
+
+    def _footprint_stats(self, corners: np.ndarray, source: Camera
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-tile (location count, bbox rows/cols) on one source view.
+
+        Returns ``(locations, bbox)`` with bbox as (T, 4) int arrays of
+        (row0, row1, col0, col1) at feature resolution, clipped to the
+        feature map.  Tiles with corners behind the camera are charged
+        the full feature map (worst case, forcing the comparator away
+        from such shapes).
+        """
+        cfg = self.config
+        feat_w = max(1, int(round(source.intrinsics.width * cfg.feature_scale)))
+        feat_h = max(1, int(round(source.intrinsics.height * cfg.feature_scale)))
+        tiles = corners.shape[0]
+
+        pixels, depth = source.project(corners.reshape(-1, 3),
+                                       return_depth=True)
+        pixels = (pixels * cfg.feature_scale).reshape(tiles, 8, 2)
+        depth = depth.reshape(tiles, 8)
+        bad = (depth <= 1e-9).any(axis=1)
+
+        clipped = np.clip(pixels, [0.0, 0.0], [feat_w - 1.0, feat_h - 1.0])
+        areas = _polygon_areas(clipped)
+        col0 = np.floor(clipped[..., 0].min(axis=1)).astype(np.int64)
+        col1 = np.ceil(clipped[..., 0].max(axis=1)).astype(np.int64) + 1
+        row0 = np.floor(clipped[..., 1].min(axis=1)).astype(np.int64)
+        row1 = np.ceil(clipped[..., 1].max(axis=1)).astype(np.int64) + 1
+
+        guard = cfg.guard_band * ((row1 - row0) + (col1 - col0))
+        locations = np.minimum(areas + guard, float(feat_w * feat_h))
+        locations = np.where(bad, float(feat_w * feat_h), locations)
+        row0 = np.where(bad, 0, row0)
+        row1 = np.where(bad, feat_h, row1)
+        col0 = np.where(bad, 0, col0)
+        col1 = np.where(bad, feat_w, col1)
+        bbox = np.stack([row0, row1, col0, col1], axis=-1)
+        return locations, bbox
+
+    # ------------------------------------------------------------------
+    def evaluate_candidate(self, novel: Camera, sources: Sequence[Camera],
+                           height: int, width: int, shape: PatchShape,
+                           near: float, far: float):
+        """Per-tile prefetch costs for one candidate over the whole frame.
+
+        Returns ``(h0, w0, h1, w1, full_bytes, delta_bytes, delta_locs,
+        bboxes)`` where arrays are per-tile-per-slab(-per-view):
+
+        * ``full_bytes`` (T, n_slabs) — complete footprint of each slab
+          patch; this is what must *fit the prefetch buffer*.
+        * ``delta_bytes``/``delta_locs`` — DRAM traffic after delta
+          fetching: consecutive depth slabs of a tile are processed
+          back-to-back (scheduler constraint 1), so the overlap with the
+          previous slab's footprint is serviced buffer-to-buffer on chip
+          and only the new region is fetched from DRAM.
+        * ``bboxes`` (T, n_slabs, S, 4) — feature-map bounding boxes.
+        """
+        cfg = self.config
+        h0, w0 = self._tile_grid(height, width, shape)
+        h1 = np.minimum(h0 + shape.dh, height)
+        w1 = np.minimum(w0 + shape.dw, width)
+        n_slabs = cfg.depth_bins // shape.dd
+        tiles = h0.shape[0]
+        num_views = len(sources)
+
+        locs = np.zeros((tiles, n_slabs, num_views))
+        bboxes = np.zeros((tiles, n_slabs, num_views, 4), dtype=np.int64)
+        for slab in range(n_slabs):
+            depth_lo = near + (far - near) * (slab * shape.dd) / cfg.depth_bins
+            depth_hi = near + (far - near) * ((slab + 1) * shape.dd) \
+                / cfg.depth_bins
+            corners = self._frustum_corners(novel, h0, w0, h1, w1,
+                                            depth_lo, depth_hi)
+            for view, source in enumerate(sources):
+                locations, bbox = self._footprint_stats(corners, source)
+                locs[:, slab, view] = locations
+                bboxes[:, slab, view] = bbox
+
+        delta_locs = locs.copy()
+        for slab in range(1, n_slabs):
+            prev = bboxes[:, slab - 1]
+            curr = bboxes[:, slab]
+            inter_rows = np.maximum(
+                0, np.minimum(prev[..., 1], curr[..., 1])
+                - np.maximum(prev[..., 0], curr[..., 0]))
+            inter_cols = np.maximum(
+                0, np.minimum(prev[..., 3], curr[..., 3])
+                - np.maximum(prev[..., 2], curr[..., 2]))
+            area = np.maximum(
+                (curr[..., 1] - curr[..., 0])
+                * (curr[..., 3] - curr[..., 2]), 1)
+            overlap_fraction = np.clip(inter_rows * inter_cols / area, 0, 1)
+            delta_locs[:, slab] *= (1.0 - overlap_fraction)
+        delta_locs = np.maximum(delta_locs, 16.0)   # control-granule floor
+
+        elem = cfg.channels * cfg.bytes_per_element
+        full_bytes = locs.sum(axis=2) * elem
+        delta_bytes = delta_locs.sum(axis=2) * elem
+        return h0, w0, h1, w1, full_bytes, delta_bytes, delta_locs, bboxes
+
+    def plan_frame(self, novel: Camera, sources: Sequence[Camera],
+                   near: float, far: float) -> FramePlan:
+        """Greedy partition of the whole frame (Fig. 5 flow)."""
+        cfg = self.config
+        height = novel.intrinsics.height
+        width = novel.intrinsics.width
+        macro = cfg.macro_tile
+        macro_rows = int(np.ceil(height / macro))
+        macro_cols = int(np.ceil(width / macro))
+        num_macros = macro_rows * macro_cols
+
+        per_candidate = []
+        macro_cost = np.full((len(cfg.candidates), num_macros), np.inf)
+        for c_index, shape in enumerate(cfg.candidates):
+            evaluated = self.evaluate_candidate(novel, sources, height,
+                                                width, shape, near, far)
+            h0, w0, h1, w1, full_bytes, delta_bytes, delta_locs, bboxes = \
+                evaluated
+            per_candidate.append(evaluated)
+            macro_index = (h0 // macro) * macro_cols + (w0 // macro)
+            tile_total = delta_bytes.sum(axis=1)     # DRAM traffic (greedy
+            # minimises memory accesses, Fig. 5)
+            # Buffer constraint: every slab-patch footprint must fit.
+            fits = (full_bytes <= cfg.buffer_bytes).all(axis=1)
+            cost = np.where(fits, tile_total, np.inf)
+            sums = np.zeros(num_macros)
+            bad = np.zeros(num_macros, dtype=bool)
+            np.add.at(sums, macro_index, np.where(np.isinf(cost), 0.0, cost))
+            np.logical_or.at(bad, macro_index, np.isinf(cost))
+            macro_cost[c_index] = np.where(bad, np.inf, sums)
+
+        chosen = np.argmin(macro_cost, axis=0)
+        # If no candidate fits a macro tile (extreme footprints), fall
+        # back to the candidate with the fewest cells per patch.
+        fallback = int(np.argmin([c.cells for c in cfg.candidates]))
+        no_fit = np.isinf(macro_cost.min(axis=0))
+        chosen[no_fit] = fallback
+
+        patches: List[Patch] = []
+        histogram: Dict[PatchShape, int] = {c: 0 for c in cfg.candidates}
+        total_bytes = 0.0
+        for c_index, shape in enumerate(cfg.candidates):
+            h0, w0, h1, w1, full_bytes, delta_bytes, delta_locs, bboxes = \
+                per_candidate[c_index]
+            macro_index = (h0 // macro) * macro_cols + (w0 // macro)
+            selected_tiles = np.where(chosen[macro_index] == c_index)[0]
+            if selected_tiles.size == 0:
+                continue
+            n_slabs = delta_bytes.shape[1]
+            histogram[shape] += selected_tiles.size * n_slabs
+            for t in selected_tiles:
+                for slab in range(n_slabs):
+                    d0 = slab * shape.dd
+                    footprints = _delta_footprints(bboxes[t, slab],
+                                                   delta_locs[t, slab])
+                    resident = [
+                        FootprintRegion(view=v,
+                                        row0=int(bboxes[t, slab, v, 0]),
+                                        row1=int(bboxes[t, slab, v, 1]),
+                                        col0=int(bboxes[t, slab, v, 2]),
+                                        col1=int(bboxes[t, slab, v, 3]))
+                        for v in range(len(sources))]
+                    patch = Patch(h0=int(h0[t]), h1=int(h1[t]),
+                                  w0=int(w0[t]), w1=int(w1[t]),
+                                  d0=d0, d1=d0 + shape.dd,
+                                  prefetch_bytes=float(delta_bytes[t, slab]),
+                                  footprints=footprints,
+                                  resident_footprints=resident)
+                    patches.append(patch)
+                    total_bytes += patch.prefetch_bytes
+        return FramePlan(patches=patches, total_prefetch_bytes=total_bytes,
+                         candidate_histogram=histogram, image_height=height,
+                         image_width=width, depth_bins=cfg.depth_bins)
+
+    # ------------------------------------------------------------------
+    def scheduling_cycles(self, num_views: int, height: int,
+                          width: int) -> float:
+        """Run-time cost of the partition on the scheduler block.
+
+        Per (macro tile, candidate, slab, view): 8 corner projections on
+        the vertex projector's MAC array (12 MACs each, 16 MACs/cycle),
+        an area calculation (~8 cycles on its adder tree), and a compare.
+        """
+        macros = int(np.ceil(height / self.config.macro_tile)) \
+            * int(np.ceil(width / self.config.macro_tile))
+        work = 0.0
+        for shape in self.config.candidates:
+            slabs = self.config.depth_bins // shape.dd
+            tiles_per_macro = (self.config.macro_tile // shape.dh) \
+                * (self.config.macro_tile // shape.dw)
+            per_macro = tiles_per_macro * slabs * num_views \
+                * (8 * 12 / 16 + 8 + 1)
+            work += macros * per_macro
+        return work
+
+
+def _delta_footprints(bboxes_sv: np.ndarray, delta_locs_sv: np.ndarray
+                      ) -> List[FootprintRegion]:
+    """Footprint regions for the delta-fetched part of a slab patch.
+
+    The DRAM-visible region keeps each view's bbox row span (row
+    activations are per feature row) with the column span shrunk to
+    carry the delta location count.
+    """
+    regions: List[FootprintRegion] = []
+    for view in range(bboxes_sv.shape[0]):
+        row0, row1, col0, col1 = (int(x) for x in bboxes_sv[view])
+        rows = max(1, row1 - row0)
+        cols = max(1, int(np.ceil(delta_locs_sv[view] / rows)))
+        cols = min(cols, max(1, col1 - col0))
+        regions.append(FootprintRegion(view=view, row0=row0, row1=row1,
+                                       col0=col0, col1=col0 + cols))
+    return regions
+
+
+def fixed_partition(novel: Camera, sources: Sequence[Camera], near: float,
+                    far: float, config: SchedulerConfig) -> FramePlan:
+    """Var-1 baseline (Fig. 12): constant {k, k, D} patches.
+
+    k is the largest candidate-independent square tile whose worst-case
+    footprint fits the prefetch buffer; patches span the full depth
+    range, so footprints are long epipolar stripes and neighbouring
+    tiles re-fetch heavily overlapping regions (no depth-delta reuse is
+    possible — each tile is a single patch).
+    """
+    scheduler = GreedyPatchScheduler(config)
+    height = novel.intrinsics.height
+    width = novel.intrinsics.width
+
+    best_plan: Optional[FramePlan] = None
+    k = config.macro_tile
+    while k >= 4:
+        shape = PatchShape(k, k, config.depth_bins)
+        h0, w0, h1, w1, full_bytes, _delta, delta_locs, bboxes = \
+            scheduler.evaluate_candidate(novel, sources, height, width,
+                                         shape, near, far)
+        if (full_bytes <= config.buffer_bytes).all() or k == 4:
+            patches = []
+            total = 0.0
+            for t in range(h0.shape[0]):
+                footprints = [FootprintRegion(view=v,
+                                              row0=int(bboxes[t, 0, v, 0]),
+                                              row1=int(bboxes[t, 0, v, 1]),
+                                              col0=int(bboxes[t, 0, v, 2]),
+                                              col1=int(bboxes[t, 0, v, 3]))
+                              for v in range(len(sources))]
+                patches.append(Patch(h0=int(h0[t]), h1=int(h1[t]),
+                                     w0=int(w0[t]), w1=int(w1[t]),
+                                     d0=0, d1=config.depth_bins,
+                                     prefetch_bytes=float(full_bytes[t, 0]),
+                                     footprints=footprints))
+                total += patches[-1].prefetch_bytes
+            best_plan = FramePlan(patches=patches, total_prefetch_bytes=total,
+                                  candidate_histogram={shape: len(patches)},
+                                  image_height=height, image_width=width,
+                                  depth_bins=config.depth_bins)
+            break
+        k //= 2
+    assert best_plan is not None
+    return best_plan

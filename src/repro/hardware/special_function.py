@@ -1,0 +1,41 @@
+"""Special function unit: exponentials and colour accumulation (Eq. 2).
+
+A PE line (paper Fig. 7) evaluates ``exp`` for the transmittance terms
+and accumulates weighted colours along each ray.  Throughput-limited,
+never the bottleneck in practice — but modelled so the pipeline balance
+and Table 1 power split are grounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SfuConfig:
+    lanes: int = 16
+    exp_cycles: int = 4          # pipelined exp approximation latency
+    ops_per_point: int = 2       # exp(-sigma*delta) and the T_k update
+    accumulate_ops_per_point: int = 4  # 3 colour MACs + weight update
+
+
+class SpecialFunctionUnit:
+    """Cycle model of the SFU PE line."""
+
+    def __init__(self, config: SfuConfig = SfuConfig()):
+        self.config = config
+
+    def cycles_for_points(self, num_points: float) -> float:
+        """Cycles to composite ``num_points`` samples (Eq. 2 terms).
+
+        The lanes are pipelined, so steady-state throughput is
+        ``lanes`` points per cycle for each op class, plus a fill.
+        """
+        per_class = (self.config.ops_per_point
+                     + self.config.accumulate_ops_per_point)
+        steady = num_points * per_class / self.config.lanes
+        return steady + self.config.exp_cycles
+
+    def ops_for_points(self, num_points: float) -> float:
+        return num_points * (self.config.ops_per_point
+                             + self.config.accumulate_ops_per_point)

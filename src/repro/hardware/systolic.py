@@ -1,0 +1,100 @@
+"""Systolic-array GEMM timing (the PEs of the paper's PE pool).
+
+Each PE is a 16x16 INT8 systolic array (paper Sec. 5.1).  We model a
+weight-stationary schedule: an (M, K) x (K, N) GEMM is tiled into
+16x16 output tiles; each tile streams M rows through the array after a
+K-deep weight load, costing ``K + M + ARRAY - 1`` cycles of pipelined
+operation per K-slab.  The model exposes *utilisation* — the fraction of
+MAC slots doing useful work — because the narrow layers of the pruned
+Gen-NeRF model leave arrays partially empty, and that effect (not peak
+TOPS) decides the achievable FPS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SystolicConfig:
+    rows: int = 16
+    cols: int = 16
+    fill_overhead: int = 16     # pipeline fill+drain per tile pass
+
+    @property
+    def macs_per_cycle(self) -> int:
+        return self.rows * self.cols
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """One GEMM: (m x k) activations times (k x n) weights, ``count``
+    instances.
+
+    ``shared_weights=True`` (the norm in this workload — one view MLP
+    applied to every view, one Ray-Mixer applied to every ray) means the
+    instances reuse the stationary weights and their activations stream
+    back-to-back, i.e. an effective (m*count, k, n) GEMM.  Dynamic
+    matmuls (attention scores/mixes, whose "weights" differ per ray) set
+    it False and pay the per-instance weight-load each time — this
+    penalty is the hardware-side reason attention is a poor fit
+    (Sec. 3.3).
+    """
+
+    m: int
+    k: int
+    n: int
+    count: int = 1
+    shared_weights: bool = True
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.k * self.n * self.count
+
+
+def _padded(value: int, granule: int) -> int:
+    """Pad a dimension up to the sub-array granule."""
+    return int(granule * np.ceil(max(value, 1) / granule))
+
+
+def gemm_cycles(shape: GemmShape, config: SystolicConfig = SystolicConfig()
+                ) -> float:
+    """Cycles for one array to execute the GEMM (all ``count`` instances).
+
+    The array supports sub-array packing at 8-lane granularity (halves /
+    quadrants operate independently on different tiles of the workload),
+    so a narrow pruned layer wastes at most the remainder of an 8-lane
+    granule rather than the full 16.  Effective MAC throughput is
+    ``rows * cols * (k / k_pad) * (n / n_pad)``; weight-shared batched
+    instances stream back to back, while dynamic matmuls (attention)
+    additionally reload their operand matrix per instance.
+    """
+    if min(shape.m, shape.k, shape.n) <= 0:
+        return 0.0
+    granule = max(1, config.rows // 2)
+    k_pad = _padded(shape.k, granule)
+    n_pad = _padded(shape.n, granule)
+    packing = (shape.k / k_pad) * (shape.n / n_pad)
+    throughput = config.rows * config.cols * packing   # MACs per cycle
+
+    k_slabs = int(np.ceil(shape.k / config.rows))
+    n_tiles = int(np.ceil(shape.n / config.cols))
+    stream_cycles = shape.macs / throughput
+    if shape.shared_weights:
+        fill = config.fill_overhead * k_slabs * n_tiles
+        return float(stream_cycles + fill)
+    reload = (config.fill_overhead + config.rows) * k_slabs * n_tiles \
+        * shape.count
+    return float(stream_cycles + reload)
+
+
+def gemm_utilization(shape: GemmShape,
+                     config: SystolicConfig = SystolicConfig()) -> float:
+    """Useful MACs / provisioned MAC slots for the GEMM."""
+    cycles = gemm_cycles(shape, config)
+    if cycles <= 0:
+        return 0.0
+    return shape.macs / (cycles * config.macs_per_cycle)

@@ -1,0 +1,58 @@
+"""CNN feature encoder ``E`` over source views (paper Sec. 2.2, Step 0).
+
+Computes 2D feature maps W_i = E(I_i) once per scene; the per-frame
+rendering then *gathers* from these maps, which is exactly the
+memory-bound access pattern the Gen-NeRF accelerator optimises.  The
+encoder here is a small conv stack producing half-resolution maps
+(feature_scale = 0.5), mirroring IBRNet's use of a strided CNN.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+
+
+class ConvEncoder(nn.Module):
+    """3 -> feature_dim conv encoder with one stride-2 stage.
+
+    Input: (B, 3, H, W) images in [0, 1].
+    Output: (B, feature_dim, H/2, W/2) feature maps.
+    """
+
+    def __init__(self, feature_dim: int = 16, hidden: int = 16,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.feature_dim = feature_dim
+        self.feature_scale = 0.5
+        self.conv1 = nn.Conv2d(3, hidden, kernel=3, stride=1, padding=1, rng=rng)
+        self.conv2 = nn.Conv2d(hidden, hidden, kernel=3, stride=2, padding=1,
+                               rng=rng)
+        self.conv3 = nn.Conv2d(hidden, feature_dim, kernel=3, stride=1,
+                               padding=1, rng=rng)
+
+    def forward(self, images: Tensor) -> Tensor:
+        x = nn.functional.elu(self.conv1(nn.as_tensor(images)))
+        x = nn.functional.elu(self.conv2(x))
+        return self.conv3(x)
+
+    def encode_views(self, images: np.ndarray) -> List[Tensor]:
+        """Encode (S, 3, H, W) source images to per-view (Hf, Wf, C) maps.
+
+        Maps are returned channel-last because the feature fetcher indexes
+        by pixel; keeping C contiguous mirrors how the accelerator stores
+        features DRAM-row-wise per location.
+        """
+        features = self.forward(Tensor(np.asarray(images, dtype=np.float32)))
+        return [features[i].transpose((1, 2, 0)) for i in range(features.shape[0])]
+
+    def flops(self, height: int, width: int, views: int = 1) -> int:
+        half_h, half_w = height // 2, width // 2
+        return (self.conv1.flops(views, height, width)
+                + self.conv2.flops(views, height, width)
+                + self.conv3.flops(views, half_h, half_w))

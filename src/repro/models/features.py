@@ -1,0 +1,158 @@
+"""Scene-feature acquisition (paper Sec. 2.2, Step 2).
+
+Projects sampled 3D points onto every source view's image plane via the
+projective transform pi and fetches the feature vector at the projection
+by bilinear interpolation.  This is *the* memory-bound operation of
+generalizable NeRFs — H x W x P x S x D accesses per frame (Sec. 1) —
+and the quantity every hardware experiment in this repo accounts for.
+
+The bilinear gather is differentiable so encoder training works; the
+geometric projection itself is constant w.r.t. model parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry.camera import Camera
+from ..nn import Tensor, concatenate, grad_enabled
+from ..nn.tensor import as_tensor
+
+
+def bilinear_gather(feature_map: Tensor, pixels: np.ndarray) -> Tensor:
+    """Bilinearly interpolate a channel-last (H, W, C) map at (N, 2) pixels.
+
+    Out-of-bounds pixels are clamped to the border (callers mask them out
+    separately).  The four corner gathers route gradients back into the
+    map via scatter-add, matching the accelerator's interpolator unit
+    which reads the four nearest feature elements (Sec. 4.5).
+    """
+    height, width = feature_map.shape[0], feature_map.shape[1]
+    pix = np.asarray(pixels, dtype=np.float64)
+    u = np.clip(pix[:, 0], 0.0, width - 1.0)
+    v = np.clip(pix[:, 1], 0.0, height - 1.0)
+    x0 = np.floor(u).astype(np.int64)
+    y0 = np.floor(v).astype(np.int64)
+    x1 = np.minimum(x0 + 1, width - 1)
+    y1 = np.minimum(y0 + 1, height - 1)
+    fx = (u - x0).astype(np.float32)[:, None]
+    fy = (v - y0).astype(np.float32)[:, None]
+
+    f00 = feature_map[(y0, x0)]
+    f01 = feature_map[(y0, x1)]
+    f10 = feature_map[(y1, x0)]
+    f11 = feature_map[(y1, x1)]
+    top = f00 * (1.0 - fx) + f01 * fx
+    bottom = f10 * (1.0 - fx) + f11 * fx
+    return top * (1.0 - fy) + bottom * fy
+
+
+@dataclass
+class FetchedFeatures:
+    """Per-view data gathered for a block of sampled points.
+
+    Shapes use S = #source views, R = rays, P = points per ray.
+    """
+
+    features: Tensor        # (S, R, P, C) interpolated scene features
+    rgb: np.ndarray         # (S, R, P, 3) interpolated source colours
+    direction_delta: np.ndarray  # (S, R, P, 4) view-direction differences
+    visibility: np.ndarray  # (S, R, P) bool: point projects inside view
+
+    @property
+    def num_views(self) -> int:
+        return self.features.shape[0]
+
+
+def direction_features(points: np.ndarray, ray_dirs: np.ndarray,
+                       source: Camera) -> np.ndarray:
+    """IBRNet-style relative direction encoding, (R, P, 4).
+
+    Concatenates the difference between the target ray direction and the
+    unit vector from the source camera to the point, plus their dot
+    product — the cue for weighting views by angular proximity.
+    """
+    to_point = points - source.center
+    norms = np.linalg.norm(to_point, axis=-1, keepdims=True)
+    source_dirs = to_point / np.maximum(norms, 1e-9)
+    target_dirs = np.broadcast_to(ray_dirs[:, None, :], points.shape)
+    diff = target_dirs - source_dirs
+    dot = np.sum(target_dirs * source_dirs, axis=-1, keepdims=True)
+    return np.concatenate([diff, dot], axis=-1).astype(np.float32)
+
+
+def fetch_features(points: np.ndarray, ray_dirs: np.ndarray,
+                   source_cameras: Sequence[Camera],
+                   feature_maps: Sequence[Tensor],
+                   source_images: np.ndarray,
+                   feature_scale: float = 0.5) -> FetchedFeatures:
+    """Acquire scene features for (R, P, 3) sampled points from all views.
+
+    ``source_images`` is (S, 3, H, W) in [0, 1]; ``feature_maps`` are the
+    channel-last encoder outputs, one per view.
+    """
+    num_views = len(source_cameras)
+    rays, pts_per_ray = points.shape[0], points.shape[1]
+    flat_points = points.reshape(-1, 3)
+
+    view_features = []
+    view_rgb = np.empty((num_views, rays, pts_per_ray, 3), dtype=np.float32)
+    view_dirs = np.empty((num_views, rays, pts_per_ray, 4), dtype=np.float32)
+    view_visible = np.empty((num_views, rays, pts_per_ray), dtype=bool)
+
+    for index, camera in enumerate(source_cameras):
+        pixels, depth = camera.project(flat_points, return_depth=True)
+        finite = np.isfinite(pixels).all(axis=-1) & (depth > 1e-6)
+        safe_pixels = np.where(finite[:, None], pixels, 0.0)
+
+        feature_pixels = safe_pixels * feature_scale
+        gathered = bilinear_gather(feature_maps[index], feature_pixels)
+        view_features.append(
+            gathered.reshape(rays, pts_per_ray, gathered.shape[-1]))
+
+        image_hwc = np.ascontiguousarray(
+            np.transpose(source_images[index], (1, 2, 0)).astype(np.float32))
+        rgb = _bilinear_numpy(image_hwc, safe_pixels)
+        view_rgb[index] = rgb.reshape(rays, pts_per_ray, 3)
+
+        view_dirs[index] = direction_features(points, ray_dirs, camera)
+        inside = (finite
+                  & (pixels[:, 0] >= 0) & (pixels[:, 0] <= camera.intrinsics.width - 1)
+                  & (pixels[:, 1] >= 0) & (pixels[:, 1] <= camera.intrinsics.height - 1))
+        view_visible[index] = inside.reshape(rays, pts_per_ray)
+
+    stacked = concatenate([f.expand_dims(0) for f in view_features], axis=0)
+    return FetchedFeatures(features=stacked, rgb=view_rgb,
+                           direction_delta=view_dirs, visibility=view_visible)
+
+
+def _bilinear_numpy(image_hwc: np.ndarray, pixels: np.ndarray) -> np.ndarray:
+    """Plain-numpy bilinear sample of an (H, W, C) array at (N, 2) pixels."""
+    height, width = image_hwc.shape[:2]
+    u = np.clip(pixels[:, 0], 0.0, width - 1.0)
+    v = np.clip(pixels[:, 1], 0.0, height - 1.0)
+    x0 = np.floor(u).astype(np.int64)
+    y0 = np.floor(v).astype(np.int64)
+    x1 = np.minimum(x0 + 1, width - 1)
+    y1 = np.minimum(y0 + 1, height - 1)
+    fx = (u - x0)[:, None]
+    fy = (v - y0)[:, None]
+    top = image_hwc[y0, x0] * (1 - fx) + image_hwc[y0, x1] * fx
+    bottom = image_hwc[y1, x0] * (1 - fx) + image_hwc[y1, x1] * fx
+    return (top * (1 - fy) + bottom * fy).astype(np.float32)
+
+
+def feature_access_bytes(height: int, width: int, points_per_ray: float,
+                         num_views: int, feature_dim: int,
+                         bytes_per_element: int = 1) -> float:
+    """The paper's headline access count H*W*P*S*D (Sec. 1) in bytes.
+
+    Bilinear interpolation touches 4 corners, but a cache/buffer with any
+    locality coalesces them; the paper counts one D-vector per (point,
+    view), which we follow.
+    """
+    return float(height) * width * points_per_ray * num_views * feature_dim \
+        * bytes_per_element

@@ -1,0 +1,201 @@
+"""IBRNet-style generalizable NeRF (paper Sec. 2.2, Fig. 1).
+
+One model class covers every algorithm variant in the paper's Table 2 by
+swapping the cross-point density module:
+
+* ``ray_module="transformer"`` — vanilla IBRNet (rows 1 of Table 2),
+* ``ray_module="none"``        — "- ray transformer" ablation,
+* ``ray_module="mixer"``       — "+ Ray-Mixer" (the Gen-NeRF model).
+
+Pipeline per sampled point (Steps 2-4 of Sec. 2.2): fetch per-view scene
+features -> per-view latent -> visibility-masked mean/variance pooling ->
+view-weighted feature pooling (density branch) and view-weighted colour
+blending (colour branch) -> density features -> cross-point module ->
+density.  ``channel_scale`` shrinks every hidden width, which is how the
+lightweight coarse model (Sec. 3.2 Step 1, scale 0.25) and the pruned
+models (Table 2's channel-pruning rows) are built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+from ..geometry.camera import Camera
+from .encoder import ConvEncoder
+from .features import FetchedFeatures, fetch_features
+from .ray_mixer import RayMixer
+from .ray_transformer import PointwiseDensityHead, RayTransformer
+
+DIRECTION_DIM = 4  # relative-direction encoding width (diff vec + dot)
+
+
+def _scaled(width: int, scale: float, minimum: int = 2) -> int:
+    return max(minimum, int(round(width * scale)))
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture hyper-parameters of the generalizable NeRF.
+
+    Defaults are the repo's "small scale" for numpy training; the
+    paper-scale dimensions used for FLOPs accounting live in
+    :mod:`repro.models.workload`.
+    """
+
+    feature_dim: int = 16          # C: encoder feature channels
+    view_hidden: int = 16          # H1: per-view latent width
+    score_hidden: int = 8          # H2: view-weighting head width
+    density_hidden: int = 32       # Hd: density branch width
+    density_feature_dim: int = 8   # D_sigma: f_sigma width
+    transformer_qk_dim: int = 4
+    transformer_heads: int = 1
+    ray_module: str = "transformer"   # "transformer" | "mixer" | "none"
+    n_max: int = 32                # point capacity (mixer W1 size / padding)
+    channel_scale: float = 1.0
+    encoder_hidden: int = 16
+
+    def scaled(self, scale: float) -> "ModelConfig":
+        """Config with every hidden width multiplied by ``scale``.
+
+        Used for the coarse model (paper: channel scale 0.25) and for
+        channel pruning (75% sparsity -> scale 0.25 on survivors).
+        """
+        return replace(
+            self,
+            feature_dim=_scaled(self.feature_dim, scale),
+            view_hidden=_scaled(self.view_hidden, scale),
+            score_hidden=_scaled(self.score_hidden, scale),
+            density_hidden=_scaled(self.density_hidden, scale),
+            density_feature_dim=_scaled(self.density_feature_dim, scale),
+            encoder_hidden=_scaled(self.encoder_hidden, scale),
+            channel_scale=self.channel_scale * scale,
+        )
+
+
+@dataclass
+class RenderOutput:
+    """Per-point predictions plus bookkeeping for compositing."""
+
+    rgb: Tensor          # (R, P, 3)
+    sigma: Tensor        # (R, P) non-negative densities
+    density_features: Tensor  # (R, P, D_sigma), pre-ray-module
+    any_visible: np.ndarray   # (R, P) point is seen by >= 1 source view
+
+
+class GeneralizableNeRF(nn.Module):
+    """The full conditioned NeRF: encoder + aggregation + density module."""
+
+    def __init__(self, config: Optional[ModelConfig] = None,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.config = config or ModelConfig()
+        rng = rng or np.random.default_rng(0)
+        cfg = self.config
+
+        self.encoder = ConvEncoder(cfg.feature_dim, hidden=cfg.encoder_hidden,
+                                   rng=rng)
+        view_in = cfg.feature_dim + 3 + DIRECTION_DIM
+        self.view_mlp = nn.MLP(view_in, [cfg.view_hidden], cfg.view_hidden,
+                               rng=rng)
+        self.score_mlp = nn.MLP(3 * cfg.view_hidden, [cfg.score_hidden], 1,
+                                rng=rng)
+        self.color_mlp = nn.MLP(2 * cfg.view_hidden + DIRECTION_DIM,
+                                [cfg.score_hidden], 1, rng=rng)
+        self.density_mlp = nn.MLP(2 * cfg.view_hidden, [cfg.density_hidden],
+                                  cfg.density_feature_dim, rng=rng)
+        if cfg.ray_module == "transformer":
+            self.ray_module = RayTransformer(cfg.density_feature_dim,
+                                             qk_dim=cfg.transformer_qk_dim,
+                                             heads=cfg.transformer_heads,
+                                             rng=rng)
+        elif cfg.ray_module == "mixer":
+            self.ray_module = RayMixer(cfg.density_feature_dim, cfg.n_max,
+                                       rng=rng)
+        elif cfg.ray_module == "none":
+            self.ray_module = PointwiseDensityHead(cfg.density_feature_dim,
+                                                   rng=rng)
+        else:
+            raise ValueError(f"unknown ray_module {cfg.ray_module!r}")
+
+    # ------------------------------------------------------------------
+    def encode_scene(self, source_images: np.ndarray) -> List[Tensor]:
+        """One-time per-scene encoding of (S, 3, H, W) source images."""
+        return self.encoder.encode_views(source_images)
+
+    def forward(self, points: np.ndarray, ray_dirs: np.ndarray,
+                source_cameras: Sequence[Camera],
+                feature_maps: Sequence[Tensor], source_images: np.ndarray,
+                mask: Optional[np.ndarray] = None) -> RenderOutput:
+        """Predict (rgb, sigma) for (R, P, 3) sampled points.
+
+        ``mask`` (R, P) marks valid (non-padded) samples; padded points
+        get sigma = 0 via the compositing mask downstream, but are also
+        excluded from the ray module's context here.
+        """
+        fetched = fetch_features(points, ray_dirs, source_cameras,
+                                 feature_maps, source_images,
+                                 self.encoder.feature_scale)
+        return self._forward_fetched(fetched, mask)
+
+    def _forward_fetched(self, fetched: FetchedFeatures,
+                         mask: Optional[np.ndarray]) -> RenderOutput:
+        cfg = self.config
+        num_views = fetched.num_views
+        visibility = fetched.visibility  # (S, R, P) bool
+        if mask is not None:
+            visibility = visibility & np.asarray(mask, dtype=bool)[None]
+        vis_f = visibility.astype(np.float32)[..., None]  # (S, R, P, 1)
+        vis_t = Tensor(vis_f)
+
+        per_view_in = nn.concatenate(
+            [fetched.features, Tensor(fetched.rgb),
+             Tensor(fetched.direction_delta)], axis=-1)
+        latents = self.view_mlp(per_view_in) * vis_t       # (S, R, P, H1)
+
+        denom = Tensor(np.maximum(vis_f.sum(axis=0), 1e-6))  # (R, P, 1)
+        mean = latents.sum(axis=0) / denom                  # (R, P, H1)
+        centered = (latents - mean.expand_dims(0)) * vis_t
+        var = (centered * centered).sum(axis=0) / denom     # (R, P, H1)
+
+        mean_b = nn.stack([mean] * num_views, axis=0)
+        var_b = nn.stack([var] * num_views, axis=0)
+
+        scores = self.score_mlp(
+            nn.concatenate([latents, mean_b, var_b], axis=-1))  # (S,R,P,1)
+        alpha = nn.functional.masked_softmax(
+            scores, visibility[..., None], axis=0)
+        pooled = (alpha * latents).sum(axis=0)              # (R, P, H1)
+
+        color_logits = self.color_mlp(
+            nn.concatenate([latents, mean_b,
+                            Tensor(fetched.direction_delta)], axis=-1))
+        beta = nn.functional.masked_softmax(
+            color_logits, visibility[..., None], axis=0)
+        rgb = (beta * Tensor(fetched.rgb)).sum(axis=0)      # (R, P, 3)
+
+        density_features = self.density_mlp(
+            nn.concatenate([pooled, var], axis=-1))          # (R, P, D_sigma)
+
+        ray_mask = visibility.any(axis=0)                    # (R, P)
+        logits = self.ray_module(density_features, mask=ray_mask)
+        sigma = nn.functional.softplus(logits) \
+            * Tensor(ray_mask.astype(np.float32))
+        return RenderOutput(rgb=rgb, sigma=sigma,
+                            density_features=density_features,
+                            any_visible=ray_mask)
+
+    # ------------------------------------------------------------------
+    def per_point_flops(self, num_views: int) -> int:
+        """FLOPs per sampled point at this model's (small) scale."""
+        cfg = self.config
+        per_view = (self.view_mlp.flops(1) + self.score_mlp.flops(1)
+                    + self.color_mlp.flops(1))
+        return num_views * per_view + self.density_mlp.flops(1)
+
+    def per_ray_flops(self, points_per_ray: int) -> int:
+        return self.ray_module.flops(1, points_per_ray)

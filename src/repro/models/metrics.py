@@ -1,0 +1,135 @@
+"""Image quality metrics: PSNR, SSIM, and an LPIPS proxy.
+
+The paper reports PSNR (up) and LPIPS (down).  True LPIPS needs
+pretrained VGG/AlexNet weights that are unavailable offline; we
+substitute a *fixed random multi-scale conv feature distance*: random
+convolution banks are a classic perceptual-ish embedding (random
+features preserve locality and frequency content), monotone in the blur
+and structural errors that distinguish the paper's method variants.
+DESIGN.md records this substitution; EXPERIMENTS.md flags every LPIPS
+column as proxy values.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import functional as F
+
+
+def mse(image_a: np.ndarray, image_b: np.ndarray) -> float:
+    a = np.asarray(image_a, dtype=np.float64)
+    b = np.asarray(image_b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch {a.shape} vs {b.shape}")
+    return float(np.mean((a - b) ** 2))
+
+
+def psnr(image: np.ndarray, reference: np.ndarray,
+         data_range: float = 1.0) -> float:
+    """Peak signal-to-noise ratio in dB; images in [0, data_range]."""
+    error = mse(image, reference)
+    if error <= 1e-12:
+        return 99.0
+    return float(10.0 * np.log10(data_range ** 2 / error))
+
+
+def _to_gray(image: np.ndarray) -> np.ndarray:
+    img = np.asarray(image, dtype=np.float64)
+    if img.ndim == 3 and img.shape[-1] == 3:
+        return img @ np.array([0.299, 0.587, 0.114])
+    return img
+
+
+def _box_filter(image: np.ndarray, radius: int) -> np.ndarray:
+    """Separable box filter with edge padding (SSIM local statistics)."""
+    kernel = np.ones(2 * radius + 1) / (2 * radius + 1)
+    padded = np.pad(image, radius, mode="edge")
+    rows = np.apply_along_axis(
+        lambda m: np.convolve(m, kernel, mode="valid"), 0, padded)
+    return np.apply_along_axis(
+        lambda m: np.convolve(m, kernel, mode="valid"), 1, rows)
+
+
+def ssim(image: np.ndarray, reference: np.ndarray, radius: int = 3,
+         data_range: float = 1.0) -> float:
+    """Structural similarity (box-window variant) on grayscale images."""
+    x = _to_gray(image)
+    y = _to_gray(reference)
+    c1 = (0.01 * data_range) ** 2
+    c2 = (0.03 * data_range) ** 2
+    mu_x = _box_filter(x, radius)
+    mu_y = _box_filter(y, radius)
+    xx = _box_filter(x * x, radius) - mu_x ** 2
+    yy = _box_filter(y * y, radius) - mu_y ** 2
+    xy = _box_filter(x * y, radius) - mu_x * mu_y
+    numerator = (2 * mu_x * mu_y + c1) * (2 * xy + c2)
+    denominator = (mu_x ** 2 + mu_y ** 2 + c1) * (xx + yy + c2)
+    return float(np.mean(numerator / denominator))
+
+
+class _RandomConvBank:
+    """Fixed random conv filters shared across all lpips_proxy calls."""
+
+    _cache = {}
+
+    @classmethod
+    def filters(cls, in_channels: int, out_channels: int, kernel: int,
+                seed: int) -> np.ndarray:
+        key = (in_channels, out_channels, kernel, seed)
+        if key not in cls._cache:
+            rng = np.random.default_rng(seed)
+            weight = rng.standard_normal(
+                (out_channels, in_channels, kernel, kernel))
+            weight -= weight.mean(axis=(1, 2, 3), keepdims=True)
+            weight /= np.linalg.norm(
+                weight.reshape(out_channels, -1), axis=1)[:, None, None, None]
+            cls._cache[key] = weight
+        return cls._cache[key]
+
+
+def _conv2d_numpy(image_chw: np.ndarray, weight: np.ndarray) -> np.ndarray:
+    """Valid-mode conv via im2col (small images, metric-only use)."""
+    from ..nn.functional import im2col
+
+    cols, out_h, out_w = im2col(image_chw[None], weight.shape[-1], 1, 0)
+    flat = cols[0] @ weight.reshape(weight.shape[0], -1).T
+    return flat.T.reshape(weight.shape[0], out_h, out_w)
+
+
+def lpips_proxy(image: np.ndarray, reference: np.ndarray, scales: int = 3,
+                channels: int = 8, seed: int = 1234) -> float:
+    """Multi-scale fixed-random-conv feature distance (LPIPS substitute).
+
+    Lower is better.  Images are (H, W, 3) in [0, 1].  At each scale the
+    images are filtered by a fixed random conv bank, features are
+    channel-normalised (as LPIPS does), and the mean squared feature
+    difference is accumulated; the image is then 2x downsampled.
+    """
+    a = np.transpose(np.asarray(image, dtype=np.float64), (2, 0, 1))
+    b = np.transpose(np.asarray(reference, dtype=np.float64), (2, 0, 1))
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch {a.shape} vs {b.shape}")
+    total = 0.0
+    used = 0
+    for scale in range(scales):
+        if min(a.shape[1], a.shape[2]) < 5:
+            break
+        weight = _RandomConvBank.filters(3, channels, 3, seed + scale)
+        fa = _conv2d_numpy(a, weight)
+        fb = _conv2d_numpy(b, weight)
+        norm_a = fa / (np.linalg.norm(fa, axis=0, keepdims=True) + 1e-8)
+        norm_b = fb / (np.linalg.norm(fb, axis=0, keepdims=True) + 1e-8)
+        total += float(np.mean((norm_a - norm_b) ** 2))
+        used += 1
+        a, b = _pool2(a), _pool2(b)
+    return total / max(used, 1)
+
+
+def _pool2(image_chw: np.ndarray) -> np.ndarray:
+    trimmed = image_chw[:, : image_chw.shape[1] // 2 * 2,
+                        : image_chw.shape[2] // 2 * 2]
+    return 0.25 * (trimmed[:, 0::2, 0::2] + trimmed[:, 1::2, 0::2]
+                   + trimmed[:, 0::2, 1::2] + trimmed[:, 1::2, 1::2])

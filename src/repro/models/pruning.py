@@ -1,0 +1,153 @@
+"""Structured channel pruning (paper Sec. 5.2, Table 2's final rows).
+
+The paper prunes the delivered model's channels at 75% sparsity "to
+reduce the redundancy in the model structure", keeping PSNR within
+~0.5 dB after finetuning.  We implement magnitude-based structured
+pruning: hidden channels are ranked by the L1 norm of their fan-in plus
+fan-out weights and the top fraction survives.  Because the per-view
+latent feeds three consumer MLPs (score, colour, density branches), the
+kept latent channels are chosen once — from the summed importance across
+all consumers — and the consumers' input weights are sliced
+consistently.  Surviving weights are copied into a smaller model built
+via :meth:`ModelConfig.scaled`-style width reduction, which callers then
+finetune (Table 3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .. import nn
+from .gen_nerf import GenNeRF
+from .ibrnet import DIRECTION_DIM, GeneralizableNeRF, ModelConfig
+
+
+def channel_importance(weight_in: np.ndarray,
+                       weight_out: Optional[np.ndarray] = None) -> np.ndarray:
+    """L1 importance of hidden channels: |fan-in| + |fan-out|.
+
+    ``weight_in`` is (in, hidden); ``weight_out`` is (hidden, out) when
+    the channel feeds another layer.
+    """
+    importance = np.abs(weight_in).sum(axis=0)
+    if weight_out is not None:
+        importance = importance + np.abs(weight_out).sum(axis=1)
+    return importance
+
+
+def select_channels(importance: np.ndarray, keep: int) -> np.ndarray:
+    """Indices of the ``keep`` most important channels, sorted ascending."""
+    keep = max(1, min(keep, len(importance)))
+    chosen = np.argsort(importance)[::-1][:keep]
+    return np.sort(chosen)
+
+
+def _linears(mlp: nn.MLP) -> List[nn.Linear]:
+    return [m for m in mlp.net if isinstance(m, nn.Linear)]
+
+
+def _copy_pruned(src: nn.Linear, dst: nn.Linear, in_idx: np.ndarray,
+                 out_idx: np.ndarray) -> None:
+    dst.weight.data[...] = src.weight.data[np.ix_(in_idx, out_idx)]
+    if dst.bias is not None and src.bias is not None:
+        dst.bias.data[...] = src.bias.data[out_idx]
+
+
+def _prune_two_layer_mlp(src_mlp: nn.MLP, dst_mlp: nn.MLP,
+                         in_idx: np.ndarray,
+                         out_idx: Optional[np.ndarray] = None) -> None:
+    """Prune an MLP of shape Linear-act-Linear given its kept input
+    channels; hidden channels are chosen by importance, outputs by
+    ``out_idx`` (all outputs when None)."""
+    src_l1, src_l2 = _linears(src_mlp)
+    dst_l1, dst_l2 = _linears(dst_mlp)
+    hidden_keep = select_channels(
+        channel_importance(src_l1.weight.data, src_l2.weight.data),
+        dst_l1.out_features)
+    if out_idx is None:
+        out_idx = np.arange(dst_l2.out_features)
+    _copy_pruned(src_l1, dst_l1, in_idx, hidden_keep)
+    _copy_pruned(src_l2, dst_l2, hidden_keep, out_idx)
+
+
+def prune_generalizable_nerf(model: GeneralizableNeRF, sparsity: float = 0.75,
+                             rng: Optional[np.random.Generator] = None
+                             ) -> GeneralizableNeRF:
+    """Return a channel-pruned copy of ``model``.
+
+    ``sparsity`` removes that fraction of each hidden width (paper: 0.75,
+    25% survive).  Interface dims — the encoder feature channels and the
+    density feature dim consumed by the ray module — are preserved so the
+    ray module and hardware mapping are untouched.
+    """
+    if not 0.0 < sparsity < 1.0:
+        raise ValueError(f"sparsity must be in (0, 1), got {sparsity}")
+    keep_scale = 1.0 - sparsity
+    cfg = model.config
+    pruned_cfg = ModelConfig(
+        feature_dim=cfg.feature_dim,
+        view_hidden=max(2, int(round(cfg.view_hidden * keep_scale))),
+        score_hidden=max(2, int(round(cfg.score_hidden * keep_scale))),
+        density_hidden=max(2, int(round(cfg.density_hidden * keep_scale))),
+        density_feature_dim=cfg.density_feature_dim,
+        transformer_qk_dim=cfg.transformer_qk_dim,
+        transformer_heads=cfg.transformer_heads,
+        ray_module=cfg.ray_module,
+        n_max=cfg.n_max,
+        channel_scale=cfg.channel_scale * keep_scale,
+        encoder_hidden=cfg.encoder_hidden,
+    )
+    pruned = GeneralizableNeRF(pruned_cfg, rng=rng or np.random.default_rng(0))
+    pruned.encoder.load_state_dict(model.encoder.state_dict())
+
+    h1 = cfg.view_hidden
+    h1_kept = pruned_cfg.view_hidden
+
+    # 1) Per-view MLP: latent channels chosen by summed consumer fan-in.
+    src_v1, src_v2 = _linears(model.view_mlp)
+    dst_v1, dst_v2 = _linears(pruned.view_mlp)
+    score_l1 = _linears(model.score_mlp)[0].weight.data   # (3*H1, H2)
+    color_l1 = _linears(model.color_mlp)[0].weight.data   # (2*H1+4, H2)
+    dens_l1 = _linears(model.density_mlp)[0].weight.data  # (2*H1, Hd)
+    consumer_fanout = (
+        np.abs(score_l1[:h1]).sum(axis=1)
+        + np.abs(score_l1[h1:2 * h1]).sum(axis=1)
+        + np.abs(score_l1[2 * h1:3 * h1]).sum(axis=1)
+        + np.abs(color_l1[:h1]).sum(axis=1)
+        + np.abs(color_l1[h1:2 * h1]).sum(axis=1)
+        + np.abs(dens_l1[:h1]).sum(axis=1)
+        + np.abs(dens_l1[h1:2 * h1]).sum(axis=1))
+    latent_importance = (np.abs(src_v2.weight.data).sum(axis=0)
+                         + consumer_fanout)
+    latent_keep = select_channels(latent_importance, h1_kept)
+    view_hidden_keep = select_channels(
+        channel_importance(src_v1.weight.data, src_v2.weight.data), h1_kept)
+    all_inputs = np.arange(src_v1.in_features)
+    _copy_pruned(src_v1, dst_v1, all_inputs, view_hidden_keep)
+    _copy_pruned(src_v2, dst_v2, view_hidden_keep, latent_keep)
+
+    # 2) Consumers: input slices follow the kept latent channels.
+    score_in = np.concatenate([latent_keep, h1 + latent_keep,
+                               2 * h1 + latent_keep])
+    _prune_two_layer_mlp(model.score_mlp, pruned.score_mlp, score_in)
+
+    color_in = np.concatenate([latent_keep, h1 + latent_keep,
+                               2 * h1 + np.arange(DIRECTION_DIM)])
+    _prune_two_layer_mlp(model.color_mlp, pruned.color_mlp, color_in)
+
+    density_in = np.concatenate([latent_keep, h1 + latent_keep])
+    _prune_two_layer_mlp(model.density_mlp, pruned.density_mlp, density_in)
+
+    # 3) Ray module operates on the (preserved) density feature dim.
+    pruned.ray_module.load_state_dict(model.ray_module.state_dict())
+    return pruned
+
+
+def prune_gen_nerf(model: GenNeRF, sparsity: float = 0.75) -> GenNeRF:
+    """Channel-prune both members of a Gen-NeRF model pair."""
+    pruned = GenNeRF(model.config)
+    pruned.coarse = prune_generalizable_nerf(model.coarse, sparsity)
+    pruned.fine = prune_generalizable_nerf(model.fine, sparsity)
+    return pruned

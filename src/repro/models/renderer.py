@@ -1,0 +1,116 @@
+"""High-level image rendering with trained models.
+
+Chunked, no-grad rendering of full (optionally strided) images for both
+the IBRNet-style baseline (uniform/hierarchical sampling, equal points
+per ray) and Gen-NeRF (coarse-then-focus).  Returns images plus the
+sampling statistics the efficiency analyses need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..geometry.rays import (RayBundle, image_shape_for_step, rays_for_image,
+                             stratified_depths)
+from ..scenes.datasets import Scene
+from ..scenes.render_gt import render_image as render_gt_image
+from .gen_nerf import GenNeRF
+from .ibrnet import GeneralizableNeRF
+from .sampling import SampleSet, hierarchical_depths
+from .volume_rendering import composite
+
+
+def render_source_views(scene: Scene, num_points: int = 128,
+                        step: int = 1) -> np.ndarray:
+    """Ground-truth source images (S, 3, H, W) for conditioning."""
+    images = []
+    for camera in scene.source_cameras:
+        img = render_gt_image(scene.field, camera, scene.near, scene.far,
+                              num_points=num_points, step=step,
+                              white_background=scene.spec.white_background)
+        images.append(np.transpose(img, (2, 0, 1)))
+    return np.asarray(images, dtype=np.float32)
+
+
+def render_image_ibrnet(model: GeneralizableNeRF, scene: Scene,
+                        source_images: np.ndarray, num_points: int,
+                        step: int = 4, chunk: int = 512,
+                        hierarchical: bool = False,
+                        coarse_points: Optional[int] = None) -> np.ndarray:
+    """Baseline rendering: equal sample count on every ray.
+
+    The hierarchical coarse pass defaults to ``num_points`` samples so
+    fixed-capacity ray modules (the Ray-Mixer's N_max) see a constant
+    point count in both passes.
+    """
+    coarse_points = coarse_points or num_points
+    with nn.no_grad():
+        feature_maps = model.encode_scene(source_images)
+        bundle = rays_for_image(scene.target_camera, scene.near, scene.far,
+                                step=step)
+        rows, cols = image_shape_for_step(scene.target_camera, step)
+        out = np.zeros((len(bundle), 3), dtype=np.float64)
+        rng = np.random.default_rng(0)
+        for start in range(0, len(bundle), chunk):
+            part = bundle.select(slice(start, start + chunk))
+            if hierarchical:
+                coarse = stratified_depths(rng, len(part), coarse_points,
+                                           part.near, part.far, jitter=False)
+                points = part.points_at(coarse)
+                coarse_out = model(points, part.directions,
+                                   scene.source_cameras, feature_maps,
+                                   source_images)
+                _, weights = composite(coarse_out.sigma, coarse_out.rgb,
+                                       coarse, part.far)
+                depths = hierarchical_depths(coarse,
+                                             weights.data.astype(np.float64),
+                                             num_points, part.near, part.far,
+                                             rng)
+            else:
+                depths = stratified_depths(rng, len(part), num_points,
+                                           part.near, part.far, jitter=False)
+            points = part.points_at(depths)
+            result = model(points, part.directions, scene.source_cameras,
+                           feature_maps, source_images)
+            pixel, _ = composite(result.sigma, result.rgb, depths, part.far)
+            out[start:start + chunk] = pixel.data
+    return out.reshape(rows, cols, 3)
+
+
+def render_image_gen_nerf(model: GenNeRF, scene: Scene,
+                          source_images: np.ndarray, step: int = 4,
+                          chunk: int = 512
+                          ) -> Tuple[np.ndarray, Dict[str, float]]:
+    """Gen-NeRF rendering; returns (image, stats with avg focused points)."""
+    with nn.no_grad():
+        model.eval()
+        coarse_maps, fine_maps = model.encode_scene(source_images)
+        bundle = rays_for_image(scene.target_camera, scene.near, scene.far,
+                                step=step)
+        rows, cols = image_shape_for_step(scene.target_camera, step)
+        out = np.zeros((len(bundle), 3), dtype=np.float64)
+        total_points = 0
+        for start in range(0, len(bundle), chunk):
+            part = bundle.select(slice(start, start + chunk))
+            pixel, aux = model.render_rays(part, scene.source_cameras,
+                                           coarse_maps, fine_maps,
+                                           source_images, return_aux=True)
+            out[start:start + chunk] = pixel.data
+            total_points += aux["samples"].total_points
+        stats = {
+            "avg_focused_points": total_points / max(len(bundle), 1),
+            "coarse_points": float(model.config.coarse_points),
+        }
+    return out.reshape(rows, cols, 3), stats
+
+
+def render_target_reference(scene: Scene, num_points: int = 192,
+                            step: int = 4) -> np.ndarray:
+    """Dense ground-truth render of the held-out target view."""
+    return render_gt_image(scene.field, scene.target_camera, scene.near,
+                           scene.far, num_points=num_points, step=step,
+                           white_background=scene.spec.white_background)

@@ -1,0 +1,281 @@
+"""Point sampling strategies along camera rays.
+
+Implements the three samplers the paper compares:
+
+* **Stratified uniform** — vanilla NeRF's base sampler (re-exported from
+  :mod:`repro.geometry.rays`).
+* **Hierarchical** — vanilla NeRF's two-level sampler: a coarse pass
+  yields weights, a fine pass importance-samples *the same number of
+  points on every ray*.  This is the IBRNet baseline's strategy.
+* **Coarse-then-focus** (paper Sec. 3.2) — Gen-NeRF's sampler.  Step ①
+  runs a lightweight coarse pass; Step ② filters empty/occluded regions
+  by thresholding hitting probabilities w_k against tau and builds the
+  sampling PDF ``P(k, j) = P(k | j) P(j)`` with ``P(j)`` proportional to
+  the per-ray count of critical points; Step ③ draws a *global* budget of
+  ``num_rays x N_f`` samples from that PDF via inverse-transform
+  sampling, so rays through empty/occluded space receive few (possibly
+  zero) points while surface rays receive many.  For batch training the
+  per-ray samples are padded to ``N_max`` with an accompanying mask.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..geometry.rays import stratified_depths
+
+__all__ = [
+    "stratified_depths", "SampleSet", "hierarchical_depths",
+    "sampling_pdf", "allocate_ray_budget", "focused_depths",
+    "coarse_then_focus_plan",
+]
+
+
+@dataclass
+class SampleSet:
+    """Depths plus a validity mask, the common currency of the renderers.
+
+    ``depths`` is (R, N_max) sorted ascending within the valid prefix;
+    ``mask`` is (R, N_max) with True marking real samples.  ``counts``
+    gives the number of valid samples per ray.
+    """
+
+    depths: np.ndarray
+    mask: np.ndarray
+
+    def __post_init__(self):
+        self.depths = np.asarray(self.depths, dtype=np.float64)
+        self.mask = np.asarray(self.mask, dtype=bool)
+        if self.depths.shape != self.mask.shape:
+            raise ValueError("depths and mask shapes differ")
+
+    @property
+    def counts(self) -> np.ndarray:
+        return self.mask.sum(axis=-1)
+
+    @property
+    def total_points(self) -> int:
+        return int(self.mask.sum())
+
+    @staticmethod
+    def dense(depths: np.ndarray) -> "SampleSet":
+        depths = np.asarray(depths, dtype=np.float64)
+        return SampleSet(depths, np.ones(depths.shape, dtype=bool))
+
+
+def _inverse_transform(bin_edges: np.ndarray, pdf: np.ndarray,
+                       uniforms: np.ndarray) -> np.ndarray:
+    """Sample depths from a per-ray piecewise-constant PDF.
+
+    ``bin_edges`` (R, B+1), ``pdf`` (R, B) (need not be normalised),
+    ``uniforms`` (R, K) in [0, 1).  Vectorised inverse-CDF; this is the
+    software model of the accelerator's "Monte-Carlo simulator" unit
+    (PDF-to-CDF converter + comparator array, Fig. 7).
+    """
+    pdf = np.maximum(pdf, 0.0) + 1e-12
+    cdf = np.cumsum(pdf, axis=-1)
+    cdf = cdf / cdf[..., -1:]
+    cdf = np.concatenate([np.zeros_like(cdf[..., :1]), cdf], axis=-1)  # (R, B+1)
+
+    rows = np.arange(cdf.shape[0])[:, None]
+    # For each uniform find the bin whose CDF interval contains it.
+    indices = np.empty(uniforms.shape, dtype=np.int64)
+    for r in range(cdf.shape[0]):  # per-ray searchsorted keeps memory flat
+        indices[r] = np.searchsorted(cdf[r], uniforms[r], side="right") - 1
+    indices = np.clip(indices, 0, pdf.shape[-1] - 1)
+
+    cdf_lo = cdf[rows, indices]
+    cdf_hi = cdf[rows, indices + 1]
+    frac = (uniforms - cdf_lo) / np.maximum(cdf_hi - cdf_lo, 1e-12)
+    edge_lo = bin_edges[rows, indices]
+    edge_hi = bin_edges[rows, indices + 1]
+    return edge_lo + frac * (edge_hi - edge_lo)
+
+
+def _edges_from_centers(depths: np.ndarray, near: float,
+                        far: float) -> np.ndarray:
+    """Bin edges from sorted sample centres, clamped to [near, far]."""
+    mids = 0.5 * (depths[..., 1:] + depths[..., :-1])
+    lo = np.full(depths.shape[:-1] + (1,), near, dtype=np.float64)
+    hi = np.full(depths.shape[:-1] + (1,), far, dtype=np.float64)
+    return np.concatenate([lo, mids, hi], axis=-1)
+
+
+def hierarchical_depths(coarse_depths: np.ndarray, coarse_weights: np.ndarray,
+                        num_fine: int, near: float, far: float,
+                        rng: np.random.Generator,
+                        include_coarse: bool = False) -> np.ndarray:
+    """Vanilla-NeRF fine sampling: same count on every ray (Mildenhall).
+
+    Importance-samples ``num_fine`` depths per ray from the coarse
+    weights; optionally merges the coarse depths back in (as NeRF does).
+    Returns sorted (R, num_fine[+Nc]).
+    """
+    edges = _edges_from_centers(coarse_depths, near, far)
+    uniforms = rng.random((coarse_depths.shape[0], num_fine))
+    fine = _inverse_transform(edges, coarse_weights, uniforms)
+    if include_coarse:
+        fine = np.concatenate([fine, coarse_depths], axis=-1)
+    return np.sort(fine, axis=-1)
+
+
+def sampling_pdf(coarse_weights: np.ndarray, tau: float
+                 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Paper Step ②: empty/occluded-region filtering and PDF estimation.
+
+    Points whose hitting probability clears the threshold are *critical
+    points*.  The threshold is applied to the bin-count-normalised
+    probability ``w_k * N_c >= tau`` so that whether a region counts as
+    critical does not depend on how finely the coarse pass happened to
+    slice it (halving the bin width halves every w_k; the paper's fixed
+    per-point threshold would silently reclassify regions).
+
+    Returns ``(ray_probability P(j), point_pdf P(k|j), critical_counts)``.
+    Rays with no critical point receive probability 0 — they are the
+    empty/occluded rays whose budget is redistributed.  If *no* ray has a
+    critical point (e.g. a camera staring into empty space), falls back to
+    weight-proportional allocation so rendering still proceeds.
+    """
+    weights = np.asarray(coarse_weights, dtype=np.float64)
+    num_bins = max(weights.shape[-1], 1)
+    critical = weights * num_bins >= tau
+    critical_counts = critical.sum(axis=-1)
+
+    total_critical = critical_counts.sum()
+    if total_critical > 0:
+        ray_probability = critical_counts / total_critical
+    else:
+        mass = weights.sum(axis=-1)
+        ray_probability = (mass + 1e-12) / (mass.sum() + 1e-12 * len(mass))
+
+    point_pdf = weights + 1e-12
+    point_pdf = point_pdf / point_pdf.sum(axis=-1, keepdims=True)
+    return ray_probability, point_pdf, critical_counts
+
+
+def allocate_ray_budget(ray_probability: np.ndarray, total_points: int,
+                        n_max: int, min_points: int = 0) -> np.ndarray:
+    """Integer per-ray sample counts from ``P(j)`` (largest remainder).
+
+    Deterministic so renders are reproducible; respects ``n_max`` (the
+    training-time pad bound) by redistributing clipped mass to the next
+    largest-remainder rays.
+    """
+    probability = np.asarray(ray_probability, dtype=np.float64)
+    if probability.sum() <= 0:
+        probability = np.ones_like(probability)
+    probability = probability / probability.sum()
+
+    raw = probability * total_points
+    counts = np.floor(raw).astype(np.int64)
+    counts = np.minimum(counts, n_max)
+    remainder = int(total_points - counts.sum())
+    if remainder > 0:
+        fractional = np.where(counts < n_max, raw - np.floor(raw), -1.0)
+        order = np.argsort(fractional)[::-1]
+        for index in order:
+            if remainder == 0:
+                break
+            if counts[index] < n_max:
+                take = min(n_max - counts[index], 1)
+                counts[index] += take
+                remainder -= take
+        if remainder > 0:  # everything saturated at n_max
+            room = n_max - counts
+            order = np.argsort(room)[::-1]
+            for index in order:
+                if remainder == 0:
+                    break
+                take = min(int(room[index]), remainder)
+                counts[index] += take
+                remainder -= take
+    if min_points > 0:
+        counts = np.maximum(counts, min_points)
+    return counts
+
+
+def focused_depths(coarse_depths: np.ndarray, point_pdf: np.ndarray,
+                   counts: np.ndarray, n_max: int, near: float, far: float,
+                   rng: np.random.Generator) -> SampleSet:
+    """Paper Step ③: inverse-transform sampling of per-ray focused points.
+
+    Each ray j draws ``counts[j]`` depths from its piecewise-constant
+    ``P(k|j)``; results are sorted, left-packed, and padded to ``n_max``.
+    """
+    num_rays = coarse_depths.shape[0]
+    counts = np.minimum(np.asarray(counts, dtype=np.int64), n_max)
+    edges = _edges_from_centers(coarse_depths, near, far)
+    max_count = int(counts.max()) if len(counts) else 0
+    depths = np.full((num_rays, n_max), far, dtype=np.float64)
+    mask = np.zeros((num_rays, n_max), dtype=bool)
+    if max_count == 0:
+        return SampleSet(depths, mask)
+
+    uniforms = rng.random((num_rays, max_count))
+    all_samples = _inverse_transform(edges, point_pdf, uniforms)
+    # Slice each ray's first c draws *before* sorting — the draws are
+    # i.i.d., so any prefix is an unbiased sample; sorting first would
+    # keep only the nearest depths.
+    for j in range(num_rays):
+        c = int(counts[j])
+        if c == 0:
+            continue
+        chosen = np.sort(all_samples[j, :c])
+        depths[j, :c] = chosen
+        mask[j, :c] = True
+    return SampleSet(depths, mask)
+
+
+def merge_critical_points(plan: SampleSet, coarse_depths: np.ndarray,
+                          coarse_weights: np.ndarray, tau: float,
+                          n_max: int, far: float) -> SampleSet:
+    """Merge critical coarse samples (w_k >= tau) into the focused set.
+
+    Mirrors hierarchical NeRF's reuse of coarse locations: the coarse
+    pass already found these depths to matter, so the fine model
+    evaluates them too.  ``tau`` is on the bin-normalised probability,
+    matching :func:`sampling_pdf`.  Per ray the union is sorted and truncated to
+    ``n_max`` (dropping the farthest extras).  The paper's FLOPs
+    accounting reflects this: a 16/48 configuration costs ~64 full-model
+    points per ray (Table 2) and Fig. 9 counts 8/16 as 24 points.
+    """
+    weights = np.asarray(coarse_weights)
+    critical = weights * max(weights.shape[-1], 1) >= tau
+    num_rays = plan.depths.shape[0]
+    depths = np.full((num_rays, n_max), far, dtype=np.float64)
+    mask = np.zeros((num_rays, n_max), dtype=bool)
+    for j in range(num_rays):
+        merged = np.concatenate([plan.depths[j][plan.mask[j]],
+                                 coarse_depths[j][critical[j]]])
+        merged = np.unique(merged)[:n_max]
+        depths[j, :len(merged)] = merged
+        mask[j, :len(merged)] = True
+    return SampleSet(depths, mask)
+
+
+def coarse_then_focus_plan(coarse_depths: np.ndarray,
+                           coarse_weights: np.ndarray, num_focused_avg: int,
+                           n_max: int, tau: float, near: float, far: float,
+                           rng: Optional[np.random.Generator] = None,
+                           merge_critical: bool = True) -> SampleSet:
+    """The full Steps ②-③ pipeline given coarse-pass weights.
+
+    ``num_focused_avg`` is N_f, the average focused points per ray; the
+    global budget is ``R x N_f`` redistributed by the estimated PDF.
+    With ``merge_critical`` the critical coarse samples are folded into
+    the result (see :func:`merge_critical_points`).
+    """
+    gen = rng or np.random.default_rng(0)
+    num_rays = coarse_depths.shape[0]
+    ray_probability, point_pdf, _ = sampling_pdf(coarse_weights, tau)
+    budget = num_focused_avg * num_rays
+    counts = allocate_ray_budget(ray_probability, budget, n_max)
+    plan = focused_depths(coarse_depths, point_pdf, counts, n_max, near, far,
+                          gen)
+    if merge_critical:
+        plan = merge_critical_points(plan, coarse_depths, coarse_weights,
+                                     tau, n_max, far)
+    return plan

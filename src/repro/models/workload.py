@@ -1,0 +1,306 @@
+"""Paper-scale workload accounting: FLOPs and memory traffic per frame.
+
+The algorithm experiments in this repo train *small* numpy models, but
+the efficiency numbers the paper reports (MFLOPs/pixel in Tables 2-3,
+the FLOPs axis of Fig. 9, the 0.328 TFLOPs typical workload of Sec. 5.1,
+and all inputs to the GPU/accelerator performance models) are computed
+at the paper's model scale.  This module holds that scale: explicit
+layer dimensions whose analytic MAC counts were calibrated once against
+the paper's reported numbers (see ``tests/test_paper_constants.py`` for
+the tolerance assertions).
+
+Structure mirrors the model: per-(point, view) aggregation cost, a
+per-point density branch, a per-ray cross-point module (transformer or
+mixer), plus the one-time CNN encoder and the H*W*P*S*D scene-feature
+traffic of Sec. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+DIRECTION_DIM = 4
+RGB_DIM = 3
+
+
+@dataclass(frozen=True)
+class PaperScaleDims:
+    """Layer widths of the paper-scale generalizable NeRF."""
+
+    feature_dim: int = 32          # C: encoder feature channels
+    view_hidden: int = 28          # H1
+    score_hidden: int = 8          # H2
+    density_hidden: int = 56       # Hd
+    density_feature_dim: int = 8   # D_sigma
+    transformer_qk_dim: int = 4
+    encoder_hidden: int = 16
+
+    def scaled(self, scale: float, keep_interface: bool = False
+               ) -> "PaperScaleDims":
+        """Scale hidden widths by ``scale``.
+
+        ``keep_interface=True`` preserves the encoder feature dim and
+        density feature dim (channel pruning); False scales everything
+        (the coarse model's channel scale 0.25, paper Sec. 5.1).
+        """
+        def s(width: int) -> int:
+            return max(1, int(round(width * scale)))
+
+        return PaperScaleDims(
+            feature_dim=self.feature_dim if keep_interface
+            else s(self.feature_dim),
+            view_hidden=s(self.view_hidden),
+            score_hidden=s(self.score_hidden),
+            density_hidden=s(self.density_hidden),
+            density_feature_dim=self.density_feature_dim if keep_interface
+            else s(self.density_feature_dim),
+            transformer_qk_dim=self.transformer_qk_dim,
+            encoder_hidden=s(self.encoder_hidden),
+        )
+
+
+DEFAULT_DIMS = PaperScaleDims()
+
+
+# ----------------------------------------------------------------------
+# MAC counts (1 MAC = 2 FLOPs)
+# ----------------------------------------------------------------------
+def per_view_point_macs(dims: PaperScaleDims) -> int:
+    """Aggregation MACs per (sampled point, source view)."""
+    view_in = dims.feature_dim + RGB_DIM + DIRECTION_DIM
+    view_mlp = view_in * dims.view_hidden + dims.view_hidden ** 2
+    score = 3 * dims.view_hidden * dims.score_hidden + dims.score_hidden * 1
+    color = ((2 * dims.view_hidden + DIRECTION_DIM) * dims.score_hidden
+             + dims.score_hidden * 1)
+    return view_mlp + score + color
+
+
+def density_branch_macs(dims: PaperScaleDims) -> int:
+    """Per-point MACs of the pooled-feature -> density-feature branch."""
+    return (2 * dims.view_hidden * dims.density_hidden
+            + dims.density_hidden * dims.density_feature_dim)
+
+
+def per_point_macs(dims: PaperScaleDims, num_views: int) -> int:
+    return num_views * per_view_point_macs(dims) + density_branch_macs(dims)
+
+
+def ray_transformer_macs(dims: PaperScaleDims, points: int) -> int:
+    """Per-ray MACs of the slim ray transformer."""
+    proj = 4 * points * dims.density_feature_dim * dims.transformer_qk_dim
+    attention = 2 * points * points * dims.transformer_qk_dim
+    head = points * dims.density_feature_dim
+    return proj + attention + head
+
+
+def ray_mixer_macs(dims: PaperScaleDims, n_max: int) -> int:
+    """Per-ray MACs of the Ray-Mixer at point capacity ``n_max``."""
+    token = dims.density_feature_dim * n_max * n_max
+    channel = n_max * dims.density_feature_dim ** 2
+    head = n_max * dims.density_feature_dim
+    return token + channel + head
+
+
+def encoder_macs_per_view(dims: PaperScaleDims, height: int,
+                          width: int) -> int:
+    """One-time CNN encoder MACs per source view (paper Step 0)."""
+    full = height * width
+    half = (height // 2) * (width // 2)
+    conv1 = full * RGB_DIM * dims.encoder_hidden * 9
+    conv2 = half * dims.encoder_hidden * dims.encoder_hidden * 9
+    conv3 = half * dims.encoder_hidden * dims.feature_dim * 9
+    return conv1 + conv2 + conv3
+
+
+# ----------------------------------------------------------------------
+# Frame-level workload
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RenderWorkload:
+    """A full-frame rendering workload at paper scale.
+
+    ``points_per_ray`` is the (average) per-ray count through the *full*
+    model; the coarse pass adds ``coarse_points`` through the scaled-down
+    coarse model conditioned on ``coarse_views`` sources.  ``ray_module``
+    selects the cross-point module of the full model.
+    """
+
+    height: int
+    width: int
+    num_views: int
+    points_per_ray: float
+    ray_module: str = "mixer"               # "transformer" | "mixer" | "none"
+    coarse_points: float = 0.0
+    coarse_views: int = 4
+    coarse_channel_scale: float = 0.25
+    n_max: int = 64
+    prune_scale: float = 1.0                # 0.25 after 75% channel pruning
+    dims: PaperScaleDims = DEFAULT_DIMS
+    include_encoder: bool = False           # encoder is per-scene, not per-frame
+
+    # -- derived dimensions --------------------------------------------
+    @property
+    def fine_dims(self) -> PaperScaleDims:
+        if self.prune_scale != 1.0:
+            return self.dims.scaled(self.prune_scale, keep_interface=True)
+        return self.dims
+
+    @property
+    def coarse_dims(self) -> PaperScaleDims:
+        base = self.fine_dims
+        return base.scaled(self.coarse_channel_scale, keep_interface=False)
+
+    @property
+    def num_pixels(self) -> int:
+        return self.height * self.width
+
+    # -- per-pixel FLOPs -----------------------------------------------
+    @property
+    def fine_points_per_ray(self) -> float:
+        """Points evaluated by the *full* model per ray.
+
+        With coarse-then-focus sampling the critical coarse samples are
+        merged into the focused set (hierarchical-NeRF style), so the
+        fine pass sees up to N_c + N_f points; this matches the paper's
+        accounting (Table 2's 16/48 row costs ~64 full-model points, and
+        Fig. 9 counts 8/16 as "24 sampled points").
+        """
+        return self.points_per_ray + self.coarse_points
+
+    def mlp_flops_per_pixel(self) -> float:
+        """Point-wise network FLOPs per pixel (fine pass)."""
+        return 2.0 * self.fine_points_per_ray * per_point_macs(
+            self.fine_dims, self.num_views)
+
+    def ray_module_flops_per_pixel(self) -> float:
+        points = int(round(self.fine_points_per_ray))
+        if self.ray_module == "transformer":
+            macs = ray_transformer_macs(self.fine_dims, points)
+        elif self.ray_module == "mixer":
+            macs = ray_mixer_macs(self.fine_dims,
+                                  max(self.n_max, points))
+        elif self.ray_module == "none":
+            macs = points * self.fine_dims.density_feature_dim
+        else:
+            raise ValueError(f"unknown ray module {self.ray_module!r}")
+        return 2.0 * macs
+
+    def coarse_flops_per_pixel(self) -> float:
+        if self.coarse_points <= 0:
+            return 0.0
+        per_point = per_point_macs(self.coarse_dims, self.coarse_views)
+        return 2.0 * self.coarse_points * per_point
+
+    def others_flops_per_pixel(self) -> float:
+        """Sampling, projection, interpolation, compositing (Step 5).
+
+        Per point: a 3x4 projective transform (12 MACs), bilinear interp
+        of D channels (3 lerps per channel) per view, the exp/accumulate
+        of Eq. 2 (~8 ops), and inverse-CDF sampling (~16 ops per focused
+        point).
+        """
+        total_points = self.fine_points_per_ray + self.coarse_points
+        project = 12 * (self.num_views * self.fine_points_per_ray
+                        + self.coarse_views * self.coarse_points)
+        interp_fine = 3 * self.fine_dims.feature_dim \
+            * self.num_views * self.fine_points_per_ray
+        interp_coarse = 3 * self.coarse_dims.feature_dim \
+            * self.coarse_views * self.coarse_points
+        compositing = 8 * total_points
+        sampling = 16 * self.points_per_ray
+        return float(project + interp_fine + interp_coarse + compositing
+                     + sampling)
+
+    def flops_per_pixel(self) -> float:
+        return (self.mlp_flops_per_pixel()
+                + self.ray_module_flops_per_pixel()
+                + self.coarse_flops_per_pixel()
+                + self.others_flops_per_pixel())
+
+    def total_flops(self) -> float:
+        total = self.num_pixels * self.flops_per_pixel()
+        if self.include_encoder:
+            total += 2.0 * self.num_views * encoder_macs_per_view(
+                self.fine_dims, self.height, self.width)
+        return total
+
+    def breakdown_flops_per_pixel(self) -> Dict[str, float]:
+        return {
+            "mlp": self.mlp_flops_per_pixel() + self.coarse_flops_per_pixel(),
+            "ray_module": self.ray_module_flops_per_pixel(),
+            "others": self.others_flops_per_pixel(),
+        }
+
+    # -- memory traffic --------------------------------------------------
+    def feature_elements(self) -> float:
+        """Scene-feature accesses per frame: H*W*P*S*D (+ coarse pass)."""
+        fine = (self.num_pixels * self.fine_points_per_ray * self.num_views
+                * self.fine_dims.feature_dim)
+        coarse = (self.num_pixels * self.coarse_points * self.coarse_views
+                  * self.coarse_dims.feature_dim)
+        return float(fine + coarse)
+
+    def feature_bytes(self, bytes_per_element: int = 1) -> float:
+        return self.feature_elements() * bytes_per_element
+
+    def weight_bytes(self, bytes_per_element: int = 1) -> float:
+        """Model weights touched per frame (small; they fit on-chip)."""
+        dims = self.fine_dims
+        view_in = dims.feature_dim + RGB_DIM + DIRECTION_DIM
+        params = (view_in * dims.view_hidden + dims.view_hidden ** 2
+                  + 3 * dims.view_hidden * dims.score_hidden + dims.score_hidden
+                  + (2 * dims.view_hidden + DIRECTION_DIM) * dims.score_hidden
+                  + dims.score_hidden
+                  + 2 * dims.view_hidden * dims.density_hidden
+                  + dims.density_hidden * dims.density_feature_dim)
+        if self.ray_module == "mixer":
+            params += (self.n_max ** 2 + dims.density_feature_dim ** 2
+                       + dims.density_feature_dim)
+        elif self.ray_module == "transformer":
+            params += 4 * dims.density_feature_dim * dims.transformer_qk_dim \
+                + dims.density_feature_dim
+        return float(params) * bytes_per_element
+
+
+# ----------------------------------------------------------------------
+# Canonical workloads used across the experiment suite
+# ----------------------------------------------------------------------
+def profiling_workload(height: int, width: int,
+                       num_views: int = 10) -> RenderWorkload:
+    """Sec. 2.3 profiling config: 196 points/ray, 10 source views,
+    vanilla model with ray transformer, no coarse pass, no pruning."""
+    return RenderWorkload(height=height, width=width, num_views=num_views,
+                          points_per_ray=196, ray_module="transformer")
+
+
+def table2_workload(row: str, num_views: int = 10) -> RenderWorkload:
+    """The Table 2 ablation ladder at paper scale."""
+    base = dict(height=756, width=1008, num_views=num_views)
+    if row == "vanilla":
+        return RenderWorkload(points_per_ray=196, ray_module="transformer",
+                              **base)
+    if row == "no_ray_transformer":
+        return RenderWorkload(points_per_ray=196, ray_module="none", **base)
+    if row == "ray_mixer":
+        return RenderWorkload(points_per_ray=196, ray_module="mixer",
+                              n_max=196, **base)
+    if row == "coarse_focus":
+        return RenderWorkload(points_per_ray=48, ray_module="mixer",
+                              coarse_points=16, n_max=64, **base)
+    if row == "pruned":
+        return RenderWorkload(points_per_ray=48, ray_module="mixer",
+                              coarse_points=16, n_max=64, prune_scale=0.25,
+                              **base)
+    raise KeyError(f"unknown Table 2 row {row!r}")
+
+
+def typical_workload(height: int = 800, width: int = 800,
+                     num_views: int = 6,
+                     points_per_ray: float = 64) -> RenderWorkload:
+    """Sec. 5.1 'typical workload': 800x800, 64 avg focused points,
+    6 source views, delivered (pruned, mixer) Gen-NeRF model."""
+    return RenderWorkload(height=height, width=width, num_views=num_views,
+                          points_per_ray=points_per_ray, ray_module="mixer",
+                          coarse_points=16, n_max=max(64, int(points_per_ray)),
+                          prune_scale=0.25)

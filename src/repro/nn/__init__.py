@@ -1,0 +1,27 @@
+"""``repro.nn`` — numpy autograd substrate (PyTorch substitute).
+
+Public surface: :class:`Tensor` with reverse-mode autograd, layer modules,
+attention, optimisers and (de)serialisation.  See DESIGN.md for why this
+substrate exists.
+"""
+
+from . import functional
+from .attention import MultiHeadSelfAttention, TransformerBlock
+from .layers import (MLP, AvgPool2d, Conv2d, ELU, LayerNorm, Linear, Module,
+                     Parameter, ReLU, Sequential, Sigmoid)
+from .optim import (Adam, ConstantLR, ExponentialDecayLR, LRSchedule, SGD,
+                    clip_grad_norm)
+from .serialize import load_module, save_module
+from .tensor import (Tensor, as_tensor, concatenate, grad_enabled, no_grad,
+                     ones, stack, unbroadcast, where, zeros)
+
+__all__ = [
+    "functional",
+    "Tensor", "as_tensor", "concatenate", "stack", "where", "zeros", "ones",
+    "no_grad", "grad_enabled", "unbroadcast",
+    "Module", "Parameter", "Linear", "Conv2d", "AvgPool2d", "Sequential",
+    "MLP", "LayerNorm", "ReLU", "ELU", "Sigmoid",
+    "MultiHeadSelfAttention", "TransformerBlock",
+    "Adam", "SGD", "ConstantLR", "ExponentialDecayLR", "LRSchedule",
+    "clip_grad_norm", "save_module", "load_module",
+]

@@ -1,0 +1,184 @@
+"""Functional operations built on :class:`repro.nn.tensor.Tensor`.
+
+These mirror the subset of ``torch.nn.functional`` that the Gen-NeRF
+algorithm stack needs: activations, softmax (for the ray-transformer
+baseline and IBRNet's visibility-style pooling), layer norm, masked ops
+(for padded focused samples), and the MSE training loss from paper Eq. 3.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor, concatenate, stack, where  # noqa: F401
+
+
+def relu(x: Tensor) -> Tensor:
+    return as_tensor(x).relu()
+
+
+def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
+    return as_tensor(x).elu(alpha)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return as_tensor(x).sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return as_tensor(x).tanh()
+
+
+def softplus(x: Tensor) -> Tensor:
+    return as_tensor(x).softplus()
+
+
+def exp(x: Tensor) -> Tensor:
+    return as_tensor(x).exp()
+
+
+def log(x: Tensor) -> Tensor:
+    return as_tensor(x).log()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def masked_softmax(x: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
+    """Softmax that assigns zero probability where ``mask`` is False.
+
+    Used by the ray transformer when focused sampling pads rays to
+    ``N_max``: padded points must not attend or be attended to.
+    """
+    x = as_tensor(x)
+    mask = np.asarray(mask, dtype=bool)
+    neg = np.where(mask, 0.0, -1e9).astype(x.dtype)
+    shifted = x + Tensor(neg)
+    shifted = shifted - Tensor(shifted.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp() * Tensor(mask.astype(x.dtype))
+    denom = exps.sum(axis=axis, keepdims=True) + 1e-12
+    return exps / denom
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the last axis."""
+    x = as_tensor(x)
+    mu = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    normed = (x - mu) / (var + eps).sqrt()
+    return normed * gamma + beta
+
+
+def mse_loss(prediction: Tensor, target) -> Tensor:
+    """Mean-square error, paper Eq. 3 (averaged rather than summed)."""
+    prediction = as_tensor(prediction)
+    target = as_tensor(target)
+    diff = prediction - target.detach()
+    return (diff * diff).mean()
+
+
+def masked_mse_loss(prediction: Tensor, target, mask: np.ndarray) -> Tensor:
+    """MSE over valid entries only; padded focused samples carry no loss."""
+    prediction = as_tensor(prediction)
+    target = as_tensor(target)
+    mask_arr = np.asarray(mask, dtype=prediction.dtype)
+    diff = (prediction - target.detach()) * Tensor(mask_arr)
+    denom = float(mask_arr.sum()) if mask_arr.sum() > 0 else 1.0
+    return (diff * diff).sum() * (1.0 / denom)
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator,
+            training: bool = True) -> Tensor:
+    """Inverted dropout; identity when not training or rate==0."""
+    x = as_tensor(x)
+    if not training or rate <= 0.0:
+        return x
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep).astype(x.dtype) / keep
+    return x * Tensor(mask)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ W + b`` with ``W`` of shape (in, out)."""
+    out = as_tensor(x) @ weight
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def pad_last_axes(x: Tensor, pad: Sequence[tuple], value: float = 0.0) -> Tensor:
+    """Constant-pad trailing axes; gradient flows to the unpadded region."""
+    x = as_tensor(x)
+    widths = [(0, 0)] * (x.ndim - len(pad)) + list(pad)
+    out_data = np.pad(x.data, widths, constant_values=value)
+    slicer = tuple(slice(lo, out_data.shape[i] - hi)
+                   for i, (lo, hi) in enumerate(widths))
+
+    def backward(g: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(g[slicer])
+
+    return x._make(out_data, (x,), backward)
+
+
+def im2col(images: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
+    """Rearrange (B, C, H, W) into (B, out_h*out_w, C*k*k) patches.
+
+    Pure-numpy strided gather used by :class:`repro.nn.layers.Conv2d`; the
+    same rearrangement is how the accelerator's systolic arrays consume
+    convolutions as GEMMs, so keeping it explicit documents the mapping.
+    """
+    batch, channels, height, width = images.shape
+    if padding:
+        images = np.pad(images,
+                        ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = (height + 2 * padding - kernel) // stride + 1
+    out_w = (width + 2 * padding - kernel) // stride + 1
+    strides = images.strides
+    shape = (batch, channels, out_h, out_w, kernel, kernel)
+    view = np.lib.stride_tricks.as_strided(
+        images,
+        shape=shape,
+        strides=(strides[0], strides[1],
+                 strides[2] * stride, strides[3] * stride,
+                 strides[2], strides[3]),
+        writeable=False,
+    )
+    # (B, out_h, out_w, C, k, k) -> (B, out_h*out_w, C*k*k)
+    cols = view.transpose(0, 2, 3, 1, 4, 5).reshape(
+        batch, out_h * out_w, channels * kernel * kernel)
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def col2im(cols: np.ndarray, image_shape, kernel: int, stride: int,
+           padding: int) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add patches back into an image."""
+    batch, channels, height, width = image_shape
+    padded_h = height + 2 * padding
+    padded_w = width + 2 * padding
+    out_h = (padded_h - kernel) // stride + 1
+    out_w = (padded_w - kernel) // stride + 1
+    images = np.zeros((batch, channels, padded_h, padded_w), dtype=cols.dtype)
+    cols6 = cols.reshape(batch, out_h, out_w, channels, kernel, kernel)
+    for ky in range(kernel):
+        y_max = ky + stride * out_h
+        for kx in range(kernel):
+            x_max = kx + stride * out_w
+            images[:, :, ky:y_max:stride, kx:x_max:stride] += (
+                cols6[:, :, :, :, ky, kx].transpose(0, 3, 1, 2))
+    if padding:
+        images = images[:, :, padding:-padding, padding:-padding]
+    return images

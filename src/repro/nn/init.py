@@ -1,0 +1,40 @@
+"""Weight initialisers.
+
+Seeded ``np.random.Generator`` objects are threaded through all module
+constructors so every experiment in the reproduction is deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import DEFAULT_DTYPE
+
+
+def xavier_uniform(rng: np.random.Generator, fan_in: int, fan_out: int,
+                   shape=None) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-a, a) with a = sqrt(6/(fan_in+fan_out))."""
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    shape = shape if shape is not None else (fan_in, fan_out)
+    return rng.uniform(-bound, bound, size=shape).astype(DEFAULT_DTYPE)
+
+
+def kaiming_uniform(rng: np.random.Generator, fan_in: int,
+                    shape=None) -> np.ndarray:
+    """He/Kaiming uniform for ReLU-family activations."""
+    bound = np.sqrt(6.0 / fan_in)
+    if shape is None:
+        raise ValueError("kaiming_uniform requires an explicit shape")
+    return rng.uniform(-bound, bound, size=shape).astype(DEFAULT_DTYPE)
+
+
+def normal(rng: np.random.Generator, shape, std: float = 0.02) -> np.ndarray:
+    return (rng.standard_normal(shape) * std).astype(DEFAULT_DTYPE)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape, dtype=DEFAULT_DTYPE)
+
+
+def ones(shape) -> np.ndarray:
+    return np.ones(shape, dtype=DEFAULT_DTYPE)

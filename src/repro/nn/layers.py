@@ -1,0 +1,267 @@
+"""Neural-network modules: the layer zoo used by the Gen-NeRF models.
+
+Provides a torch-like ``Module`` tree with named parameters, plus the
+concrete layers the paper's models need — ``Linear`` (the MLP ``f`` and
+Ray-Mixer are FC stacks), ``Conv2d`` (the CNN encoder ``E`` over source
+views), ``LayerNorm`` (ray transformer blocks), and containers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .tensor import Tensor, as_tensor, grad_enabled
+
+
+class Parameter(Tensor):
+    """A tensor registered as trainable state of a :class:`Module`."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class with parameter registration and traversal.
+
+    Subclasses assign :class:`Parameter` and ``Module`` instances as
+    attributes; ``named_parameters`` walks the tree in declaration order,
+    which makes ``state_dict`` layouts stable across runs.
+    """
+
+    def __init__(self):
+        self._parameters: Dict[str, Parameter] = {}
+        self._modules: Dict[str, "Module"] = {}
+        self.training = True
+
+    def __setattr__(self, name, value):
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield prefix + name, param
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix + name + ".")
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state mismatch: missing={sorted(missing)}, "
+                           f"unexpected={sorted(unexpected)}")
+        for name, param in own.items():
+            if param.data.shape != state[name].shape:
+                raise ValueError(f"shape mismatch for {name}: "
+                                 f"{param.data.shape} vs {state[name].shape}")
+            param.data[...] = state[name]
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine layer ``y = x @ W + b`` with ``W`` shaped (in, out)."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: Optional[np.random.Generator] = None, bias: bool = True):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform(rng, in_features, out_features))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(as_tensor(x), self.weight, self.bias)
+
+    def flops(self, batch: int) -> int:
+        """Multiply-accumulate FLOPs (2 per MAC) for ``batch`` rows."""
+        flops = 2 * batch * self.in_features * self.out_features
+        if self.bias is not None:
+            flops += batch * self.out_features
+        return flops
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class ELU(Module):
+    def __init__(self, alpha: float = 1.0):
+        super().__init__()
+        self.alpha = alpha
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.elu(x, self.alpha)
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.sigmoid(x)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._order: List[str] = []
+        for index, module in enumerate(modules):
+            name = f"m{index}"
+            setattr(self, name, module)
+            self._order.append(name)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for name in self._order:
+            x = getattr(self, name)(x)
+        return x
+
+    def __iter__(self):
+        return (getattr(self, name) for name in self._order)
+
+    def __len__(self):
+        return len(self._order)
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the trailing feature axis."""
+
+    def __init__(self, features: int, eps: float = 1e-5):
+        super().__init__()
+        self.features = features
+        self.eps = eps
+        self.gamma = Parameter(init.ones((features,)))
+        self.beta = Parameter(init.zeros((features,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(as_tensor(x), self.gamma, self.beta, self.eps)
+
+
+class MLP(Module):
+    """Stack of Linear layers with a shared activation.
+
+    ``hidden`` lists hidden widths; the final Linear has no activation.
+    This is the workhorse for the NeRF MLP ``f`` and the mixer blocks.
+    """
+
+    def __init__(self, in_features: int, hidden: Sequence[int], out_features: int,
+                 rng: Optional[np.random.Generator] = None,
+                 activation: str = "elu"):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        widths = [in_features] + list(hidden) + [out_features]
+        act = {"relu": ReLU, "elu": ELU, "sigmoid": Sigmoid}[activation]
+        modules: List[Module] = []
+        for i, (w_in, w_out) in enumerate(zip(widths[:-1], widths[1:])):
+            modules.append(Linear(w_in, w_out, rng=rng))
+            if i < len(widths) - 2:
+                modules.append(act())
+        self.net = Sequential(*modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)
+
+    def flops(self, batch: int) -> int:
+        return sum(m.flops(batch) for m in self.net if isinstance(m, Linear))
+
+
+class Conv2d(Module):
+    """2D convolution on (B, C, H, W) tensors via im2col + GEMM.
+
+    The CNN encoder ``E`` in generalizable NeRFs is a one-time cost per
+    scene (paper Sec. 2.2 Step 0), so clarity is preferred over speed.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel: int = 3,
+                 stride: int = 1, padding: int = 1,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel * kernel
+        self.weight = Parameter(
+            init.kaiming_uniform(rng, fan_in, shape=(fan_in, out_channels)))
+        self.bias = Parameter(init.zeros((out_channels,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        batch, _, height, width = x.shape
+        cols, out_h, out_w = F.im2col(x.data, self.kernel, self.stride,
+                                      self.padding)
+        cols_t = Tensor(cols)
+        image_shape = x.shape
+        kernel, stride, padding = self.kernel, self.stride, self.padding
+
+        if x.requires_grad and grad_enabled():
+            def backward(g: np.ndarray) -> None:
+                x._accumulate(F.col2im(g, image_shape, kernel, stride, padding))
+
+            cols_t = Tensor(cols, requires_grad=True, _parents=(x,),
+                            _backward=backward)
+
+        out = cols_t @ self.weight + self.bias  # (B, oh*ow, out_c)
+        return out.reshape(batch, out_h, out_w, self.out_channels).transpose(
+            (0, 3, 1, 2))
+
+    def flops(self, batch: int, height: int, width: int) -> int:
+        out_h = (height + 2 * self.padding - self.kernel) // self.stride + 1
+        out_w = (width + 2 * self.padding - self.kernel) // self.stride + 1
+        macs = (batch * out_h * out_w * self.out_channels
+                * self.in_channels * self.kernel * self.kernel)
+        return 2 * macs
+
+
+class AvgPool2d(Module):
+    """Non-overlapping average pooling on (B, C, H, W)."""
+
+    def __init__(self, kernel: int = 2):
+        super().__init__()
+        self.kernel = kernel
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        batch, channels, height, width = x.shape
+        k = self.kernel
+        out_h, out_w = height // k, width // k
+        trimmed = x[:, :, :out_h * k, :out_w * k]
+        reshaped = trimmed.reshape(batch, channels, out_h, k, out_w, k)
+        return reshaped.mean(axis=(3, 5))

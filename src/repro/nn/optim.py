@@ -1,0 +1,128 @@
+"""Optimisers and learning-rate schedules.
+
+The paper trains with Adam at an initial LR of 5e-4 with exponential
+decay (Sec. 5.1); both are provided here, plus plain SGD for tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .layers import Parameter
+
+
+class LRSchedule:
+    """Base class: maps a step index to a learning rate."""
+
+    def __call__(self, step: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantLR(LRSchedule):
+    def __init__(self, lr: float):
+        self.lr = lr
+
+    def __call__(self, step: int) -> float:
+        return self.lr
+
+
+class ExponentialDecayLR(LRSchedule):
+    """lr(step) = initial * decay_rate ** (step / decay_steps)."""
+
+    def __init__(self, initial: float = 5e-4, decay_rate: float = 0.1,
+                 decay_steps: int = 250_000):
+        self.initial = initial
+        self.decay_rate = decay_rate
+        self.decay_steps = decay_steps
+
+    def __call__(self, step: int) -> float:
+        return self.initial * self.decay_rate ** (step / self.decay_steps)
+
+
+class Optimizer:
+    """Base optimiser over a flat parameter list."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-3,
+                 schedule: Optional[LRSchedule] = None):
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        self.schedule = schedule or ConstantLR(lr)
+        self.step_count = 0
+
+    @property
+    def lr(self) -> float:
+        return self.schedule(self.step_count)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Vanilla SGD with optional momentum."""
+
+    def __init__(self, parameters, lr: float = 1e-2, momentum: float = 0.0,
+                 schedule: Optional[LRSchedule] = None):
+        super().__init__(parameters, lr=lr, schedule=schedule)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        lr = self.lr
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            if self.momentum:
+                velocity *= self.momentum
+                velocity -= lr * param.grad
+                param.data += velocity
+            else:
+                param.data -= lr * param.grad
+        self.step_count += 1
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(self, parameters, lr: float = 5e-4, betas=(0.9, 0.999),
+                 eps: float = 1e-8, schedule: Optional[LRSchedule] = None):
+        super().__init__(parameters, lr=lr, schedule=schedule)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self.step_count += 1
+        lr = self.lr
+        t = self.step_count
+        bias1 = 1.0 - self.beta1 ** t
+        bias2 = 1.0 - self.beta2 ** t
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so the global L2 norm is <= max_norm."""
+    params = [p for p in parameters if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for param in params:
+            param.grad *= scale
+    return total

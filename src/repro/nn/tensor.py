@@ -1,0 +1,607 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This module is the numerical substrate for the whole reproduction: the
+paper's algorithm side (IBRNet-style generalizable NeRF, the ray
+transformer baseline, and the Ray-Mixer) is trained with gradient descent,
+which the original authors ran through PyTorch.  Offline we have only
+numpy, so ``Tensor`` provides the minimal-but-complete reverse-mode
+autograd needed: broadcasting-aware elementwise ops, matmul, reductions,
+shape ops, and indexing.
+
+Design notes
+------------
+* A ``Tensor`` wraps an ``np.ndarray`` (``float32`` by default) plus an
+  optional gradient accumulated during :meth:`Tensor.backward`.
+* Each op records its parents and a closure that pushes the output
+  gradient back to them.  ``backward`` runs a topological sort and applies
+  the closures in reverse order.
+* Broadcasting follows numpy semantics; gradients are un-broadcast by
+  summing over expanded axes (see :func:`unbroadcast`).
+* Gradient tracking can be suspended with :class:`no_grad` (used by the
+  renderers at inference time so that large image-sized graphs are never
+  built).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+DEFAULT_DTYPE = np.float32
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+_GRAD_ENABLED = [True]
+
+
+class no_grad(contextlib.ContextDecorator):
+    """Context manager that disables graph construction.
+
+    Inside the context, ops produce plain result tensors with
+    ``requires_grad=False`` and record no parents, so inference never
+    accumulates memory for backward.
+    """
+
+    def __enter__(self):
+        self._prev = _GRAD_ENABLED[0]
+        _GRAD_ENABLED[0] = False
+        return self
+
+    def __exit__(self, *exc):
+        _GRAD_ENABLED[0] = self._prev
+        return False
+
+
+def grad_enabled() -> bool:
+    """Return True when ops should record the autograd graph."""
+    return _GRAD_ENABLED[0]
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so it matches ``shape`` after numpy broadcasting.
+
+    Broadcasting may have (a) prepended axes and (b) expanded size-1 axes;
+    the adjoint of both is a sum over the broadcast axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were expanded from size 1.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    arr = np.asarray(value, dtype=dtype or DEFAULT_DTYPE)
+    return arr
+
+
+def as_tensor(value: ArrayLike, dtype=None) -> "Tensor":
+    """Coerce ``value`` to a :class:`Tensor` without copying when possible."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(_as_array(value, dtype))
+
+
+class Tensor:
+    """A numpy array with reverse-mode autograd.
+
+    Parameters
+    ----------
+    data:
+        Anything ``np.asarray`` accepts.  Stored as ``float32`` unless the
+        array already has a floating dtype.
+    requires_grad:
+        When True, :meth:`backward` will populate :attr:`grad`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: Tuple["Tensor", ...] = (),
+        _backward: Optional[Callable[[np.ndarray], None]] = None,
+        name: str = "",
+    ):
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.asarray(data)
+        if not np.issubdtype(arr.dtype, np.floating):
+            arr = arr.astype(DEFAULT_DTYPE)
+        self.data: np.ndarray = arr
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._parents = _parents if grad_enabled() else ()
+        self._backward = _backward if grad_enabled() else None
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, dtype={self.dtype}{flag})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # Graph mechanics
+    # ------------------------------------------------------------------
+    def _make(self, data: np.ndarray, parents: Tuple["Tensor", ...],
+              backward: Callable[[np.ndarray], None]) -> "Tensor":
+        requires = grad_enabled() and any(p.requires_grad for p in parents)
+        if not requires:
+            return Tensor(data)
+        return Tensor(data, requires_grad=True, _parents=parents, _backward=backward)
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.astype(self.data.dtype, copy=True)
+        else:
+            self.grad += grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.size != 1:
+                raise RuntimeError("backward() without grad requires a scalar output")
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+            if grad.shape != self.shape:
+                raise ValueError(f"grad shape {grad.shape} != tensor shape {self.shape}")
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited and parent.requires_grad:
+                    stack.append((parent, False))
+
+        # Each op's backward closure pushes into its parents' ``.grad`` via
+        # ``_accumulate``; reversed post-order guarantees a node's grad is
+        # complete before its own closure fires.
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(unbroadcast(g, self.shape))
+            if other.requires_grad:
+                other._accumulate(unbroadcast(g, other.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-g)
+
+        return self._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other) + (-self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data * other.data
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(unbroadcast(g * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(unbroadcast(g * self.data, other.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data / other.data
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(unbroadcast(g / other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(
+                    unbroadcast(-g * self.data / (other.data ** 2), other.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data ** exponent
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g * exponent * self.data ** (exponent - 1))
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g * out_data)
+
+        return self._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g / self.data)
+
+        return self._make(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g * (1.0 - out_data ** 2))
+
+        return self._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        # Numerically stable logistic.
+        out_data = np.where(
+            self.data >= 0,
+            1.0 / (1.0 + np.exp(-np.clip(self.data, -60, 60))),
+            np.exp(np.clip(self.data, -60, 60))
+            / (1.0 + np.exp(np.clip(self.data, -60, 60))),
+        ).astype(self.data.dtype)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g * out_data * (1.0 - out_data))
+
+        return self._make(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out_data = self.data * mask
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g * mask)
+
+        return self._make(out_data, (self,), backward)
+
+    def elu(self, alpha: float = 1.0) -> "Tensor":
+        pos = self.data > 0
+        expm1 = np.expm1(np.minimum(self.data, 0.0))
+        out_data = np.where(pos, self.data, alpha * expm1).astype(self.data.dtype)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                local = np.where(pos, 1.0, alpha * (expm1 + 1.0))
+                self._accumulate(g * local)
+
+        return self._make(out_data, (self,), backward)
+
+    def softplus(self) -> "Tensor":
+        out_data = np.logaddexp(0.0, self.data).astype(self.data.dtype)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                sig = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60, 60)))
+                self._accumulate(g * sig)
+
+        return self._make(out_data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        out_data = np.abs(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g * np.sign(self.data))
+
+        return self._make(out_data, (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        out_data = np.clip(self.data, low, high)
+        mask = (self.data > low) & (self.data < high)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g * mask)
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            grad = g
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis=axis)
+            self._accumulate(np.broadcast_to(grad, self.shape).copy())
+
+        return self._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = 1
+            for ax in axes:
+                count *= self.shape[ax]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        out = (centered * centered).mean(axis=axis, keepdims=keepdims)
+        return out
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            expanded = out_data
+            grad = g
+            if axis is not None and not keepdims:
+                expanded = np.expand_dims(out_data, axis=axis)
+                grad = np.expand_dims(g, axis=axis)
+            mask = (self.data == expanded)
+            # Split gradient evenly among ties (matches numpy/pytorch-ish).
+            counts = mask.sum(axis=axis if axis is not None else None, keepdims=True)
+            self._accumulate(np.broadcast_to(grad, self.shape) * mask / counts)
+
+        return self._make(out_data, (self,), backward)
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return -((-self).max(axis=axis, keepdims=keepdims))
+
+    def cumsum(self, axis: int = -1) -> "Tensor":
+        """Cumulative sum; the adjoint is a reversed cumulative sum."""
+        out_data = np.cumsum(self.data, axis=axis)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                flipped = np.flip(g, axis=axis)
+                self._accumulate(np.flip(np.cumsum(flipped, axis=axis),
+                                         axis=axis))
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Linear algebra
+    # ------------------------------------------------------------------
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data @ other.data
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                if other.data.ndim == 1:
+                    ga = np.multiply.outer(g, other.data) if self.data.ndim > 1 else g * other.data
+                else:
+                    ga = g @ np.swapaxes(other.data, -1, -2)
+                if self.data.ndim == 1 and ga.ndim > 1:
+                    ga = ga.sum(axis=tuple(range(ga.ndim - 1)))
+                self._accumulate(unbroadcast(np.asarray(ga), self.shape))
+            if other.requires_grad:
+                if self.data.ndim == 1:
+                    gb = np.multiply.outer(self.data, g) if other.data.ndim > 1 else self.data * g
+                else:
+                    gb = np.swapaxes(self.data, -1, -2) @ g
+                if other.data.ndim == 1 and gb.ndim > 1:
+                    gb = gb.sum(axis=tuple(range(gb.ndim - 1)))
+                other._accumulate(unbroadcast(np.asarray(gb), other.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        in_shape = self.shape
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g.reshape(in_shape))
+
+        return self._make(out_data, (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        out_data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g.transpose(inverse))
+
+        return self._make(out_data, (self,), backward)
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(tuple(axes))
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, g)
+                self._accumulate(full)
+
+        return self._make(out_data, (self,), backward)
+
+    def expand_dims(self, axis: int) -> "Tensor":
+        out_data = np.expand_dims(self.data, axis)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(np.squeeze(g, axis=axis))
+
+        return self._make(out_data, (self,), backward)
+
+    def squeeze(self, axis: int) -> "Tensor":
+        out_data = np.squeeze(self.data, axis=axis)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(np.expand_dims(g, axis=axis))
+
+        return self._make(out_data, (self,), backward)
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                slicer = [slice(None)] * g.ndim
+                slicer[axis] = slice(int(start), int(stop))
+                tensor._accumulate(g[tuple(slicer)])
+
+    requires = grad_enabled() and any(t.requires_grad for t in tensors)
+    if not requires:
+        return Tensor(out_data)
+    return Tensor(out_data, requires_grad=True, _parents=tuple(tensors),
+                  _backward=backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient routing."""
+    tensors = [as_tensor(t) for t in tensors]
+    expanded = [t.expand_dims(axis) for t in tensors]
+    return concatenate(expanded, axis=axis)
+
+
+def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Differentiable ``np.where`` with a constant condition mask."""
+    cond = np.asarray(condition, dtype=bool)
+    a = as_tensor(a)
+    b = as_tensor(b)
+    out_data = np.where(cond, a.data, b.data)
+
+    def backward(g: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(unbroadcast(g * cond, a.shape))
+        if b.requires_grad:
+            b._accumulate(unbroadcast(g * ~cond, b.shape))
+
+    requires = grad_enabled() and (a.requires_grad or b.requires_grad)
+    if not requires:
+        return Tensor(out_data)
+    return Tensor(out_data, requires_grad=True, _parents=(a, b), _backward=backward)
+
+
+def zeros(shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+
+
+def ones(shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)

@@ -1,0 +1,123 @@
+"""Seeded procedural scene generation for the three dataset families.
+
+Each generator arranges analytic fields into layouts whose statistics
+match what the paper's datasets stress:
+
+* **LLFF-like** — forward-facing clutter at mixed depths with occlusion
+  (the "fern/fortress/horns/trex" regime); the named scene analogues
+  used in Tables 2–3 come from fixed seeds with distinct layout traits.
+* **NeRF-Synthetic-like** — a compact object assembly at the origin with
+  lots of empty space around it, viewed from an inward orbit.
+* **DeepVoxels-like** — a single, simple Lambertian object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from .fields import (CompositeField, Field, GaussianBlob, GroundPlane,
+                     SolidBox, SphereShell)
+
+# Distinct layout fingerprints for the four LLFF scene analogues used in
+# the paper's Tables 2-3.  Each tuple: (#blobs, #boxes, #shells, clutter
+# spread, has_ground).  Chosen so "fortress" (a simple solid object) is
+# the easiest and "fern"/"trex" (thin cluttered structure) the hardest,
+# mirroring the ordering of the paper's per-scene PSNR columns.
+LLFF_SCENE_TRAITS: Dict[str, tuple] = {
+    "fern": (7, 0, 2, 1.6, True),
+    "fortress": (1, 2, 0, 0.7, True),
+    "horns": (3, 1, 2, 1.2, True),
+    "trex": (6, 1, 1, 1.5, True),
+}
+
+
+def _random_color(rng: np.random.Generator) -> np.ndarray:
+    color = rng.uniform(0.2, 0.95, size=3)
+    color[rng.integers(0, 3)] = rng.uniform(0.7, 1.0)
+    return color
+
+
+def _random_blob(rng: np.random.Generator, center_region: float,
+                 depth_offset: float = 0.0, view_tint: float = 0.15
+                 ) -> GaussianBlob:
+    center = rng.uniform(-center_region, center_region, size=3)
+    center[2] += depth_offset
+    return GaussianBlob(center=center,
+                        radius=rng.uniform(0.12, 0.4),
+                        peak_density=rng.uniform(15.0, 45.0),
+                        base_color=_random_color(rng),
+                        view_tint=view_tint)
+
+
+def _random_box(rng: np.random.Generator, center_region: float,
+                depth_offset: float = 0.0) -> SolidBox:
+    center = rng.uniform(-center_region, center_region, size=3)
+    center[2] += depth_offset
+    return SolidBox(center=center,
+                    half_extent=rng.uniform(0.15, 0.45, size=3),
+                    density_value=rng.uniform(30.0, 60.0),
+                    base_color=_random_color(rng))
+
+
+def _random_shell(rng: np.random.Generator, center_region: float,
+                  depth_offset: float = 0.0) -> SphereShell:
+    center = rng.uniform(-center_region, center_region, size=3)
+    center[2] += depth_offset
+    return SphereShell(center=center,
+                       radius=rng.uniform(0.2, 0.5),
+                       thickness=rng.uniform(0.03, 0.08),
+                       density_value=rng.uniform(40.0, 80.0),
+                       base_color=_random_color(rng))
+
+
+def llff_like_field(seed: int, scene_name: str = "fern") -> Field:
+    """Forward-facing cluttered scene analogue of an LLFF capture."""
+    if scene_name not in LLFF_SCENE_TRAITS:
+        raise KeyError(f"unknown LLFF scene analogue {scene_name!r}; "
+                       f"choose from {sorted(LLFF_SCENE_TRAITS)}")
+    blobs, boxes, shells, spread, ground = LLFF_SCENE_TRAITS[scene_name]
+    rng = np.random.default_rng(seed * 7919 + hash(scene_name) % 65536)
+    components: List[Field] = []
+    for _ in range(blobs):
+        components.append(_random_blob(rng, spread, view_tint=0.2))
+    for _ in range(boxes):
+        components.append(_random_box(rng, spread * 0.8))
+    for _ in range(shells):
+        components.append(_random_shell(rng, spread * 0.9))
+    if ground:
+        components.append(GroundPlane(height=1.1, extent=4.0))
+    return CompositeField(components)
+
+
+def nerf_synthetic_like_field(seed: int) -> Field:
+    """Compact object assembly at the origin, mostly empty space."""
+    rng = np.random.default_rng(seed * 104729 + 17)
+    components: List[Field] = []
+    count = int(rng.integers(3, 6))
+    for _ in range(count):
+        kind = rng.integers(0, 3)
+        if kind == 0:
+            components.append(_random_blob(rng, 0.5, view_tint=0.25))
+        elif kind == 1:
+            components.append(_random_box(rng, 0.45))
+        else:
+            components.append(_random_shell(rng, 0.4))
+    return CompositeField(components)
+
+
+def deepvoxels_like_field(seed: int) -> Field:
+    """Single Lambertian object (the paper's DeepVoxels split uses four
+    Lambertian objects; one simple solid per seed)."""
+    rng = np.random.default_rng(seed * 65537 + 3)
+    kind = int(rng.integers(0, 2))
+    if kind == 0:
+        return CompositeField([SolidBox(center=np.zeros(3),
+                                        half_extent=rng.uniform(0.3, 0.5, 3),
+                                        base_color=_random_color(rng))])
+    return CompositeField([SphereShell(center=np.zeros(3),
+                                       radius=rng.uniform(0.35, 0.55),
+                                       thickness=0.06,
+                                       base_color=_random_color(rng))])

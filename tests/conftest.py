@@ -1,0 +1,62 @@
+"""Shared fixtures: small scenes, rigs, and RNGs reused across the suite.
+
+Session-scoped where construction is expensive (procedural scenes render
+their source views once); tests treat them as read-only.
+"""
+
+import numpy as np
+import pytest
+
+from repro import models as M
+from repro.scenes import make_scene
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def llff_scene():
+    """A tiny LLFF-style scene (63x47) with 6 source views."""
+    return make_scene("llff", seed=1, scene_name="fortress",
+                      image_scale=1 / 16, num_source_views=6)
+
+
+@pytest.fixture(scope="session")
+def orbit_scene():
+    """A tiny NeRF-Synthetic-style scene (50x50) with 6 source views."""
+    return make_scene("nerf_synthetic", seed=3, image_scale=1 / 16,
+                      num_source_views=6)
+
+
+@pytest.fixture(scope="session")
+def llff_scene_data(llff_scene):
+    return M.SceneData.prepare(llff_scene, gt_points=96)
+
+
+@pytest.fixture(scope="session")
+def orbit_scene_data(orbit_scene):
+    return M.SceneData.prepare(orbit_scene, gt_points=96)
+
+
+def numerical_gradient(func, array, eps=1e-5):
+    """Central-difference gradient of a scalar function of ``array``."""
+    grad = np.zeros_like(array, dtype=np.float64)
+    it = np.nditer(array, flags=["multi_index"])
+    while not it.finished:
+        index = it.multi_index
+        original = array[index]
+        array[index] = original + eps
+        high = func(array)
+        array[index] = original - eps
+        low = func(array)
+        array[index] = original
+        grad[index] = (high - low) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+@pytest.fixture()
+def numgrad():
+    return numerical_gradient

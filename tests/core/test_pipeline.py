@@ -1,0 +1,72 @@
+"""Co-design pipeline tests (small-frame where a simulator runs)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import (CoDesignPipeline, dataflow_ablation,
+                                 hardware_rig)
+from repro.scenes.datasets import DATASETS, DatasetSpec
+
+
+class TestHardwareRig:
+    @pytest.mark.parametrize("family", ["llff", "nerf_synthetic",
+                                        "deepvoxels"])
+    def test_rig_sees_scene(self, family):
+        rig = hardware_rig(DATASETS[family], num_views=6)
+        assert rig.novel.in_view(np.zeros((1, 3)))[0]
+        for source in rig.sources:
+            assert source.in_view(np.zeros((1, 3)))[0]
+
+    def test_sources_cluster_near_novel(self):
+        """IBRNet-style closest-view conditioning: every source's viewing
+        direction is within ~25 degrees of the novel view's."""
+        rig = hardware_rig(DATASETS["nerf_synthetic"], num_views=10)
+        for source in rig.sources:
+            cosine = float(np.dot(source.forward, rig.novel.forward))
+            assert cosine > np.cos(np.radians(25.0))
+
+    def test_requested_view_count(self):
+        rig = hardware_rig(DATASETS["llff"], num_views=7)
+        assert len(rig.sources) == 7
+
+    def test_reproducible_by_seed(self):
+        a = hardware_rig(DATASETS["llff"], 4, seed=3)
+        b = hardware_rig(DATASETS["llff"], 4, seed=3)
+        assert np.allclose(a.sources[1].center, b.sources[1].center)
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        return CoDesignPipeline()
+
+    def test_dataset_workload_resolution(self, pipeline):
+        workload = pipeline.dataset_workload("llff")
+        assert (workload.height, workload.width) == (756, 1008)
+        assert workload.prune_scale == 0.25
+
+    def test_gpu_simulation(self, pipeline):
+        simulation = pipeline.simulate_gpu("rtx2080ti", "deepvoxels")
+        assert simulation.total_time_s > 0
+
+    def test_unknown_gpu_raises(self, pipeline):
+        with pytest.raises(KeyError):
+            pipeline.simulate_gpu("h100", "llff")
+
+    def test_fps_comparison_keys_and_ordering(self, pipeline):
+        result = pipeline.fps_comparison("deepvoxels")
+        assert result["gen_nerf_fps"] > result["rtx2080ti_fps"] \
+            > result["tx2_fps"]
+        assert result["speedup_vs_2080ti"] > 50
+
+
+SMALL_SPEC = DatasetSpec("small", width=128, height=96, fov_x_deg=50.0,
+                         near=2.0, far=6.0, rig="orbit", rig_distance=4.0)
+
+
+def test_dataflow_ablation_runs_small(monkeypatch):
+    monkeypatch.setitem(DATASETS, "small", SMALL_SPEC)
+    results = dataflow_ablation("small", num_views=4)
+    assert set(results) == {"ours", "var1", "var2", "var3"}
+    assert results["ours"].total_time_s \
+        <= min(r.total_time_s for r in results.values()) * 1.01

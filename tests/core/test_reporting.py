@@ -1,0 +1,51 @@
+"""Text table/series formatting tests."""
+
+from repro.core.reporting import format_series, format_table, ratio_note
+
+
+class TestFormatTable:
+    def test_contains_all_cells(self):
+        text = format_table(["name", "value"],
+                            [["alpha", 1.5], ["beta", 2.25]])
+        assert "alpha" in text and "beta" in text
+        assert "1.500" in text and "2.250" in text
+
+    def test_title_underlined(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1] == "=" * len("My Table")
+
+    def test_columns_aligned(self):
+        text = format_table(["col", "x"], [["aaaaaaaa", 1], ["b", 22]])
+        lines = text.splitlines()
+        first = lines[-2]
+        second = lines[-1]
+        assert first.index("1") == second.index("2")
+
+    def test_large_and_tiny_numbers(self):
+        text = format_table(["v"], [[123456.0], [0.00001]])
+        assert "1.23e+05" in text or "123456" in text or "1.23e5" in text
+        assert "1e-05" in text
+
+    def test_precision_option(self):
+        text = format_table(["v"], [[1.23456]], precision=1)
+        assert "1.2" in text and "1.23" not in text
+
+
+class TestFormatSeries:
+    def test_series_layout(self):
+        text = format_series("curve", [1, 2], [10.0, 20.0],
+                             x_label="points", y_label="psnr")
+        assert "points" in text and "psnr" in text
+        assert "curve" in text
+
+
+class TestRatioNote:
+    def test_with_paper_value(self):
+        note = ratio_note(10.0, 20.0, label="fps")
+        assert "0.50x" in note and "fps" in note
+
+    def test_without_paper_value(self):
+        note = ratio_note(10.0, 0.0, label="fps")
+        assert "N/A" in note

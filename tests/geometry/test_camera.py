@@ -1,0 +1,102 @@
+"""Camera model tests: projections, round trips, validation."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Camera, Intrinsics, camera_at
+
+
+@pytest.fixture()
+def camera():
+    intr = Intrinsics.from_fov(64, 48, 60.0)
+    return camera_at(np.array([0.5, -0.3, -4.0]), np.zeros(3), intr)
+
+
+class TestIntrinsics:
+    def test_from_fov_focal(self):
+        intr = Intrinsics.from_fov(100, 80, 90.0)
+        assert np.isclose(intr.fx, 50.0)
+        assert intr.cx == 50.0 and intr.cy == 40.0
+
+    def test_matrix_inverse(self):
+        intr = Intrinsics.from_fov(64, 48, 60.0)
+        assert np.allclose(intr.matrix @ intr.inverse, np.eye(3), atol=1e-12)
+
+    def test_scaled(self):
+        intr = Intrinsics.from_fov(64, 48, 60.0)
+        half = intr.scaled(0.5)
+        assert half.width == 32 and half.height == 24
+        assert np.isclose(half.fx, intr.fx * 0.5)
+
+
+class TestCamera:
+    def test_rejects_non_orthonormal_rotation(self):
+        intr = Intrinsics.from_fov(8, 8, 60.0)
+        with pytest.raises(ValueError):
+            Camera(intr, rotation=np.ones((3, 3)))
+
+    def test_rejects_bad_rotation_shape(self):
+        intr = Intrinsics.from_fov(8, 8, 60.0)
+        with pytest.raises(ValueError):
+            Camera(intr, rotation=np.eye(4))
+
+    def test_center_and_forward(self, camera):
+        assert np.allclose(camera.center, [0.5, -0.3, -4.0], atol=1e-12)
+        # Camera looks at the origin.
+        to_origin = -camera.center / np.linalg.norm(camera.center)
+        assert np.allclose(camera.forward, to_origin, atol=1e-12)
+
+    def test_world_camera_roundtrip(self, camera, rng):
+        pts = rng.uniform(-2, 2, (50, 3))
+        back = camera.camera_to_world(camera.world_to_camera(pts))
+        assert np.abs(back - pts).max() < 1e-12
+
+    def test_project_unproject_roundtrip(self, camera, rng):
+        pts = rng.uniform(-1, 1, (100, 3))
+        pixels, depth = camera.project(pts, return_depth=True)
+        assert (depth > 0).all()
+        back = camera.unproject(pixels, depth)
+        assert np.abs(back - pts).max() < 1e-9
+
+    def test_principal_point_projects_center(self, camera):
+        # A point straight ahead lands on the principal point.
+        ahead = camera.center + 2.0 * camera.forward
+        pix = camera.project(ahead[None])[0]
+        assert np.allclose(pix, [camera.intrinsics.cx, camera.intrinsics.cy],
+                           atol=1e-9)
+
+    def test_behind_camera_depth_negative(self, camera):
+        behind = camera.center - camera.forward
+        _, depth = camera.project(behind[None], return_depth=True)
+        assert depth[0] < 0
+
+    def test_in_view(self, camera):
+        assert camera.in_view(np.zeros((1, 3)))[0]
+        far_off = camera.center + 2.0 * camera.forward \
+            + np.array([100.0, 0, 0])
+        assert not camera.in_view(far_off[None])[0]
+
+    def test_pixel_ray_directions_unit_norm(self, camera, rng):
+        pixels = rng.uniform(0, 48, (20, 2))
+        dirs = camera.pixel_ray_directions(pixels)
+        assert np.allclose(np.linalg.norm(dirs, axis=-1), 1.0)
+
+    def test_ray_through_pixel_projects_back(self, camera):
+        pixel = np.array([[20.0, 30.0]])
+        direction = camera.pixel_ray_directions(pixel)[0]
+        point = camera.center + 3.0 * direction
+        assert np.allclose(camera.project(point[None])[0], pixel[0],
+                           atol=1e-9)
+
+    def test_resized_preserves_geometry(self, camera):
+        half = camera.resized(0.5)
+        point = np.array([[0.3, -0.2, 0.1]])
+        assert np.allclose(half.project(point), camera.project(point) * 0.5,
+                           atol=1e-9)
+
+    def test_projection_matrix_matches_project(self, camera, rng):
+        pts = rng.uniform(-1, 1, (10, 3))
+        homog = np.hstack([pts, np.ones((10, 1))])
+        proj = homog @ camera.projection_matrix.T
+        pixels = proj[:, :2] / proj[:, 2:3]
+        assert np.allclose(pixels, camera.project(pts), atol=1e-9)

@@ -1,0 +1,131 @@
+"""Epipolar geometry tests: the paper's Properties 1-3, executable."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (Camera, EpipolarPair, Intrinsics, camera_at,
+                            epipolar_line, epipole_in_novel,
+                            epipole_in_source, essential_matrix,
+                            fundamental_matrix,
+                            group_rays_by_epipolar_lines, orbit_cameras,
+                            pixels_through_epipole, point_line_distance,
+                            rays_for_pixels, relative_pose, skew)
+
+
+@pytest.fixture()
+def pair():
+    intr = Intrinsics.from_fov(64, 48, 60.0)
+    novel = camera_at(np.array([0.4, -0.2, -4.0]), np.zeros(3), intr)
+    source = camera_at(np.array([1.5, 0.5, -3.6]), np.zeros(3), intr)
+    return EpipolarPair(novel, source)
+
+
+class TestBasics:
+    def test_skew_matrix_cross_product(self, rng):
+        v = rng.standard_normal(3)
+        w = rng.standard_normal(3)
+        assert np.allclose(skew(v) @ w, np.cross(v, w))
+
+    def test_relative_pose_consistency(self, pair, rng):
+        r_rel, t_rel = relative_pose(pair.source, pair.novel)
+        pts = rng.uniform(-1, 1, (20, 3))
+        cam_n = pair.novel.world_to_camera(pts)
+        cam_s = pair.source.world_to_camera(pts)
+        assert np.allclose(cam_n @ r_rel.T + t_rel, cam_s, atol=1e-10)
+
+    def test_epipolar_constraint(self, pair, rng):
+        """x_s^T F x_n = 0 for projections of any 3D point."""
+        fundamental = pair.fundamental
+        pts = rng.uniform(-1.5, 1.5, (50, 3))
+        pix_n = pair.novel.project(pts)
+        pix_s = pair.source.project(pts)
+        h_n = np.hstack([pix_n, np.ones((50, 1))])
+        h_s = np.hstack([pix_s, np.ones((50, 1))])
+        residuals = np.einsum("ni,ij,nj->n", h_s, fundamental, h_n)
+        # Scale-invariant check against the matrix norm.
+        assert np.abs(residuals).max() < 1e-6 * np.abs(fundamental).max() * 1e4
+
+    def test_fundamental_rank_two(self, pair):
+        assert np.linalg.matrix_rank(pair.fundamental, tol=1e-10) == 2
+
+    def test_epipole_is_null_vector(self, pair):
+        """F e_n = 0 (the epipole lies on every epipolar line)."""
+        e_n = pair.epipole_novel
+        residual = pair.fundamental @ e_n
+        assert np.linalg.norm(residual) < 1e-6 * np.linalg.norm(e_n) \
+            * np.abs(pair.fundamental).max() * 1e3
+
+    def test_epipole_projects_other_center(self, pair):
+        e_s = pair.epipole_source
+        expected = pair.source.project(pair.novel.center[None])[0]
+        assert np.allclose(e_s[:2] / e_s[2], expected, atol=1e-8)
+
+
+class TestProperties:
+    def test_property1_ray_samples_on_line(self, pair):
+        residual = pair.property1_residual(np.array([20.0, 15.0]),
+                                           np.linspace(1.0, 8.0, 48))
+        assert residual < 1e-6
+
+    def test_property1_many_pixels(self, pair, rng):
+        for _ in range(5):
+            pixel = rng.uniform(5, 40, 2)
+            assert pair.property1_residual(pixel,
+                                           np.linspace(2, 6, 16)) < 1e-6
+
+    def test_property2_collinear_share_line(self, pair):
+        pixels = pixels_through_epipole(pair.epipole_novel, angle=1.1,
+                                        count=10)
+        assert pair.property2_line_spread(pixels) < 1e-6
+
+    def test_property2_random_do_not(self, pair, rng):
+        pixels = rng.uniform(0, 48, (10, 2))
+        assert pair.property2_line_spread(pixels) > 1e-3
+
+    def test_property3_monotone_in_extent(self, pair, rng):
+        spreads = []
+        for extent in (0.05, 0.2, 0.8):
+            cloud = rng.uniform(-extent, extent, (64, 3))
+            spreads.append(pair.property3_projection_spread(cloud))
+        assert spreads[0] < spreads[1] < spreads[2]
+
+    def test_property3_empty_cloud(self, pair):
+        assert pair.property3_projection_spread(np.zeros((1, 3))) == 0.0
+
+
+class TestRayGrouping:
+    def test_groups_are_balanced(self, pair, rng):
+        pixels = rng.uniform(0, 48, (2048, 2))
+        groups = group_rays_by_epipolar_lines(pair.novel, pair.source,
+                                              pixels, num_groups=8)
+        counts = np.bincount(groups, minlength=8)
+        assert counts.min() > 0.5 * counts.max()
+
+    def test_groups_share_epipolar_lines(self, pair, rng):
+        """Pixels in the same group have small epipolar-line spread
+        compared to the whole image."""
+        pixels = rng.uniform(0, 48, (512, 2))
+        groups = group_rays_by_epipolar_lines(pair.novel, pair.source,
+                                              pixels, num_groups=16)
+        grouped_spread = np.mean([
+            pair.property2_line_spread(pixels[groups == g])
+            for g in range(16) if (groups == g).sum() >= 2])
+        total_spread = pair.property2_line_spread(pixels)
+        assert grouped_spread < 0.5 * total_spread
+
+    def test_group_ids_in_range(self, pair, rng):
+        pixels = rng.uniform(0, 48, (100, 2))
+        groups = group_rays_by_epipolar_lines(pair.novel, pair.source,
+                                              pixels, num_groups=4)
+        assert groups.min() >= 0 and groups.max() <= 3
+
+
+class TestLineHelpers:
+    def test_point_line_distance_known(self):
+        line = np.array([1.0, 0.0, -3.0])     # x = 3
+        assert np.isclose(point_line_distance(line, np.array([5.0, 7.0])),
+                          2.0)
+
+    def test_epipolar_line_accepts_2d_pixels(self, pair):
+        line = epipolar_line(pair.fundamental, np.array([10.0, 10.0]))
+        assert line.shape == (3,)

@@ -1,0 +1,78 @@
+"""Ray bundle and depth sampling tests."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (Intrinsics, RayBundle, camera_at,
+                            image_shape_for_step, rays_for_image,
+                            rays_for_pixels, stratified_depths)
+
+
+@pytest.fixture()
+def camera():
+    return camera_at(np.array([0, 0, -4.0]), np.zeros(3),
+                     Intrinsics.from_fov(16, 12, 60.0))
+
+
+class TestRayBundle:
+    def test_validates_shapes(self):
+        with pytest.raises(ValueError):
+            RayBundle(np.zeros((3, 3)), np.zeros((4, 3)), 1.0, 2.0)
+
+    def test_validates_bounds(self):
+        with pytest.raises(ValueError):
+            RayBundle(np.zeros((2, 3)), np.ones((2, 3)), 5.0, 2.0)
+
+    def test_points_at(self, camera):
+        bundle = rays_for_pixels(camera, np.array([[8.0, 6.0]]), 1.0, 5.0)
+        depths = np.array([[1.0, 2.0, 4.0]])
+        points = bundle.points_at(depths)
+        assert points.shape == (1, 3, 3)
+        d = np.linalg.norm(points[0] - bundle.origins[0], axis=-1)
+        assert np.allclose(d, depths[0])
+
+    def test_select_mask(self, camera):
+        bundle = rays_for_image(camera, 1.0, 5.0, step=4)
+        mask = np.zeros(len(bundle), dtype=bool)
+        mask[:2] = True
+        sub = bundle.select(mask)
+        assert len(sub) == 2
+        assert sub.pixels.shape == (2, 2)
+
+
+class TestRayGeneration:
+    def test_rays_for_image_count(self, camera):
+        bundle = rays_for_image(camera, 1.0, 5.0, step=1)
+        assert len(bundle) == 16 * 12
+        rows, cols = image_shape_for_step(camera, 1)
+        assert (rows, cols) == (12, 16)
+
+    def test_strided_shape(self, camera):
+        bundle = rays_for_image(camera, 1.0, 5.0, step=5)
+        rows, cols = image_shape_for_step(camera, 5)
+        assert len(bundle) == rows * cols
+
+    def test_origins_at_camera_center(self, camera):
+        bundle = rays_for_image(camera, 1.0, 5.0, step=4)
+        assert np.allclose(bundle.origins, camera.center)
+
+    def test_directions_unit(self, camera):
+        bundle = rays_for_image(camera, 1.0, 5.0, step=3)
+        assert np.allclose(np.linalg.norm(bundle.directions, axis=-1), 1.0)
+
+
+class TestStratifiedDepths:
+    def test_bounds_and_sorted(self, rng):
+        depths = stratified_depths(rng, 10, 16, 2.0, 6.0)
+        assert depths.shape == (10, 16)
+        assert (depths >= 2.0).all() and (depths <= 6.0).all()
+        assert (np.diff(depths, axis=-1) >= 0).all()
+
+    def test_deterministic_centers(self, rng):
+        depths = stratified_depths(rng, 2, 4, 0.0, 4.0, jitter=False)
+        assert np.allclose(depths[0], [0.5, 1.5, 2.5, 3.5])
+
+    def test_one_sample_per_bin(self, rng):
+        depths = stratified_depths(rng, 100, 8, 0.0, 8.0)
+        bins = np.floor(depths).astype(int)
+        assert np.all(bins == np.arange(8))

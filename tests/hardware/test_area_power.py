@@ -1,0 +1,58 @@
+"""Area/power component model vs paper Table 1."""
+
+import pytest
+
+from repro.hardware.area_power import (PAPER_TABLE1, full_chip_budget,
+                                       prefetch_buffer_budget,
+                                       preprocessing_unit_budget,
+                                       rendering_engine_budget,
+                                       workload_scheduler_budget)
+from repro.hardware.energy import (dynamic_energy, frame_energy_from_power,
+                                   typical_chip_power_w)
+
+
+class TestTable1Calibration:
+    @pytest.mark.parametrize("key", ["scheduler", "ppu", "engine",
+                                     "prefetch", "total"])
+    def test_area_within_tolerance(self, key):
+        budget = full_chip_budget()[key]
+        paper_area, _ = PAPER_TABLE1[key]
+        assert abs(budget.area_mm2 - paper_area) <= 0.10 * paper_area
+
+    @pytest.mark.parametrize("key", ["scheduler", "ppu", "engine",
+                                     "prefetch", "total"])
+    def test_power_within_tolerance(self, key):
+        budget = full_chip_budget()[key]
+        _, paper_power = PAPER_TABLE1[key]
+        assert abs(budget.power_mw - paper_power) <= 0.10 * paper_power
+
+    def test_engine_dominates(self):
+        budget = full_chip_budget()
+        assert budget["engine"].area_mm2 > 0.7 * budget["total"].area_mm2
+
+    def test_total_is_sum(self):
+        budget = full_chip_budget()
+        parts = sum(budget[k].area_mm2
+                    for k in ("scheduler", "ppu", "engine", "prefetch"))
+        assert abs(parts - budget["total"].area_mm2) < 1e-9
+
+
+class TestEnergy:
+    def test_typical_power_near_paper(self):
+        """Table 4: 9.7 W typical."""
+        power = typical_chip_power_w()
+        assert 8.5 < power < 10.5
+
+    def test_dynamic_energy_components(self):
+        report = dynamic_energy(macs=1e9, sram_bytes=1e6, dram_bytes=1e6,
+                                sfu_ops=1e6)
+        assert report.total_j > 0
+        breakdown = report.breakdown()
+        assert set(breakdown) == {"compute", "sram", "dram", "sfu"}
+        assert abs(sum(breakdown.values()) - report.total_j) < 1e-12
+        # DRAM bytes cost far more than SRAM bytes.
+        assert report.dram_j > 10 * report.sram_j
+
+    def test_frame_energy_from_power(self):
+        assert frame_energy_from_power(0.040) \
+            == pytest.approx(typical_chip_power_w() * 0.040)

@@ -1,0 +1,65 @@
+"""DRAM timing model tests."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (DramConfig, DramModel, GDDR6_2080TI,
+                            LPDDR4_1600_TX2, LPDDR4_2400)
+
+
+@pytest.fixture()
+def dram():
+    return DramModel(LPDDR4_2400)
+
+
+class TestService:
+    def test_bandwidth_ceiling(self, dram):
+        """Perfectly balanced large streams approach but never beat the
+        channel's peak bandwidth."""
+        per_bank = [10 * 1024 * 1024] * 8
+        stats = dram.service(per_bank, [1] * 8)
+        assert stats.effective_bandwidth \
+            <= LPDDR4_2400.peak_bandwidth_bytes * 1.001
+
+    def test_imbalance_serialises(self, dram):
+        total = 8 * 1024 * 1024
+        balanced = dram.service([total / 8] * 8, [1] * 8)
+        skewed = dram.service([total] + [0.0] * 7, [1] + [0] * 7)
+        assert skewed.service_time_s > 1.5 * balanced.service_time_s
+        assert np.isclose(skewed.bytes_transferred,
+                          balanced.bytes_transferred)
+
+    def test_row_misses_cost_time(self, dram):
+        per_bank = [64 * 1024] * 8
+        few = dram.service(per_bank, [2] * 8)
+        many = dram.service(per_bank, [500] * 8)
+        assert many.service_time_s > few.service_time_s
+
+    def test_energy_scales_with_traffic(self, dram):
+        small = dram.service([1024] * 8, [1] * 8)
+        large = dram.service([1024 * 1024] * 8, [1] * 8)
+        assert large.energy_pj > 100 * small.energy_pj
+
+    def test_validates_shapes(self, dram):
+        with pytest.raises(ValueError):
+            dram.service([1.0, 2.0], [1])
+
+    def test_empty_batch(self, dram):
+        stats = dram.service([0.0] * 8, [0] * 8)
+        assert stats.service_time_s == 0.0
+        assert stats.effective_bandwidth == 0.0
+
+
+class TestStreamTime:
+    def test_matches_peak_for_large_transfers(self, dram):
+        time_s = dram.stream_time(100 * 1024 * 1024)
+        ideal = 100 * 1024 * 1024 / LPDDR4_2400.peak_bandwidth_bytes
+        assert time_s >= ideal
+        assert time_s < ideal * 1.5
+
+
+class TestDeviceConfigs:
+    def test_paper_bandwidths(self):
+        assert np.isclose(LPDDR4_2400.peak_bandwidth_bytes, 17.8e9)
+        assert np.isclose(LPDDR4_1600_TX2.peak_bandwidth_bytes, 25.6e9)
+        assert np.isclose(GDDR6_2080TI.peak_bandwidth_bytes, 616e9)

@@ -1,0 +1,73 @@
+"""Rendering engine compute model tests."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.engine import (RenderingEngine, point_network_gemms,
+                                   ray_module_gemms)
+from repro.models.workload import (DEFAULT_DIMS, RenderWorkload,
+                                   per_point_macs, typical_workload)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return RenderingEngine()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return typical_workload(height=96, width=128, num_views=4)
+
+
+class TestGemmLists:
+    def test_point_network_macs_match_workload_model(self):
+        """The GEMM list and the analytic MAC formula agree exactly."""
+        gemms = point_network_gemms(DEFAULT_DIMS, num_points=1, num_views=6)
+        total = sum(g.macs for g in gemms)
+        # per_point_macs excludes biases; GEMM list excludes them too.
+        assert total == per_point_macs(DEFAULT_DIMS, 6)
+
+    def test_ray_module_variants(self, workload):
+        from dataclasses import replace
+        for module in ("mixer", "none", "transformer"):
+            load = replace(workload, ray_module=module)
+            gemms = ray_module_gemms(load, num_rays=16)
+            assert sum(g.macs for g in gemms) > 0
+
+    def test_transformer_marks_dynamic_matmuls(self, workload):
+        from dataclasses import replace
+        load = replace(workload, ray_module="transformer")
+        gemms = ray_module_gemms(load, num_rays=4)
+        assert any(not g.shared_weights for g in gemms)
+
+
+class TestPatchCompute:
+    def test_breakdown_positive(self, engine, workload):
+        compute = engine.patch_compute(workload, num_points=4096,
+                                       num_rays=256)
+        assert compute.ppu_cycles > 0
+        assert compute.pool_cycles > 0
+        assert compute.sfu_cycles > 0
+        assert compute.cycles == max(compute.ppu_cycles,
+                                     compute.pool_cycles,
+                                     compute.sfu_cycles)
+
+    def test_coarse_stage_cheaper(self, engine, workload):
+        fine = engine.patch_compute(workload, 4096, 256)
+        coarse = engine.patch_compute(workload, 4096, 0, coarse_stage=True)
+        assert coarse.pool_cycles < fine.pool_cycles
+
+    def test_cache_hit_returns_same_object(self, engine, workload):
+        a = engine.patch_compute(workload, 1000, 100)
+        b = engine.patch_compute(workload, 1000, 100)
+        assert a is b
+
+    def test_sram_balance_slows_ppu(self, engine, workload):
+        fast = engine.patch_compute(workload, 8192, 256, sram_balance=1.0)
+        slow = engine.patch_compute(workload, 8192, 256, sram_balance=0.1)
+        assert slow.ppu_cycles > fast.ppu_cycles
+
+    def test_macs_scale_with_points(self, engine, workload):
+        small = engine.patch_compute(workload, 1024, 64)
+        large = engine.patch_compute(workload, 4096, 64)
+        assert large.pool_macs > 3 * small.pool_macs

@@ -1,0 +1,78 @@
+"""GPU roofline model tests: calibration anchors and scaling laws."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.gpu_model import (GpuModel, JETSON_TX2, RTX_2080TI)
+from repro.models.workload import profiling_workload, typical_workload
+
+
+@pytest.fixture(scope="module")
+def gpu():
+    return GpuModel(RTX_2080TI)
+
+
+@pytest.fixture(scope="module")
+def tx2():
+    return GpuModel(JETSON_TX2)
+
+
+class TestPaperAnchors:
+    def test_deepvoxels_fps_near_paper(self, gpu):
+        """Sec. 2.3: <= 0.249 FPS at best (DeepVoxels, the smallest)."""
+        simulation = gpu.simulate_frame(profiling_workload(512, 512))
+        assert 0.15 < simulation.fps < 0.4
+
+    def test_attention_time_share(self, gpu):
+        """Sec. 2.3: ray transformer is 44.1% of DNN time on LLFF."""
+        simulation = gpu.simulate_frame(profiling_workload(756, 1008))
+        assert 0.3 < simulation.dnn_attention_fraction() < 0.6
+
+    def test_gather_dominates(self, gpu):
+        """Sec. 2.3: feature acquisition is the biggest phase."""
+        simulation = gpu.simulate_frame(profiling_workload(756, 1008))
+        assert simulation.fraction("gather") > 0.4
+
+    def test_gen_nerf_workload_still_slow(self, gpu):
+        """Table 4: ~0.096 FPS despite 27x fewer FLOPs."""
+        simulation = gpu.simulate_frame(typical_workload(756, 1008))
+        assert 0.05 < simulation.fps < 0.25
+
+    def test_tx2_much_slower(self, gpu, tx2):
+        workload = typical_workload(756, 1008)
+        assert tx2.simulate_frame(workload).total_time_s \
+            > 10 * gpu.simulate_frame(workload).total_time_s
+
+
+class TestScalingLaws:
+    def test_time_scales_with_resolution(self, gpu):
+        small = gpu.simulate_frame(profiling_workload(512, 512))
+        large = gpu.simulate_frame(profiling_workload(1024, 1024))
+        ratio = large.total_time_s / small.total_time_s
+        assert 3.5 < ratio < 4.5
+
+    def test_time_scales_with_views(self, gpu):
+        few = gpu.simulate_frame(profiling_workload(512, 512, num_views=4))
+        many = gpu.simulate_frame(profiling_workload(512, 512, num_views=10))
+        assert many.total_time_s > 1.5 * few.total_time_s
+
+    def test_flops_reduction_barely_helps_gpu(self, gpu):
+        """The paper's core observation: 27x fewer FLOPs gives well under
+        27x GPU speedup (memory/divergence bound)."""
+        vanilla = gpu.simulate_frame(profiling_workload(756, 1008))
+        delivered = gpu.simulate_frame(typical_workload(756, 1008))
+        speedup = vanilla.total_time_s / delivered.total_time_s
+        assert speedup < 5.0
+
+    def test_mlp_efficiency_interpolation(self):
+        spec = RTX_2080TI
+        assert spec.mlp_efficiency(1.0) == spec.mlp_efficiency_wide
+        assert spec.mlp_efficiency(0.0) == spec.mlp_efficiency_narrow
+        mid = spec.mlp_efficiency(0.5)
+        assert spec.mlp_efficiency_narrow < mid < spec.mlp_efficiency_wide
+
+    def test_phase_fractions_sum_to_one(self, gpu):
+        simulation = gpu.simulate_frame(typical_workload(512, 512))
+        total = sum(simulation.fraction(p)
+                    for p in simulation.phase_seconds)
+        assert np.isclose(total, 1.0)

@@ -1,0 +1,111 @@
+"""Feature-storage interleaving tests (paper Fig. 6 / Sec. 4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.interleave import (FeatureStore, FootprintRegion,
+                                       LAYOUTS, _residue_counts,
+                                       balance_factor,
+                                       bank_load_for_footprints,
+                                       spatial_skew)
+
+
+def brute_force_load(store, region, num_banks):
+    """Reference implementation: enumerate every feature location."""
+    loads = np.zeros(num_banks, dtype=np.int64)
+    rows_touched = [set() for _ in range(num_banks)]
+    skew = spatial_skew(num_banks)
+    for row in range(region.row0, region.row1):
+        for col in range(region.col0, region.col1):
+            if store.layout == "row_major":
+                rows_per_bank = max(1, (store.num_views * store.height)
+                                    // num_banks)
+                bank = min((region.view * store.height + row)
+                           // rows_per_bank, num_banks - 1)
+            elif store.layout == "row_interleaved":
+                bank = (region.view * store.height + row) % num_banks
+            elif store.layout == "view_interleaved":
+                bank = region.view % num_banks
+            else:
+                bank = (skew * row + col) % num_banks
+            loads[bank] += 1
+            rows_touched[bank].add(row)
+    acts = np.array([len(s) for s in rows_touched], dtype=np.int64)
+    return loads, acts
+
+
+class TestResidueCounts:
+    def test_exact_enumeration(self):
+        for start, stop, mod in [(0, 10, 3), (5, 23, 4), (7, 7, 2),
+                                 (1, 100, 7)]:
+            counts = _residue_counts(start, stop, mod)
+            expected = np.bincount([i % mod for i in range(start, stop)],
+                                   minlength=mod)
+            assert (counts == expected).all()
+
+
+@pytest.mark.parametrize("layout", LAYOUTS)
+class TestRectangleLoads:
+    def test_matches_brute_force(self, layout):
+        store = FeatureStore(num_views=4, height=37, width=53, channels=8,
+                             layout=layout)
+        region = FootprintRegion(view=2, row0=5, row1=21, col0=7, col1=30)
+        loads, acts = store.rectangle_bank_load(region, num_banks=8)
+        expected_loads, expected_acts = brute_force_load(store, region, 8)
+        assert (loads == expected_loads).all()
+        assert acts.sum() >= expected_acts.sum()   # activation estimate
+        assert (loads.sum() == region.num_locations)
+
+    def test_empty_region(self, layout):
+        store = FeatureStore(num_views=2, height=16, width=16, channels=4,
+                             layout=layout)
+        region = FootprintRegion(view=0, row0=5, row1=5, col0=0, col1=8)
+        loads, acts = store.rectangle_bank_load(region, 8)
+        assert loads.sum() == 0 and acts.sum() == 0
+
+
+class TestLayoutQuality:
+    def test_spatial_beats_others_on_local_region(self):
+        """The paper's claim: a local footprint — here a short, wide
+        epipolar stripe — is balanced under spatial interleaving and
+        concentrated otherwise."""
+        region = FootprintRegion(view=1, row0=10, row1=13, col0=12, col1=72)
+        balances = {}
+        for layout in LAYOUTS:
+            store = FeatureStore(num_views=6, height=200, width=200,
+                                 channels=32, layout=layout)
+            loads, _ = bank_load_for_footprints(store, [region], 8)
+            balances[layout] = balance_factor(loads)
+        assert balances["spatial_interleaved"] \
+            == max(balances.values())
+        assert balances["spatial_interleaved"] > 0.85
+        assert balances["view_interleaved"] < 0.2
+        assert balances["row_interleaved"] < 0.5
+        assert balances["row_major"] < 0.5
+
+    def test_balance_factor_bounds(self, rng):
+        loads = rng.random(8)
+        value = balance_factor(loads)
+        assert 0 < value <= 1.0
+        assert balance_factor(np.ones(8)) == 1.0
+        assert balance_factor(np.zeros(8)) == 1.0
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureStore(num_views=1, height=4, width=4, channels=1,
+                         layout="diagonal")
+
+    def test_store_geometry(self):
+        store = FeatureStore(num_views=2, height=10, width=20, channels=8,
+                             bytes_per_element=2)
+        assert store.location_bytes == 16
+        assert store.total_bytes == 2 * 10 * 20 * 16
+
+    def test_multi_view_footprints_aggregate(self):
+        store = FeatureStore(num_views=4, height=64, width=64, channels=8,
+                             layout="view_interleaved")
+        regions = [FootprintRegion(view=v, row0=0, row1=8, col0=0, col1=8)
+                   for v in range(4)]
+        loads, _ = bank_load_for_footprints(store, regions, 8)
+        assert (loads[:4] > 0).all()
+        assert loads.sum() == 4 * 64 * store.location_bytes

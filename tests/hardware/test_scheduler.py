@@ -1,0 +1,133 @@
+"""Greedy 3D-point-patch partition tests (paper Sec. 4.3, Fig. 5).
+
+Uses a small 128x96 frame so full-frame planning stays fast; patch-shape
+candidates still tile the 32px macro tile exactly as at full scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import hardware_rig
+from repro.hardware.scheduler import (DEFAULT_CANDIDATES, FramePlan,
+                                      GreedyPatchScheduler, PatchShape,
+                                      SchedulerConfig, fixed_partition)
+from repro.scenes.datasets import DatasetSpec
+
+
+SMALL_SPEC = DatasetSpec("small", width=128, height=96, fov_x_deg=50.0,
+                         near=2.0, far=6.0, rig="orbit", rig_distance=4.0)
+
+
+@pytest.fixture(scope="module")
+def rig():
+    return hardware_rig(SMALL_SPEC, num_views=4, seed=0)
+
+
+@pytest.fixture(scope="module")
+def plan(rig):
+    scheduler = GreedyPatchScheduler(SchedulerConfig())
+    return scheduler.plan_frame(rig.novel, rig.sources, rig.near, rig.far)
+
+
+class TestConfig:
+    def test_candidates_must_tile_macro(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(candidates=(PatchShape(24, 24, 8),))
+
+    def test_candidates_must_divide_depth(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(candidates=(PatchShape(16, 16, 7),))
+
+
+class TestPlanCoverage:
+    def test_patches_cover_cube_exactly(self, plan):
+        """Every (pixel, depth-bin) cell belongs to exactly one patch."""
+        cover = np.zeros((96, 128, 8), dtype=np.int32)   # depth at /8 gran
+        for patch in plan.patches:
+            d_lo = patch.d0 * 8 // plan.depth_bins
+            d_hi = patch.d1 * 8 // plan.depth_bins
+            cover[patch.h0:patch.h1, patch.w0:patch.w1, d_lo:d_hi] += 1
+        assert (cover == 1).all()
+
+    def test_histogram_matches_patch_count(self, plan):
+        assert sum(plan.candidate_histogram.values()) == plan.num_patches
+
+    def test_total_bytes_consistent(self, plan):
+        total = sum(p.prefetch_bytes for p in plan.patches)
+        assert np.isclose(total, plan.total_prefetch_bytes)
+
+    def test_bytes_per_cell_positive(self, plan):
+        assert plan.bytes_per_cube_cell() > 0
+
+
+class TestConstraints:
+    def test_buffer_constraint_honoured(self, rig):
+        """With a tiny buffer, the scheduler must pick smaller slabs."""
+        small = SchedulerConfig(buffer_bytes=24 * 1024)
+        plan_small = GreedyPatchScheduler(small).plan_frame(
+            rig.novel, rig.sources, rig.near, rig.far)
+        large = SchedulerConfig(buffer_bytes=4 * 1024 * 1024)
+        plan_large = GreedyPatchScheduler(large).plan_frame(
+            rig.novel, rig.sources, rig.near, rig.far)
+        assert plan_small.num_patches >= plan_large.num_patches
+
+    def test_same_hw_shares_depth_partition(self, plan):
+        """Constraint (1): patches at one (h, w) tile all share dd."""
+        by_tile = {}
+        for patch in plan.patches:
+            key = (patch.h0, patch.w0, patch.h1, patch.w1)
+            by_tile.setdefault(key, set()).add(patch.num_depth_bins)
+        for depths in by_tile.values():
+            assert len(depths) == 1
+
+    def test_delta_leq_resident(self, plan):
+        for patch in plan.patches[::7]:
+            delta = sum(f.num_locations for f in patch.footprints)
+            resident = sum(f.num_locations
+                           for f in patch.resident_footprints)
+            assert delta <= resident + 1
+
+
+class TestGreedyQuality:
+    def test_greedy_no_worse_than_fixed(self, rig, plan):
+        var1 = fixed_partition(rig.novel, rig.sources, rig.near, rig.far,
+                               SchedulerConfig())
+        assert plan.total_prefetch_bytes <= var1.total_prefetch_bytes * 1.05
+
+    def test_greedy_no_worse_than_single_candidate(self, rig, plan):
+        """The greedy chooser with the full menu beats (or ties) any
+        forced single shape."""
+        for shape in DEFAULT_CANDIDATES[:3]:
+            forced = SchedulerConfig(candidates=(shape,))
+            forced_plan = GreedyPatchScheduler(forced).plan_frame(
+                rig.novel, rig.sources, rig.near, rig.far)
+            assert plan.total_prefetch_bytes \
+                <= forced_plan.total_prefetch_bytes * 1.02
+
+
+class TestSchedulingOverhead:
+    def test_cycles_positive_and_scaling(self):
+        scheduler = GreedyPatchScheduler(SchedulerConfig())
+        small = scheduler.scheduling_cycles(4, 96, 128)
+        large = scheduler.scheduling_cycles(4, 192, 256)
+        assert 0 < small < large
+
+    def test_scales_with_views(self):
+        scheduler = GreedyPatchScheduler(SchedulerConfig())
+        assert scheduler.scheduling_cycles(8, 96, 128) \
+            > scheduler.scheduling_cycles(2, 96, 128)
+
+
+class TestFixedPartition:
+    def test_all_full_depth(self, rig):
+        plan = fixed_partition(rig.novel, rig.sources, rig.near, rig.far,
+                               SchedulerConfig())
+        for patch in plan.patches:
+            assert patch.d0 == 0 and patch.d1 == 64
+
+    def test_square_tiles(self, rig):
+        plan = fixed_partition(rig.novel, rig.sources, rig.near, rig.far,
+                               SchedulerConfig())
+        shapes = {(p.h1 - p.h0, p.w1 - p.w0) for p in plan.patches
+                  if p.h1 - p.h0 == p.w1 - p.w0}
+        assert shapes   # interior tiles are k x k squares

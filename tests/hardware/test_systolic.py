@@ -1,0 +1,85 @@
+"""Systolic array and PE pool timing tests."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.pe_pool import PePool, PePoolConfig
+from repro.hardware.systolic import (GemmShape, SystolicConfig, gemm_cycles,
+                                     gemm_utilization)
+
+
+class TestGemmCycles:
+    def test_zero_work(self):
+        assert gemm_cycles(GemmShape(0, 8, 8)) == 0.0
+
+    def test_macs_property(self):
+        shape = GemmShape(10, 20, 30, count=4)
+        assert shape.macs == 10 * 20 * 30 * 4
+
+    def test_cycles_lower_bounded_by_ideal(self):
+        config = SystolicConfig()
+        shape = GemmShape(1024, 16, 16)
+        ideal = shape.macs / config.macs_per_cycle
+        assert gemm_cycles(shape, config) >= ideal
+
+    def test_full_array_near_ideal(self):
+        config = SystolicConfig()
+        shape = GemmShape(10000, 16, 16)
+        cycles = gemm_cycles(shape, config)
+        ideal = shape.macs / config.macs_per_cycle
+        assert cycles < ideal * 1.05
+
+    def test_narrow_layer_penalised_but_packed(self):
+        """n=7 pads to the 8-lane granule: ~7/8 utilisation, not 7/16."""
+        shape = GemmShape(10000, 16, 7)
+        utilization = gemm_utilization(shape)
+        assert 0.7 < utilization < 0.9
+
+    def test_dynamic_weights_cost_more(self):
+        shared = GemmShape(64, 8, 64, count=100, shared_weights=True)
+        dynamic = GemmShape(64, 8, 64, count=100, shared_weights=False)
+        assert gemm_cycles(dynamic) > gemm_cycles(shared)
+
+    def test_monotone_in_m(self):
+        a = gemm_cycles(GemmShape(100, 16, 16))
+        b = gemm_cycles(GemmShape(200, 16, 16))
+        assert b > a
+
+    def test_utilization_bounds(self, rng):
+        for _ in range(20):
+            shape = GemmShape(int(rng.integers(1, 500)),
+                              int(rng.integers(1, 64)),
+                              int(rng.integers(1, 64)))
+            utilization = gemm_utilization(shape)
+            assert 0 < utilization <= 1.0 + 1e-9
+
+
+class TestPePool:
+    def test_pool_speedup_over_single_array(self):
+        pool = PePool(PePoolConfig(num_arrays=40))
+        shape = GemmShape(8192, 32, 32)
+        pooled = pool.run([shape]).cycles
+        single = gemm_cycles(shape)
+        assert pooled < single / 20
+
+    def test_macs_accumulate(self):
+        pool = PePool()
+        gemms = [GemmShape(64, 16, 16), GemmShape(32, 8, 8, count=4)]
+        execution = pool.run(gemms)
+        assert execution.macs == sum(g.macs for g in gemms)
+
+    def test_empty_gemm_skipped(self):
+        pool = PePool()
+        execution = pool.run([GemmShape(0, 16, 16)])
+        assert execution.cycles == 0.0 and execution.macs == 0.0
+
+    def test_utilization_metric(self):
+        pool = PePool(PePoolConfig(num_arrays=4))
+        execution = pool.run([GemmShape(4096, 16, 16)])
+        utilization = pool.utilization(execution)
+        assert 0.5 < utilization <= 1.0
+
+    def test_small_work_underutilises(self):
+        pool = PePool(PePoolConfig(num_arrays=40))
+        execution = pool.run([GemmShape(4, 4, 1)])
+        assert pool.utilization(execution) < 0.1

@@ -1,0 +1,126 @@
+"""Gen-NeRF model pair and pipeline tests."""
+
+import numpy as np
+import pytest
+
+from repro import models as M
+from repro.geometry import rays_for_pixels
+
+
+@pytest.fixture(scope="module")
+def gen_model():
+    cfg = M.GenNerfConfig(
+        fine=M.ModelConfig(feature_dim=8, view_hidden=8, score_hidden=4,
+                           density_hidden=12, density_feature_dim=6,
+                           ray_module="mixer", n_max=12, encoder_hidden=4),
+        coarse_points=6, focused_points=8, coarse_views=3)
+    return M.GenNeRF(cfg, rng=np.random.default_rng(0))
+
+
+@pytest.fixture(scope="module")
+def pipeline_setup(llff_scene_data, gen_model):
+    scene = llff_scene_data.scene
+    coarse_maps, fine_maps = gen_model.encode_scene(
+        llff_scene_data.source_images)
+    bundle = rays_for_pixels(scene.target_camera,
+                             np.array([[8.0, 8.0], [25.0, 18.0],
+                                       [40.0, 28.0], [55.0, 40.0]]),
+                             scene.near, scene.far)
+    return scene, coarse_maps, fine_maps, bundle
+
+
+class TestConstruction:
+    def test_coarse_model_is_scaled_down(self, gen_model):
+        assert gen_model.coarse.config.ray_module == "none"
+        assert gen_model.coarse.config.feature_dim \
+            == max(2, round(8 * 0.25))
+        assert gen_model.coarse.num_parameters() \
+            < gen_model.fine.num_parameters()
+
+    def test_parameters_include_both_models(self, gen_model):
+        names = [n for n, _ in gen_model.named_parameters()]
+        assert any(n.startswith("coarse.") for n in names)
+        assert any(n.startswith("fine.") for n in names)
+
+
+class TestCoarseViewSelection:
+    def test_selects_requested_count(self, gen_model, pipeline_setup):
+        scene, _, _, bundle = pipeline_setup
+        chosen = gen_model.select_coarse_views(bundle, scene.source_cameras)
+        assert len(chosen) == 3
+
+    def test_selects_most_aligned_views(self, gen_model, pipeline_setup):
+        scene, _, _, bundle = pipeline_setup
+        chosen = gen_model.select_coarse_views(bundle, scene.source_cameras)
+        mean_dir = bundle.directions.mean(axis=0)
+        mean_dir /= np.linalg.norm(mean_dir)
+        sims = np.array([float(np.dot(c.forward, mean_dir))
+                         for c in scene.source_cameras])
+        assert set(chosen) == set(np.argsort(sims)[::-1][:3])
+
+
+class TestPipeline:
+    def test_coarse_pass_outputs(self, gen_model, pipeline_setup,
+                                 llff_scene_data):
+        scene, coarse_maps, _, bundle = pipeline_setup
+        depths, weights, output = gen_model.coarse_pass(
+            bundle, scene.source_cameras, coarse_maps,
+            llff_scene_data.source_images)
+        assert depths.shape == (4, 6)
+        assert weights.shape == (4, 6)
+        assert (weights >= 0).all() and (weights.sum(-1) <= 1 + 1e-6).all()
+
+    def test_plan_respects_n_max(self, gen_model, pipeline_setup,
+                                 llff_scene_data):
+        scene, coarse_maps, _, bundle = pipeline_setup
+        depths, weights, _ = gen_model.coarse_pass(
+            bundle, scene.source_cameras, coarse_maps,
+            llff_scene_data.source_images)
+        plan = gen_model.plan_samples(depths, weights, bundle)
+        assert plan.depths.shape == (4, 12)
+        assert (plan.counts <= 12).all()
+
+    def test_plan_min_points_floor(self, gen_model, pipeline_setup,
+                                   llff_scene_data):
+        scene, coarse_maps, _, bundle = pipeline_setup
+        depths, weights, _ = gen_model.coarse_pass(
+            bundle, scene.source_cameras, coarse_maps,
+            llff_scene_data.source_images)
+        plan = gen_model.plan_samples(depths, np.zeros_like(weights), bundle,
+                                      min_points=2)
+        assert (plan.counts >= 2).all()
+
+    def test_render_rays_end_to_end(self, gen_model, pipeline_setup,
+                                    llff_scene_data):
+        scene, coarse_maps, fine_maps, bundle = pipeline_setup
+        pixel, aux = gen_model.render_rays(
+            bundle, scene.source_cameras, coarse_maps, fine_maps,
+            llff_scene_data.source_images, return_aux=True)
+        assert pixel.shape == (4, 3)
+        assert np.isfinite(pixel.data).all()
+        assert "samples" in aux and "coarse_pixel" in aux
+
+    def test_render_rays_plain_return(self, gen_model, pipeline_setup,
+                                      llff_scene_data):
+        scene, coarse_maps, fine_maps, bundle = pipeline_setup
+        pixel = gen_model.render_rays(bundle, scene.source_cameras,
+                                      coarse_maps, fine_maps,
+                                      llff_scene_data.source_images)
+        assert pixel.shape == (4, 3)
+
+    def test_training_reduces_loss(self, llff_scene_data):
+        cfg = M.GenNerfConfig(
+            fine=M.ModelConfig(feature_dim=8, view_hidden=8, score_hidden=4,
+                               density_hidden=12, density_feature_dim=6,
+                               ray_module="mixer", n_max=12,
+                               encoder_hidden=4),
+            coarse_points=6, focused_points=8)
+        model = M.GenNeRF(cfg, rng=np.random.default_rng(7))
+        trainer = M.Trainer(model, [llff_scene_data],
+                            M.TrainConfig(steps=40, rays_per_batch=24,
+                                          num_points=10, seed=0))
+        losses = trainer.fit(40)
+        early = float(np.mean(losses[:8]))
+        late = float(np.mean(losses[-8:]))
+        assert late < early * 1.05
+        assert min(losses[8:]) < losses[0]

@@ -1,0 +1,117 @@
+"""Generalizable NeRF backbone tests."""
+
+import numpy as np
+import pytest
+
+from repro import models as M
+from repro.nn import Tensor
+from repro.geometry import rays_for_pixels, stratified_depths
+
+
+@pytest.fixture(scope="module")
+def small_model():
+    cfg = M.ModelConfig(feature_dim=8, view_hidden=8, score_hidden=4,
+                        density_hidden=12, density_feature_dim=6,
+                        ray_module="transformer", n_max=10, encoder_hidden=4)
+    return M.GeneralizableNeRF(cfg, rng=np.random.default_rng(0))
+
+
+@pytest.fixture(scope="module")
+def forward_setup(llff_scene_data, small_model):
+    scene = llff_scene_data.scene
+    maps = small_model.encode_scene(llff_scene_data.source_images)
+    bundle = rays_for_pixels(scene.target_camera,
+                             np.array([[10.0, 10.0], [30.0, 20.0],
+                                       [50.0, 30.0]]),
+                             scene.near, scene.far)
+    depths = stratified_depths(np.random.default_rng(0), 3, 10, scene.near,
+                               scene.far, jitter=False)
+    return scene, maps, bundle, depths
+
+
+class TestForward:
+    def test_output_shapes(self, llff_scene_data, small_model,
+                           forward_setup):
+        scene, maps, bundle, depths = forward_setup
+        points = bundle.points_at(depths)
+        out = small_model(points, bundle.directions, scene.source_cameras,
+                          maps, llff_scene_data.source_images)
+        assert out.rgb.shape == (3, 10, 3)
+        assert out.sigma.shape == (3, 10)
+        assert out.density_features.shape == (3, 10, 6)
+        assert out.any_visible.shape == (3, 10)
+
+    def test_sigma_nonnegative(self, llff_scene_data, small_model,
+                               forward_setup):
+        scene, maps, bundle, depths = forward_setup
+        out = small_model(bundle.points_at(depths), bundle.directions,
+                          scene.source_cameras, maps,
+                          llff_scene_data.source_images)
+        assert (out.sigma.data >= 0).all()
+
+    def test_rgb_is_blend_of_sources(self, llff_scene_data, small_model,
+                                     forward_setup):
+        """Colour comes from blending source pixels, so it stays within
+        the per-point min/max of the fetched source colours."""
+        scene, maps, bundle, depths = forward_setup
+        out = small_model(bundle.points_at(depths), bundle.directions,
+                          scene.source_cameras, maps,
+                          llff_scene_data.source_images)
+        assert (out.rgb.data >= -1e-5).all()
+        assert (out.rgb.data <= 1 + 1e-5).all()
+
+    def test_invisible_points_get_zero_sigma(self, llff_scene_data,
+                                             small_model):
+        scene = llff_scene_data.scene
+        maps = small_model.encode_scene(llff_scene_data.source_images)
+        behind = np.full((1, 4, 3), 100.0)   # far outside every frustum
+        dirs = np.array([[0.0, 0.0, 1.0]])
+        out = small_model(behind, dirs, scene.source_cameras, maps,
+                          llff_scene_data.source_images)
+        assert np.allclose(out.sigma.data, 0.0)
+
+    def test_mask_excludes_points(self, llff_scene_data, small_model,
+                                  forward_setup):
+        scene, maps, bundle, depths = forward_setup
+        mask = np.ones((3, 10), dtype=bool)
+        mask[:, 5:] = False
+        out = small_model(bundle.points_at(depths), bundle.directions,
+                          scene.source_cameras, maps,
+                          llff_scene_data.source_images, mask=mask)
+        assert np.allclose(out.sigma.data[:, 5:], 0.0)
+
+    def test_gradients_reach_all_parameters(self, llff_scene_data,
+                                            small_model, forward_setup):
+        scene, maps, bundle, depths = forward_setup
+        small_model.zero_grad()
+        maps = small_model.encode_scene(llff_scene_data.source_images)
+        out = small_model(bundle.points_at(depths), bundle.directions,
+                          scene.source_cameras, maps,
+                          llff_scene_data.source_images)
+        (out.rgb.sum() + out.sigma.sum()).backward()
+        missing = [name for name, p in small_model.named_parameters()
+                   if p.grad is None]
+        assert not missing, f"no gradient for {missing}"
+
+
+class TestConfig:
+    def test_scaled_shrinks_widths(self):
+        cfg = M.ModelConfig(feature_dim=16, view_hidden=16)
+        scaled = cfg.scaled(0.25)
+        assert scaled.feature_dim == 4
+        assert scaled.view_hidden == 4
+        assert np.isclose(scaled.channel_scale, 0.25)
+
+    def test_scaled_floors_at_two(self):
+        cfg = M.ModelConfig(view_hidden=4)
+        assert cfg.scaled(0.1).view_hidden == 2
+
+    def test_unknown_ray_module_raises(self):
+        with pytest.raises(ValueError):
+            M.GeneralizableNeRF(M.ModelConfig(ray_module="lstm"))
+
+    def test_flops_scale_with_views(self, small_model):
+        assert small_model.per_point_flops(10) > small_model.per_point_flops(4)
+
+    def test_ray_module_flops(self, small_model):
+        assert small_model.per_ray_flops(16) > 0

@@ -1,0 +1,82 @@
+"""Metric tests: PSNR, SSIM, LPIPS proxy."""
+
+import numpy as np
+import pytest
+
+from repro.models.metrics import lpips_proxy, mse, psnr, ssim
+
+
+@pytest.fixture()
+def image(rng):
+    return rng.uniform(0, 1, (32, 40, 3))
+
+
+class TestPsnr:
+    def test_identical_images(self, image):
+        assert psnr(image, image) == 99.0
+
+    def test_known_value(self):
+        a = np.zeros((8, 8, 3))
+        b = np.full((8, 8, 3), 0.1)
+        assert np.isclose(psnr(a, b), 20.0, atol=1e-6)
+
+    def test_monotone_in_noise(self, image, rng):
+        small = psnr(image + rng.normal(0, 0.01, image.shape), image)
+        large = psnr(image + rng.normal(0, 0.1, image.shape), image)
+        assert small > large
+
+    def test_shape_mismatch_raises(self, image):
+        with pytest.raises(ValueError):
+            mse(image, image[:16])
+
+
+class TestSsim:
+    def test_identical_is_one(self, image):
+        assert np.isclose(ssim(image, image), 1.0, atol=1e-9)
+
+    def test_noise_decreases(self, image, rng):
+        noisy = np.clip(image + rng.normal(0, 0.2, image.shape), 0, 1)
+        assert ssim(noisy, image) < 0.95
+
+    def test_ordering(self, image, rng):
+        slightly = np.clip(image + rng.normal(0, 0.02, image.shape), 0, 1)
+        badly = np.clip(image + rng.normal(0, 0.3, image.shape), 0, 1)
+        assert ssim(slightly, image) > ssim(badly, image)
+
+    def test_grayscale_input(self, rng):
+        gray = rng.uniform(0, 1, (16, 16))
+        assert np.isclose(ssim(gray, gray), 1.0, atol=1e-9)
+
+
+class TestLpipsProxy:
+    def test_identical_is_zero(self, image):
+        assert lpips_proxy(image, image) < 1e-12
+
+    def test_monotone_in_blur(self, image):
+        """Perceptual distance grows with blur strength."""
+        def blur(img, times):
+            out = img.copy()
+            for _ in range(times):
+                padded = np.pad(out, ((1, 1), (1, 1), (0, 0)), mode="edge")
+                out = (padded[:-2, 1:-1] + padded[2:, 1:-1]
+                       + padded[1:-1, :-2] + padded[1:-1, 2:]
+                       + padded[1:-1, 1:-1]) / 5.0
+            return out
+
+        mild = lpips_proxy(blur(image, 1), image)
+        strong = lpips_proxy(blur(image, 6), image)
+        assert 0 < mild < strong
+
+    def test_deterministic(self, image, rng):
+        noisy = np.clip(image + rng.normal(0, 0.1, image.shape), 0, 1)
+        assert lpips_proxy(noisy, image) == lpips_proxy(noisy, image)
+
+    def test_shape_mismatch_raises(self, image):
+        with pytest.raises(ValueError):
+            lpips_proxy(image, image[:16])
+
+    def test_small_images_handled(self, rng):
+        tiny = rng.uniform(0, 1, (6, 6, 3))
+        other = rng.uniform(0, 1, (6, 6, 3))
+        value = lpips_proxy(tiny, other)
+        assert np.isfinite(value) and value > 0

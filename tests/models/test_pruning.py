@@ -1,0 +1,108 @@
+"""Channel pruning tests: structure, importance, function preservation."""
+
+import numpy as np
+import pytest
+
+from repro import models as M
+from repro.models.pruning import channel_importance, select_channels
+from repro.geometry import rays_for_pixels, stratified_depths
+
+
+class TestImportance:
+    def test_importance_ranks_by_magnitude(self):
+        weight_in = np.array([[1.0, 0.1, 5.0],
+                              [1.0, 0.1, 5.0]])
+        importance = channel_importance(weight_in)
+        assert importance.argmax() == 2 and importance.argmin() == 1
+
+    def test_fanout_included(self):
+        weight_in = np.ones((2, 3))
+        weight_out = np.array([[10.0], [0.0], [0.0]])
+        importance = channel_importance(weight_in, weight_out)
+        assert importance[0] > importance[1]
+
+    def test_select_channels_sorted(self):
+        importance = np.array([0.1, 9.0, 5.0, 7.0])
+        keep = select_channels(importance, 2)
+        assert list(keep) == [1, 3]
+
+    def test_select_at_least_one(self):
+        assert len(select_channels(np.array([1.0, 2.0]), 0)) == 1
+
+
+@pytest.fixture(scope="module")
+def trained_ish_model():
+    """A model with structured weights: half the latent channels are
+    scaled up so pruning has a clear right answer."""
+    cfg = M.ModelConfig(feature_dim=8, view_hidden=8, score_hidden=4,
+                        density_hidden=12, density_feature_dim=6,
+                        ray_module="mixer", n_max=10, encoder_hidden=4)
+    model = M.GeneralizableNeRF(cfg, rng=np.random.default_rng(0))
+    # Make channels 0..3 of the latent dominant everywhere.
+    for mlp in (model.view_mlp,):
+        last = [m for m in mlp.net if hasattr(m, "weight")][-1]
+        last.weight.data[:, 4:] *= 0.01
+    return model
+
+
+class TestPruneGeneralizableNerf:
+    def test_widths_shrink(self, trained_ish_model):
+        pruned = M.prune_generalizable_nerf(trained_ish_model, sparsity=0.5)
+        assert pruned.config.view_hidden == 4
+        assert pruned.config.density_hidden == 6
+        assert pruned.config.feature_dim == 8      # interface preserved
+        assert pruned.config.density_feature_dim == 6
+
+    def test_parameter_count_drops(self, trained_ish_model):
+        pruned = M.prune_generalizable_nerf(trained_ish_model, sparsity=0.75)
+        assert pruned.num_parameters() < trained_ish_model.num_parameters()
+
+    def test_invalid_sparsity(self, trained_ish_model):
+        with pytest.raises(ValueError):
+            M.prune_generalizable_nerf(trained_ish_model, sparsity=1.5)
+
+    def test_outputs_correlate_with_original(self, trained_ish_model,
+                                             llff_scene_data):
+        """Pruning dominant channels keeps the function close."""
+        scene = llff_scene_data.scene
+        pruned = M.prune_generalizable_nerf(trained_ish_model, sparsity=0.5)
+        bundle = rays_for_pixels(scene.target_camera,
+                                 np.array([[12.0, 9.0], [30.0, 25.0]]),
+                                 scene.near, scene.far)
+        depths = stratified_depths(np.random.default_rng(0), 2, 10,
+                                   scene.near, scene.far, jitter=False)
+        points = bundle.points_at(depths)
+
+        maps_full = trained_ish_model.encode_scene(
+            llff_scene_data.source_images)
+        maps_pruned = pruned.encode_scene(llff_scene_data.source_images)
+        out_full = trained_ish_model(points, bundle.directions,
+                                     scene.source_cameras, maps_full,
+                                     llff_scene_data.source_images)
+        out_pruned = pruned(points, bundle.directions, scene.source_cameras,
+                            maps_pruned, llff_scene_data.source_images)
+        corr = np.corrcoef(out_full.rgb.data.ravel(),
+                           out_pruned.rgb.data.ravel())[0, 1]
+        assert corr > 0.8
+
+    def test_ray_module_preserved_exactly(self, trained_ish_model):
+        pruned = M.prune_generalizable_nerf(trained_ish_model, sparsity=0.5)
+        for (_, a), (_, b) in zip(
+                trained_ish_model.ray_module.named_parameters(),
+                pruned.ray_module.named_parameters()):
+            assert np.allclose(a.data, b.data)
+
+
+class TestPruneGenNerf:
+    def test_prunes_both_members(self):
+        cfg = M.GenNerfConfig(
+            fine=M.ModelConfig(feature_dim=8, view_hidden=8, score_hidden=4,
+                               density_hidden=12, density_feature_dim=6,
+                               ray_module="mixer", n_max=10,
+                               encoder_hidden=4),
+            coarse_points=4, focused_points=6)
+        model = M.GenNeRF(cfg, rng=np.random.default_rng(0))
+        pruned = M.prune_gen_nerf(model, sparsity=0.5)
+        assert pruned.fine.num_parameters() < model.fine.num_parameters()
+        assert pruned.coarse.num_parameters() \
+            <= model.coarse.num_parameters()

@@ -1,0 +1,110 @@
+"""Ray transformer, Ray-Mixer, and pointwise density head tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.models.ray_mixer import RayMixer
+from repro.models.ray_transformer import (PointwiseDensityHead,
+                                          RayTransformer)
+
+
+class TestRayMixer:
+    def test_output_shape(self, rng):
+        mixer = RayMixer(density_feature_dim=8, n_max=16, rng=rng)
+        out = mixer(Tensor(rng.standard_normal((4, 16, 8))))
+        assert out.shape == (4, 16)
+
+    def test_rejects_wrong_point_count(self, rng):
+        mixer = RayMixer(8, n_max=16, rng=rng)
+        with pytest.raises(ValueError):
+            mixer(Tensor(rng.standard_normal((2, 8, 8))))
+
+    def test_token_mixing_couples_points(self, rng):
+        """Eq. 4: changing one point's features changes other points'
+        logits (unlike a pointwise head)."""
+        mixer = RayMixer(8, n_max=12, rng=rng)
+        base = rng.standard_normal((1, 12, 8)).astype(np.float32)
+        out_a = mixer(Tensor(base.copy())).data
+        perturbed = base.copy()
+        perturbed[0, 3] += 1.0
+        out_b = mixer(Tensor(perturbed)).data
+        others = np.delete(np.arange(12), 3)
+        assert np.abs(out_a[0, others] - out_b[0, others]).max() > 1e-6
+
+    def test_masked_points_inject_nothing(self, rng):
+        mixer = RayMixer(8, n_max=12, rng=rng)
+        base = rng.standard_normal((1, 12, 8)).astype(np.float32)
+        mask = np.ones((1, 12), dtype=bool)
+        mask[0, 9:] = False
+        out_a = mixer(Tensor(base.copy()), mask=mask).data
+        poisoned = base.copy()
+        poisoned[0, 9:] += 50.0
+        out_b = mixer(Tensor(poisoned), mask=mask).data
+        assert np.allclose(out_a[0, :9], out_b[0, :9], atol=1e-5)
+
+    def test_gradients_flow(self, rng):
+        mixer = RayMixer(8, n_max=10, rng=rng)
+        x = Tensor(rng.standard_normal((3, 10, 8)), requires_grad=True)
+        mixer(x).sum().backward()
+        assert x.grad is not None
+        assert all(p.grad is not None for p in mixer.parameters())
+
+    def test_flops_formula(self, rng):
+        mixer = RayMixer(8, n_max=64, rng=rng)
+        expected = 2 * (8 * 64 * 64) + 2 * (64 * 64) + 2 * (64 * 8)
+        assert mixer.flops(1, 64) == expected
+
+    def test_flops_eliminate_quadratic_attention(self, rng):
+        """At matched dims the mixer's cost is linear in D while the
+        transformer carries the P^2 attention term (the paper's point)."""
+        points = 128
+        mixer = RayMixer(8, n_max=points, rng=rng)
+        transformer = RayTransformer(8, qk_dim=8, rng=rng)
+        # Mixer token-mix is P^2 * D; attention is 4 * P^2 * qk + proj.
+        assert mixer.flops(1, points) < transformer.flops(1, points)
+
+
+class TestRayTransformer:
+    def test_output_shape(self, rng):
+        transformer = RayTransformer(8, qk_dim=4, rng=rng)
+        out = transformer(Tensor(rng.standard_normal((3, 20, 8))))
+        assert out.shape == (3, 20)
+
+    def test_variable_point_count_supported(self, rng):
+        """Unlike the mixer, attention handles any P."""
+        transformer = RayTransformer(8, qk_dim=4, rng=rng)
+        for points in (5, 17, 33):
+            out = transformer(Tensor(rng.standard_normal((2, points, 8))))
+            assert out.shape == (2, points)
+
+    def test_mask_blocks_attention(self, rng):
+        transformer = RayTransformer(8, qk_dim=4, rng=rng)
+        base = rng.standard_normal((1, 10, 8)).astype(np.float32)
+        mask = np.ones((1, 10), dtype=bool)
+        mask[0, 7:] = False
+        out_a = transformer(Tensor(base.copy()), mask=mask).data
+        poisoned = base.copy()
+        poisoned[0, 7:] += 50.0
+        out_b = transformer(Tensor(poisoned), mask=mask).data
+        assert np.allclose(out_a[0, :7], out_b[0, :7], atol=1e-4)
+
+    def test_flops_quadratic_in_points(self, rng):
+        transformer = RayTransformer(8, qk_dim=4, rng=rng)
+        assert transformer.flops(1, 64) > 3 * transformer.flops(1, 32) / 2
+
+
+class TestPointwiseHead:
+    def test_no_cross_point_coupling(self, rng):
+        head = PointwiseDensityHead(8, rng=rng)
+        base = rng.standard_normal((1, 10, 8)).astype(np.float32)
+        out_a = head(Tensor(base.copy())).data
+        perturbed = base.copy()
+        perturbed[0, 3] += 5.0
+        out_b = head(Tensor(perturbed)).data
+        others = np.delete(np.arange(10), 3)
+        assert np.allclose(out_a[0, others], out_b[0, others], atol=1e-6)
+
+    def test_flops_linear(self, rng):
+        head = PointwiseDensityHead(8, rng=rng)
+        assert head.flops(1, 64) == 2 * head.flops(1, 32)

@@ -1,0 +1,190 @@
+"""Coarse-then-focus sampling: PDF estimation, budgets, plans."""
+
+import numpy as np
+import pytest
+
+from repro.models.sampling import (SampleSet, allocate_ray_budget,
+                                   coarse_then_focus_plan, focused_depths,
+                                   hierarchical_depths,
+                                   merge_critical_points, sampling_pdf)
+
+
+@pytest.fixture()
+def coarse(rng):
+    """Synthetic coarse pass: 8 rays x 16 points; rays 0-3 hit a surface
+    around depth 4, rays 4-7 are empty."""
+    depths = np.tile(np.linspace(2.0, 6.0, 16), (8, 1))
+    weights = np.zeros((8, 16))
+    weights[:4, 7:10] = np.array([0.2, 0.5, 0.2])
+    return depths, weights
+
+
+class TestSamplingPdf:
+    def test_ray_probability_zero_for_empty(self, coarse):
+        _, weights = coarse
+        ray_p, point_pdf, counts = sampling_pdf(weights, tau=1e-3)
+        assert np.allclose(ray_p[4:], 0.0)
+        assert np.isclose(ray_p.sum(), 1.0)
+        assert (counts[:4] == 3).all() and (counts[4:] == 0).all()
+
+    def test_point_pdf_normalised(self, coarse):
+        _, weights = coarse
+        _, point_pdf, _ = sampling_pdf(weights, tau=1e-3)
+        assert np.allclose(point_pdf.sum(-1), 1.0)
+
+    def test_fallback_when_nothing_critical(self):
+        weights = np.full((4, 8), 1e-9)
+        ray_p, _, counts = sampling_pdf(weights, tau=1e-3)
+        assert counts.sum() == 0
+        assert np.isclose(ray_p.sum(), 1.0)
+
+    def test_threshold_is_bin_normalised(self):
+        """Halving bin width (doubling N_c) must not change criticality."""
+        coarse_w = np.zeros((1, 8))
+        coarse_w[0, 4] = 0.008
+        fine_w = np.zeros((1, 16))
+        fine_w[0, 8:10] = 0.004     # same mass, twice the bins
+        _, _, counts_coarse = sampling_pdf(coarse_w, tau=1e-2)
+        _, _, counts_fine = sampling_pdf(fine_w, tau=1e-2)
+        assert counts_coarse[0] > 0
+        assert counts_fine[0] > 0
+
+
+class TestAllocateBudget:
+    def test_exact_total(self, rng):
+        prob = rng.random(32)
+        prob /= prob.sum()
+        counts = allocate_ray_budget(prob, total_points=320, n_max=64)
+        assert counts.sum() == 320
+
+    def test_respects_n_max(self):
+        prob = np.array([0.97, 0.01, 0.01, 0.01])
+        counts = allocate_ray_budget(prob, total_points=100, n_max=40)
+        assert counts.max() <= 40
+        assert counts.sum() == 100
+
+    def test_proportionality(self):
+        prob = np.array([0.5, 0.25, 0.25])
+        counts = allocate_ray_budget(prob, total_points=100, n_max=100)
+        assert counts[0] == 50 and counts[1] == 25 and counts[2] == 25
+
+    def test_min_points_floor(self):
+        prob = np.array([1.0, 0.0, 0.0])
+        counts = allocate_ray_budget(prob, total_points=10, n_max=10,
+                                     min_points=1)
+        assert (counts >= 1).all()
+
+    def test_zero_probability_uniform_fallback(self):
+        counts = allocate_ray_budget(np.zeros(4), total_points=8, n_max=8)
+        assert counts.sum() == 8
+
+    def test_deterministic(self, rng):
+        prob = rng.random(16)
+        a = allocate_ray_budget(prob, 100, 32)
+        b = allocate_ray_budget(prob, 100, 32)
+        assert (a == b).all()
+
+
+class TestFocusedDepths:
+    def test_counts_and_padding(self, coarse, rng):
+        depths, weights = coarse
+        _, point_pdf, _ = sampling_pdf(weights, tau=1e-3)
+        counts = np.array([10, 5, 0, 3, 0, 0, 0, 0])
+        plan = focused_depths(depths, point_pdf, counts, n_max=12,
+                              near=2.0, far=6.0, rng=rng)
+        assert (plan.counts == counts).all()
+        assert plan.depths.shape == (8, 12)
+        # Valid depths sorted and in range.
+        valid = plan.depths[0][plan.mask[0]]
+        assert (np.diff(valid) >= 0).all()
+        assert valid.min() >= 2.0 and valid.max() <= 6.0
+
+    def test_samples_land_in_high_weight_region(self, coarse, rng):
+        depths, weights = coarse
+        _, point_pdf, _ = sampling_pdf(weights, tau=1e-3)
+        counts = np.full(8, 16)
+        plan = focused_depths(depths, point_pdf, counts, n_max=16,
+                              near=2.0, far=6.0, rng=rng)
+        surface = plan.depths[0][plan.mask[0]]
+        # Weights concentrate around depth ~4 (bins 7..9 of 2..6).
+        assert np.median(surface) > 3.2 and np.median(surface) < 4.8
+
+    def test_zero_budget_everywhere(self, coarse, rng):
+        depths, weights = coarse
+        _, point_pdf, _ = sampling_pdf(weights, tau=1e-3)
+        plan = focused_depths(depths, point_pdf, np.zeros(8, dtype=int),
+                              n_max=4, near=2.0, far=6.0, rng=rng)
+        assert plan.total_points == 0
+
+
+class TestPlanEndToEnd:
+    def test_budget_and_shape(self, coarse, rng):
+        depths, weights = coarse
+        plan = coarse_then_focus_plan(depths, weights, num_focused_avg=8,
+                                      n_max=32, tau=1e-3, near=2.0, far=6.0,
+                                      rng=rng)
+        assert isinstance(plan, SampleSet)
+        assert plan.depths.shape == (8, 32)
+        # Empty rays got (almost) nothing; surface rays got plenty.
+        assert plan.counts[:4].min() >= 8
+        assert plan.counts[4:].max() <= 2
+
+    def test_merge_critical_included(self, coarse, rng):
+        depths, weights = coarse
+        plan = coarse_then_focus_plan(depths, weights, num_focused_avg=4,
+                                      n_max=32, tau=1e-3, near=2.0, far=6.0,
+                                      rng=rng, merge_critical=True)
+        # The three critical coarse depths of ray 0 appear in the plan.
+        critical_depths = depths[0, 7:10]
+        valid = plan.depths[0][plan.mask[0]]
+        for depth in critical_depths:
+            assert np.min(np.abs(valid - depth)) < 1e-9
+
+    def test_no_merge_option(self, coarse, rng):
+        depths, weights = coarse
+        plan = coarse_then_focus_plan(depths, weights, num_focused_avg=4,
+                                      n_max=32, tau=1e-3, near=2.0, far=6.0,
+                                      rng=rng, merge_critical=False)
+        assert plan.counts[:4].sum() >= 12   # focused budget went there
+
+    def test_merge_respects_n_max(self, coarse, rng):
+        depths, weights = coarse
+        merged = merge_critical_points(
+            SampleSet.dense(np.tile(np.linspace(2, 6, 30), (8, 1))),
+            depths, weights, tau=1e-3, n_max=16, far=6.0)
+        assert merged.depths.shape[1] == 16
+        assert (merged.counts <= 16).all()
+
+
+class TestHierarchical:
+    def test_equal_counts_every_ray(self, coarse, rng):
+        depths, weights = coarse
+        fine = hierarchical_depths(depths, weights + 1e-6, num_fine=24,
+                                   near=2.0, far=6.0, rng=rng)
+        assert fine.shape == (8, 24)
+        assert (np.diff(fine, axis=-1) >= 0).all()
+
+    def test_include_coarse(self, coarse, rng):
+        depths, weights = coarse
+        fine = hierarchical_depths(depths, weights + 1e-6, num_fine=8,
+                                   near=2.0, far=6.0, rng=rng,
+                                   include_coarse=True)
+        assert fine.shape == (8, 24)
+
+    def test_importance_concentration(self, coarse, rng):
+        depths, weights = coarse
+        fine = hierarchical_depths(depths[:4], weights[:4] + 1e-9,
+                                   num_fine=64, near=2.0, far=6.0, rng=rng)
+        # Most fine samples land near the surface at ~4.
+        fraction_near = np.mean(np.abs(fine - 4.0) < 0.8)
+        assert fraction_near > 0.8
+
+    def test_sample_set_dense(self):
+        depths = np.zeros((3, 5))
+        dense = SampleSet.dense(depths)
+        assert dense.mask.all()
+        assert dense.total_points == 15
+
+    def test_sample_set_validates(self):
+        with pytest.raises(ValueError):
+            SampleSet(np.zeros((2, 3)), np.zeros((2, 4), dtype=bool))

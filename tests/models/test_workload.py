@@ -1,0 +1,136 @@
+"""Paper-scale workload accounting: the calibration test suite.
+
+These assertions pin the FLOPs model to the numbers the paper reports;
+tolerances reflect that our layer dimensions are reconstructions (the
+paper gives no architecture table) calibrated once against Tables 2-3.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models.workload import (DEFAULT_DIMS, PaperScaleDims,
+                                   RenderWorkload, encoder_macs_per_view,
+                                   per_point_macs, per_view_point_macs,
+                                   profiling_workload, ray_mixer_macs,
+                                   ray_transformer_macs, table2_workload,
+                                   typical_workload)
+
+
+def within(measured, paper, tolerance):
+    assert abs(measured - paper) <= tolerance * paper, \
+        f"measured {measured:.4g} vs paper {paper:.4g} " \
+        f"(>{tolerance:.0%} off)"
+
+
+class TestTable2Calibration:
+    @pytest.mark.parametrize("row,paper_mflops,tol", [
+        ("vanilla", 13.94, 0.10),
+        ("no_ray_transformer", 13.25, 0.10),
+        ("ray_mixer", 13.88, 0.10),
+        ("coarse_focus", 4.27, 0.12),
+        ("pruned", 0.80, 0.15),
+    ])
+    def test_mflops_per_pixel(self, row, paper_mflops, tol):
+        workload = table2_workload(row)
+        within(workload.flops_per_pixel() / 1e6, paper_mflops, tol)
+
+    def test_unknown_row_raises(self):
+        with pytest.raises(KeyError):
+            table2_workload("quantized")
+
+    def test_table3_view_scaling(self):
+        """IBRNet 4 views: 6.31; Gen-NeRF pruned 4/10 views: 0.368/0.803."""
+        within(table2_workload("vanilla", num_views=4).flops_per_pixel()
+               / 1e6, 6.31, 0.12)
+        within(table2_workload("pruned", num_views=4).flops_per_pixel()
+               / 1e6, 0.368, 0.15)
+        within(table2_workload("pruned", num_views=10).flops_per_pixel()
+               / 1e6, 0.803, 0.15)
+
+    def test_flops_reduction_factor(self):
+        """The delivered 6-view model reduces FLOPs by >17x (Sec. 5.2)."""
+        vanilla = table2_workload("vanilla").flops_per_pixel()
+        delivered = table2_workload("pruned", num_views=6).flops_per_pixel()
+        assert vanilla / delivered > 17
+
+
+class TestTypicalWorkload:
+    def test_total_flops_near_paper(self):
+        """Sec. 5.1: 800x800, 64 focused points, 6 views = 0.328 TFLOPs."""
+        workload = typical_workload()
+        within(workload.total_flops() / 1e12, 0.328, 0.25)
+
+    def test_feature_traffic_headline(self):
+        workload = typical_workload()
+        expected_fine = 800 * 800 * 80 * 6 * 32
+        assert workload.feature_elements() > expected_fine  # + coarse pass
+
+    def test_weight_bytes_fit_on_chip(self):
+        workload = typical_workload()
+        assert workload.weight_bytes() < 8 * 1024  # the 8KB weight buffer
+
+
+class TestStructure:
+    def test_ray_transformer_macs_quadratic(self):
+        assert ray_transformer_macs(DEFAULT_DIMS, 128) \
+            > 3 * ray_transformer_macs(DEFAULT_DIMS, 64)
+
+    def test_ray_mixer_macs_formula(self):
+        dims = DEFAULT_DIMS
+        macs = ray_mixer_macs(dims, 64)
+        expected = dims.density_feature_dim * 64 * 64 \
+            + 64 * dims.density_feature_dim ** 2 \
+            + 64 * dims.density_feature_dim
+        assert macs == expected
+
+    def test_per_point_macs_linear_in_views(self):
+        base = per_point_macs(DEFAULT_DIMS, 0)
+        slope = per_point_macs(DEFAULT_DIMS, 1) - base
+        assert per_point_macs(DEFAULT_DIMS, 10) == base + 10 * slope
+        assert slope == per_view_point_macs(DEFAULT_DIMS)
+
+    def test_scaled_dims_keep_interface(self):
+        scaled = DEFAULT_DIMS.scaled(0.25, keep_interface=True)
+        assert scaled.feature_dim == DEFAULT_DIMS.feature_dim
+        assert scaled.density_feature_dim == DEFAULT_DIMS.density_feature_dim
+        assert scaled.view_hidden == 7
+
+    def test_scaled_dims_full(self):
+        scaled = DEFAULT_DIMS.scaled(0.25, keep_interface=False)
+        assert scaled.feature_dim == 8
+
+    def test_breakdown_sums_to_most_of_total(self):
+        workload = table2_workload("vanilla")
+        breakdown = workload.breakdown_flops_per_pixel()
+        assert np.isclose(sum(breakdown.values()),
+                          workload.flops_per_pixel())
+
+    def test_fine_points_include_coarse(self):
+        workload = table2_workload("coarse_focus")
+        assert workload.fine_points_per_ray == 48 + 16
+
+    def test_encoder_macs_positive(self):
+        assert encoder_macs_per_view(DEFAULT_DIMS, 756, 1008) > 0
+
+    def test_include_encoder_adds_flops(self):
+        base = typical_workload()
+        with_encoder = RenderWorkload(
+            height=800, width=800, num_views=6, points_per_ray=64,
+            ray_module="mixer", coarse_points=16, prune_scale=0.25,
+            include_encoder=True)
+        assert with_encoder.total_flops() > base.total_flops()
+
+    def test_unknown_ray_module_raises(self):
+        workload = RenderWorkload(height=8, width=8, num_views=2,
+                                  points_per_ray=4, ray_module="rnn")
+        with pytest.raises(ValueError):
+            workload.ray_module_flops_per_pixel()
+
+
+class TestProfilingWorkload:
+    def test_fig2_config(self):
+        workload = profiling_workload(756, 1008)
+        assert workload.points_per_ray == 196
+        assert workload.num_views == 10
+        assert workload.ray_module == "transformer"
+        assert workload.coarse_points == 0

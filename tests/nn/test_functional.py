@@ -1,0 +1,125 @@
+"""Functional ops: softmax family, layer norm, losses, im2col adjoint."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+from repro.nn import functional as F
+from tests.conftest import numerical_gradient
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        x = Tensor(rng.standard_normal((4, 7)))
+        s = F.softmax(x, axis=-1)
+        assert np.allclose(s.data.sum(-1), 1.0, atol=1e-6)
+
+    def test_shift_invariance(self, rng):
+        x = rng.standard_normal((3, 5))
+        a = F.softmax(Tensor(x), axis=-1).data
+        b = F.softmax(Tensor(x + 100.0), axis=-1).data
+        assert np.allclose(a, b, atol=1e-6)
+
+    def test_gradient(self, rng):
+        x0 = rng.standard_normal((3, 4))
+        target = rng.standard_normal((3, 4))
+        x = Tensor(x0.copy(), requires_grad=True)
+        F.mse_loss(F.softmax(x, axis=-1), target).backward()
+
+        def scalar(a):
+            return float(F.mse_loss(F.softmax(Tensor(a), axis=-1),
+                                    target).data)
+
+        expected = numerical_gradient(scalar, x0.copy())
+        assert np.abs(x.grad - expected).max() < 1e-5
+
+    def test_masked_softmax_zeroes_invalid(self, rng):
+        x = Tensor(rng.standard_normal((2, 6)))
+        mask = np.array([[True] * 4 + [False] * 2, [True] * 6])
+        s = F.masked_softmax(x, mask, axis=-1).data
+        assert np.allclose(s[0, 4:], 0.0)
+        assert np.allclose(s.sum(-1), 1.0, atol=1e-5)
+
+    def test_masked_softmax_all_invalid_row_is_zero(self, rng):
+        x = Tensor(rng.standard_normal((1, 4)))
+        mask = np.zeros((1, 4), dtype=bool)
+        s = F.masked_softmax(x, mask, axis=-1).data
+        assert np.allclose(s, 0.0)
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = rng.standard_normal((4, 5))
+        a = F.log_softmax(Tensor(x), axis=-1).data
+        b = np.log(F.softmax(Tensor(x), axis=-1).data + 1e-30)
+        assert np.allclose(a, b, atol=1e-5)
+
+
+class TestLayerNormAndLosses:
+    def test_layer_norm_statistics(self, rng):
+        x = Tensor(rng.standard_normal((6, 9)) * 5 + 3)
+        gamma = Tensor(np.ones(9))
+        beta = Tensor(np.zeros(9))
+        out = F.layer_norm(x, gamma, beta).data
+        assert np.allclose(out.mean(-1), 0.0, atol=1e-5)
+        assert np.allclose(out.var(-1), 1.0, atol=1e-2)
+
+    def test_mse_loss_value_and_grad(self):
+        pred = Tensor(np.array([[1.0, 2.0]]), requires_grad=True)
+        loss = F.mse_loss(pred, np.array([[0.0, 0.0]]))
+        assert np.isclose(loss.item(), (1 + 4) / 2)
+        loss.backward()
+        assert np.allclose(pred.grad, [[1.0, 2.0]])
+
+    def test_masked_mse_ignores_invalid(self):
+        pred = Tensor(np.array([[1.0, 100.0]]), requires_grad=True)
+        mask = np.array([[1.0, 0.0]])
+        loss = F.masked_mse_loss(pred, np.zeros((1, 2)), mask)
+        assert np.isclose(loss.item(), 1.0)
+
+    def test_dropout_train_and_eval(self, rng):
+        x = Tensor(np.ones((100,)))
+        out_eval = F.dropout(x, 0.5, rng, training=False)
+        assert np.allclose(out_eval.data, 1.0)
+        out_train = F.dropout(x, 0.5, rng, training=True).data
+        assert (out_train == 0).any()
+        # Inverted dropout keeps the expectation.
+        assert abs(out_train.mean() - 1.0) < 0.3
+
+    def test_pad_last_axes(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        padded = F.pad_last_axes(x, [(1, 2)], value=7.0)
+        assert padded.shape == (2, 6)
+        assert np.allclose(padded.data[:, 0], 7.0)
+        padded.sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+
+class TestIm2Col:
+    def test_shapes(self, rng):
+        images = rng.standard_normal((2, 3, 8, 8))
+        cols, oh, ow = F.im2col(images, kernel=3, stride=2, padding=1)
+        assert (oh, ow) == (4, 4)
+        assert cols.shape == (2, 16, 27)
+
+    def test_matches_direct_convolution(self, rng):
+        images = rng.standard_normal((1, 2, 6, 6))
+        weight = rng.standard_normal((4, 2, 3, 3))
+        cols, oh, ow = F.im2col(images, 3, 1, 1)
+        gemm = cols[0] @ weight.reshape(4, -1).T
+        result = gemm.T.reshape(4, oh, ow)
+        # Direct (slow) convolution for one output position.
+        # Output (oy, ox) reads padded[:, oy:oy+3, ox:ox+3].
+        padded = np.pad(images[0], ((0, 0), (1, 1), (1, 1)))
+        direct = sum((padded[c, 3:6, 4:7] * weight[1, c]).sum()
+                     for c in range(2))
+        assert np.isclose(result[1, 3, 4], direct, atol=1e-5)
+
+    def test_col2im_is_adjoint(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> certifies the gradient."""
+        x = rng.standard_normal((2, 3, 7, 7))
+        cols, oh, ow = F.im2col(x, 3, 2, 1)
+        y = rng.standard_normal(cols.shape)
+        lhs = float((cols * y).sum())
+        back = F.col2im(y, x.shape, 3, 2, 1)
+        rhs = float((x * back).sum())
+        assert np.isclose(lhs, rhs, rtol=1e-6)

@@ -1,0 +1,103 @@
+"""Optimiser and schedule tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+from repro.nn.layers import Parameter
+
+
+def quadratic_loss(param):
+    return ((param - 3.0) * (param - 3.0)).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        opt = nn.SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        assert np.allclose(p.data, 3.0, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        runs = {}
+        for momentum in (0.0, 0.9):
+            p = Parameter(np.zeros(1))
+            opt = nn.SGD([p], lr=0.02, momentum=momentum)
+            for _ in range(30):
+                opt.zero_grad()
+                quadratic_loss(p).backward()
+                opt.step()
+            runs[momentum] = abs(float(p.data[0]) - 3.0)
+        assert runs[0.9] < runs[0.0]
+
+    def test_skips_parameters_without_grad(self):
+        p = Parameter(np.ones(2))
+        opt = nn.SGD([p], lr=0.5)
+        opt.step()   # no grad yet — must not touch the data
+        assert np.allclose(p.data, 1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        opt = nn.Adam([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        assert np.allclose(p.data, 3.0, atol=1e-2)
+
+    def test_rejects_empty_parameter_list(self):
+        with pytest.raises(ValueError):
+            nn.Adam([])
+
+    def test_step_count_advances(self):
+        p = Parameter(np.zeros(1))
+        opt = nn.Adam([p])
+        quadratic_loss(p).backward()
+        opt.step()
+        opt.step()
+        assert opt.step_count == 2
+
+
+class TestSchedules:
+    def test_constant(self):
+        sched = nn.ConstantLR(0.01)
+        assert sched(0) == sched(1000) == 0.01
+
+    def test_exponential_decay_endpoints(self):
+        sched = nn.ExponentialDecayLR(initial=1e-3, decay_rate=0.1,
+                                      decay_steps=1000)
+        assert np.isclose(sched(0), 1e-3)
+        assert np.isclose(sched(1000), 1e-4)
+        assert sched(500) < sched(100)
+
+    def test_optimizer_follows_schedule(self):
+        p = Parameter(np.zeros(1))
+        sched = nn.ExponentialDecayLR(initial=0.1, decay_rate=0.01,
+                                      decay_steps=10)
+        opt = nn.Adam([p], schedule=sched)
+        assert np.isclose(opt.lr, 0.1)
+        for _ in range(10):
+            quadratic_loss(p).backward()
+            opt.step()
+        assert np.isclose(opt.lr, 0.001)
+
+
+class TestClipGradNorm:
+    def test_clips_when_above(self):
+        p = Parameter(np.zeros(3))
+        p.grad = np.array([3.0, 4.0, 0.0])
+        total = nn.clip_grad_norm([p], max_norm=1.0)
+        assert np.isclose(total, 5.0)
+        assert np.isclose(np.linalg.norm(p.grad), 1.0)
+
+    def test_leaves_small_gradients(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.1, 0.1])
+        nn.clip_grad_norm([p], max_norm=1.0)
+        assert np.allclose(p.grad, [0.1, 0.1])

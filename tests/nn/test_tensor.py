@@ -1,0 +1,254 @@
+"""Autograd engine tests: every op's gradient against finite differences."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor, as_tensor, concatenate, stack, where
+from repro.nn.tensor import unbroadcast
+
+
+def check_gradient(op, shapes, numgrad, seed=0, tol=1e-4, positive=False):
+    """Numerically verify d(sum(op(xs)))/dx for every input."""
+    rng = np.random.default_rng(seed)
+    arrays = [rng.standard_normal(s) for s in shapes]
+    if positive:
+        arrays = [np.abs(a) + 0.5 for a in arrays]
+
+    for target_index in range(len(arrays)):
+        tensors = [Tensor(a.copy(), requires_grad=(i == target_index))
+                   for i, a in enumerate(arrays)]
+        out = op(*tensors)
+        out.sum().backward()
+
+        def scalar(x, idx=target_index):
+            inputs = [a.copy() for a in arrays]
+            inputs[idx] = x
+            vals = [Tensor(a) for a in inputs]
+            return float(op(*vals).sum().data)
+
+        expected = numgrad(scalar, arrays[target_index].copy())
+        got = tensors[target_index].grad
+        assert got is not None
+        assert np.abs(got - expected).max() < tol, \
+            f"input {target_index}: max err {np.abs(got - expected).max()}"
+
+
+class TestElementwise:
+    def test_add_broadcast(self, numgrad):
+        check_gradient(lambda a, b: a + b, [(3, 4), (4,)], numgrad)
+
+    def test_sub(self, numgrad):
+        check_gradient(lambda a, b: a - b, [(2, 3), (2, 3)], numgrad)
+
+    def test_mul_broadcast(self, numgrad):
+        check_gradient(lambda a, b: a * b, [(2, 1, 3), (4, 3)], numgrad)
+
+    def test_div(self, numgrad):
+        check_gradient(lambda a, b: a / b, [(3, 3), (3, 3)], numgrad,
+                       positive=True)
+
+    def test_pow(self, numgrad):
+        check_gradient(lambda a: a ** 3, [(4,)], numgrad)
+
+    def test_neg_rsub_rdiv(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = 1.0 - x
+        z = 6.0 / x
+        (y + z).sum().backward()
+        assert np.isclose(x.grad[0], -1.0 - 6.0 / 4.0)
+
+    def test_exp_log(self, numgrad):
+        check_gradient(lambda a: (a.exp() + 1.0).log(), [(5,)], numgrad)
+
+    def test_tanh_sigmoid(self, numgrad):
+        check_gradient(lambda a: a.tanh() * a.sigmoid(), [(6,)], numgrad)
+
+    def test_relu_elu_softplus(self, numgrad):
+        # Avoid the kink at 0 for finite differences.
+        rng = np.random.default_rng(3)
+        base = rng.standard_normal((8,))
+        base[np.abs(base) < 0.1] += 0.3
+        x = Tensor(base.copy(), requires_grad=True)
+        (x.relu() + x.elu() + x.softplus()).sum().backward()
+
+        def scalar(a):
+            t = Tensor(a)
+            return float((t.relu() + t.elu() + t.softplus()).sum().data)
+
+        from tests.conftest import numerical_gradient
+        expected = numerical_gradient(scalar, base.copy())
+        assert np.abs(x.grad - expected).max() < 1e-4
+
+    def test_abs_clip(self, numgrad):
+        rng = np.random.default_rng(4)
+        base = rng.standard_normal((8,)) * 2
+        base[np.abs(base) < 0.1] = 0.5
+        base[np.abs(np.abs(base) - 1.5) < 0.1] += 0.3
+        x = Tensor(base.copy(), requires_grad=True)
+        (x.abs() + x.clip(-1.5, 1.5)).sum().backward()
+        expected = np.sign(base) + ((base > -1.5) & (base < 1.5))
+        assert np.abs(x.grad - expected).max() < 1e-6
+
+    def test_sqrt(self, numgrad):
+        check_gradient(lambda a: a.sqrt(), [(5,)], numgrad, positive=True)
+
+
+class TestReductionsAndShape:
+    def test_sum_axis(self, numgrad):
+        check_gradient(lambda a: a.sum(axis=1), [(3, 4)], numgrad)
+
+    def test_sum_keepdims(self, numgrad):
+        check_gradient(lambda a: a * a.sum(axis=-1, keepdims=True),
+                       [(3, 4)], numgrad)
+
+    def test_mean(self, numgrad):
+        check_gradient(lambda a: a.mean(axis=0), [(4, 5)], numgrad)
+
+    def test_var(self, numgrad):
+        check_gradient(lambda a: a.var(axis=-1), [(4, 5)], numgrad,
+                       tol=1e-3)
+
+    def test_max_min(self):
+        x = Tensor(np.array([[1.0, 5.0, 2.0], [7.0, 0.0, 7.0]]),
+                   requires_grad=True)
+        x.max(axis=1).sum().backward()
+        # Ties split evenly.
+        expected = np.array([[0, 1, 0], [0.5, 0, 0.5]])
+        assert np.allclose(x.grad, expected)
+
+    def test_cumsum(self, numgrad):
+        check_gradient(lambda a: a.cumsum(axis=-1) * a, [(3, 5)], numgrad)
+
+    def test_reshape_transpose(self, numgrad):
+        check_gradient(lambda a: a.reshape(6, 2).transpose() @ Tensor(
+            np.ones((6, 3))), [(3, 4)], numgrad)
+
+    def test_swapaxes(self):
+        x = Tensor(np.arange(24).reshape(2, 3, 4), requires_grad=True)
+        y = x.swapaxes(0, 2)
+        assert y.shape == (4, 3, 2)
+        y.sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_getitem_fancy(self, numgrad):
+        idx = np.array([0, 2, 2])
+
+        def op(a):
+            return a[idx] * 2.0
+
+        check_gradient(op, [(4, 3)], numgrad)
+
+    def test_expand_squeeze(self):
+        x = Tensor(np.ones((3, 4)), requires_grad=True)
+        y = x.expand_dims(1).squeeze(1)
+        y.sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+
+class TestMatmul:
+    def test_matmul_2d(self, numgrad):
+        check_gradient(lambda a, b: a @ b, [(3, 4), (4, 2)], numgrad)
+
+    def test_matmul_batched(self, numgrad):
+        check_gradient(lambda a, b: a @ b, [(2, 3, 4), (2, 4, 2)], numgrad)
+
+    def test_matmul_broadcast_weights(self, numgrad):
+        check_gradient(lambda a, b: a @ b, [(2, 5, 3, 4), (4, 2)], numgrad,
+                       tol=2e-4)
+
+    def test_matmul_vector(self, numgrad):
+        check_gradient(lambda a, b: a @ b, [(3, 4), (4,)], numgrad)
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x * 2).sum().backward()
+        (x * 3).sum().backward()
+        assert np.allclose(x.grad, 5.0)
+
+    def test_diamond_graph(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        a = x * 3
+        b = x * 4
+        (a * b).sum().backward()     # d/dx (12 x^2) = 24x
+        assert np.isclose(x.grad[0], 48.0)
+
+    def test_reused_tensor_many_consumers(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        out = sum((x * float(i) for i in range(5)), start=Tensor(np.zeros((2, 2))))
+        out.sum().backward()
+        assert np.allclose(x.grad, 10.0)
+
+    def test_backward_requires_scalar(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_backward_without_grad_flag(self):
+        x = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError):
+            x.sum().backward()
+
+    def test_no_grad_builds_no_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with nn.no_grad():
+            y = x * 2 + 1
+        assert y._backward is None and y._parents == ()
+
+    def test_detach(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = x.detach() * 2 + x
+        y.sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_zero_grad(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x * 2).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+
+class TestHelpers:
+    def test_unbroadcast_shapes(self):
+        grad = np.ones((5, 3, 4))
+        assert unbroadcast(grad, (3, 4)).shape == (3, 4)
+        assert unbroadcast(grad, (1, 4)).shape == (1, 4)
+        assert np.allclose(unbroadcast(grad, (3, 1)), 20.0)
+
+    def test_concatenate_grads(self, numgrad):
+        check_gradient(lambda a, b: concatenate([a, b], axis=1) ** 2,
+                       [(2, 3), (2, 2)], numgrad)
+
+    def test_stack_grads(self, numgrad):
+        check_gradient(lambda a, b: stack([a, b], axis=0) * 2.0,
+                       [(2, 3), (2, 3)], numgrad)
+
+    def test_where(self):
+        cond = np.array([True, False, True])
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        where(cond, a, b).sum().backward()
+        assert np.allclose(a.grad, [1, 0, 1])
+        assert np.allclose(b.grad, [0, 1, 0])
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor(np.ones(2))
+        assert as_tensor(t) is t
+        assert isinstance(as_tensor([1.0, 2.0]), Tensor)
+
+    def test_zeros_ones(self):
+        assert np.allclose(nn.zeros((2, 2)).data, 0.0)
+        assert np.allclose(nn.ones((2, 2)).data, 1.0)
+
+    def test_repr_and_len(self):
+        t = Tensor(np.ones((3, 2)), requires_grad=True)
+        assert "requires_grad" in repr(t)
+        assert len(t) == 3
+
+    def test_grad_shape_validation(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        y = x * 1.0
+        with pytest.raises(ValueError):
+            y.backward(np.ones(3))

@@ -1,0 +1,89 @@
+"""Dataset family and scene construction tests."""
+
+import numpy as np
+import pytest
+
+from repro.scenes import (DATASETS, LLFF_SCENE_TRAITS, llff_eval_scenes,
+                          llff_like_field, make_scene,
+                          nerf_synthetic_like_field)
+
+
+class TestSpecs:
+    def test_paper_resolutions(self):
+        assert DATASETS["llff"].resolution == (756, 1008)
+        assert DATASETS["nerf_synthetic"].resolution == (800, 800)
+        assert DATASETS["deepvoxels"].resolution == (512, 512)
+
+    def test_rig_kinds(self):
+        assert DATASETS["llff"].rig == "forward"
+        assert DATASETS["nerf_synthetic"].rig == "orbit"
+
+    def test_intrinsics_scaling(self):
+        intr = DATASETS["llff"].intrinsics(0.25)
+        assert intr.width == 252 and intr.height == 189
+
+
+class TestMakeScene:
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError):
+            make_scene("imagenet")
+
+    def test_unknown_llff_scene_raises(self):
+        with pytest.raises(KeyError):
+            llff_like_field(0, "kitchen")
+
+    def test_reproducible_by_seed(self, rng):
+        a = make_scene("nerf_synthetic", seed=5, image_scale=1 / 16)
+        b = make_scene("nerf_synthetic", seed=5, image_scale=1 / 16)
+        pts = rng.uniform(-1, 1, (50, 3))
+        assert np.allclose(a.field.density(pts), b.field.density(pts))
+        assert np.allclose(a.target_camera.center, b.target_camera.center)
+
+    def test_different_seeds_differ(self, rng):
+        a = nerf_synthetic_like_field(1)
+        b = nerf_synthetic_like_field(2)
+        pts = rng.uniform(-0.5, 0.5, (100, 3))
+        assert not np.allclose(a.density(pts), b.density(pts))
+
+    def test_source_count(self):
+        scene = make_scene("llff", seed=0, num_source_views=7,
+                           image_scale=1 / 16)
+        assert scene.num_source_views == 7
+
+    def test_target_sees_scene(self):
+        scene = make_scene("nerf_synthetic", seed=2, image_scale=1 / 16)
+        assert scene.target_camera.in_view(np.zeros((1, 3)))[0]
+        for cam in scene.source_cameras:
+            assert cam.in_view(np.zeros((1, 3)))[0]
+
+    def test_closest_source_indices(self):
+        scene = make_scene("nerf_synthetic", seed=2, num_source_views=8,
+                           image_scale=1 / 16)
+        closest = scene.closest_source_indices(3)
+        assert len(closest) == 3
+        target_dir = scene.target_camera.forward
+        sims = [float(np.dot(c.forward, target_dir))
+                for c in scene.source_cameras]
+        assert set(closest) == set(np.argsort(sims)[::-1][:3])
+
+    def test_subset_sources(self):
+        scene = make_scene("llff", seed=0, num_source_views=6,
+                           image_scale=1 / 16)
+        subset = scene.subset_sources(4)
+        assert len(subset) == 4
+
+
+class TestLLFFEvalScenes:
+    def test_all_four_analogues(self):
+        scenes = llff_eval_scenes(image_scale=1 / 16, num_source_views=4)
+        assert set(scenes) == {"fern", "fortress", "horns", "trex"}
+
+    def test_scene_traits_differ(self, rng):
+        fern = llff_like_field(1, "fern")
+        fortress = llff_like_field(1, "fortress")
+        pts = rng.uniform(-1, 1, (200, 3))
+        assert not np.allclose(fern.density(pts), fortress.density(pts))
+
+    def test_traits_table_complete(self):
+        assert set(LLFF_SCENE_TRAITS) == {"fern", "fortress", "horns",
+                                          "trex"}

@@ -1,0 +1,49 @@
+"""Smoke tests: the fast example scripts run end to end.
+
+``quickstart.py`` (minutes of training) is exercised with a reduced
+schedule by importing its module and monkey-patching; the two
+seconds-scale examples run as subprocesses exactly as a user would.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name)],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_sampling_comparison_example():
+    out = run_example("sampling_comparison.py")
+    assert "Gen-NeRF 8/16" in out
+    assert "PSNR" in out
+
+
+def test_epipolar_dataflow_example():
+    out = run_example("epipolar_dataflow.py", timeout=300)
+    assert "Property 1" in out
+    assert "greedy plan" in out
+    assert "Var-1" in out
+
+
+@pytest.mark.slow
+def test_quickstart_example():
+    out = run_example("quickstart.py", timeout=900)
+    assert "PSNR" in out
+    assert "trained" in out
+
+
+@pytest.mark.slow
+def test_accelerator_simulation_example():
+    out = run_example("accelerator_simulation.py", timeout=900)
+    assert "Fig. 10" in out
+    assert "Fig. 12" in out

@@ -1,0 +1,94 @@
+"""Headline paper numbers, asserted in one place.
+
+Collects the quantitative anchors from the paper's text and tables and
+checks our reproduction lands within documented tolerances (loose where
+our substitutions — analytic scenes, roofline GPUs, reconstructed layer
+dims — legitimately shift absolutes; see EXPERIMENTS.md).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import CoDesignPipeline
+from repro.hardware.area_power import PAPER_TABLE1, full_chip_budget
+from repro.hardware.energy import typical_chip_power_w
+from repro.hardware.gpu_model import GpuModel, RTX_2080TI
+from repro.models.workload import (profiling_workload, table2_workload,
+                                   typical_workload)
+
+
+class TestSection51:
+    def test_typical_workload_tflops(self):
+        """'involves 0.328 trillion FLOPs' (Sec. 5.1)."""
+        measured = typical_workload().total_flops() / 1e12
+        assert 0.24 < measured < 0.42
+
+    def test_chip_area(self):
+        """Table 1/4: 17.80 mm^2 total."""
+        assert abs(full_chip_budget()["total"].area_mm2 - 17.80) < 1.8
+
+    def test_typical_power(self):
+        """Table 4: 9.7 W."""
+        assert abs(typical_chip_power_w() - 9.7) < 1.0
+
+
+class TestSection23:
+    def test_best_case_gpu_fps(self):
+        """'RTX 2080Ti can only achieve a <= 0.249 FPS'."""
+        gpu = GpuModel(RTX_2080TI)
+        best = max(gpu.simulate_frame(profiling_workload(h, w)).fps
+                   for h, w in ((512, 512), (800, 800), (756, 1008)))
+        assert best < 0.4
+        assert abs(best - 0.249) < 0.1
+
+    def test_attention_time_vs_flops_disparity(self):
+        """'44.1% of total DNN inference time ... only 13.8% of FLOPs'."""
+        gpu = GpuModel(RTX_2080TI)
+        sim = gpu.simulate_frame(profiling_workload(756, 1008))
+        time_share = sim.dnn_attention_fraction()
+        workload = profiling_workload(756, 1008)
+        flops_share = workload.ray_module_flops_per_pixel() / (
+            workload.ray_module_flops_per_pixel()
+            + workload.mlp_flops_per_pixel())
+        assert time_share > 2.5 * flops_share   # the paper's disparity
+        assert 0.30 < time_share < 0.60
+
+
+class TestTable2Ladder:
+    def test_mflops_ordering(self):
+        """Each technique strictly reduces FLOPs along the ladder."""
+        ladder = ["vanilla", "coarse_focus", "pruned"]
+        values = [table2_workload(row).flops_per_pixel() for row in ladder]
+        assert values[0] > values[1] > values[2]
+
+    def test_total_reduction_factor(self):
+        """'reduce the required FLOPs by 27.3x' for 6 views (Sec. 5.2)."""
+        factor = table2_workload("vanilla").flops_per_pixel() \
+            / table2_workload("pruned", num_views=6).flops_per_pixel()
+        assert 18 < factor < 40
+
+
+@pytest.mark.slow
+class TestHeadlineThroughput:
+    """Fig. 10 / Table 4 anchors — full-resolution simulations (~20 s)."""
+
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        return CoDesignPipeline()
+
+    def test_real_time_on_800x800(self, pipeline):
+        """'our accelerator can satisfy the real-time requirement
+        (>= 24 FPS) for rendering an 800x800 image' (within 10%)."""
+        sim = pipeline.simulate_accelerator("nerf_synthetic")
+        assert sim.fps > 21.5
+
+    def test_speedup_vs_2080ti_order_of_magnitude(self, pipeline):
+        """Paper: 239-256x. Our calibrated models land in the same
+        order of magnitude (documented deviation in EXPERIMENTS.md)."""
+        result = pipeline.fps_comparison("llff")
+        assert 80 < result["speedup_vs_2080ti"] < 600
+
+    def test_speedup_vs_tx2(self, pipeline):
+        """Paper: 7448.9x on LLFF."""
+        result = pipeline.fps_comparison("llff")
+        assert 1500 < result["speedup_vs_tx2"] < 15000

@@ -1,0 +1,136 @@
+"""Property-based tests (hypothesis) on core data structures/invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geometry.frustum import convex_hull_area
+from repro.hardware.interleave import (FeatureStore, FootprintRegion,
+                                       _residue_counts)
+from repro.hardware.sram import PrefetchDoubleBuffer
+from repro.hardware.systolic import GemmShape, gemm_cycles, gemm_utilization
+from repro.models.sampling import allocate_ray_budget, sampling_pdf
+from repro.nn.tensor import Tensor, unbroadcast
+from repro.scenes.render_gt import composite_numpy
+
+settings.register_profile("repro", deadline=None, max_examples=50)
+settings.load_profile("repro")
+
+
+finite_floats = st.floats(min_value=-100, max_value=100,
+                          allow_nan=False, allow_infinity=False)
+
+
+@given(arrays(np.float64, st.tuples(st.integers(1, 4), st.integers(1, 5)),
+              elements=finite_floats))
+def test_unbroadcast_preserves_sum(grad):
+    """Summing the gradient is invariant under unbroadcasting."""
+    for shape in [(1, grad.shape[1]), (grad.shape[1],), (1, 1)]:
+        reduced = unbroadcast(grad.copy(), shape)
+        assert reduced.shape == shape
+        assert np.isclose(reduced.sum(), grad.sum(), rtol=1e-9)
+
+
+@given(arrays(np.float64, st.tuples(st.integers(1, 6), st.integers(2, 24)),
+              elements=st.floats(0, 50, allow_nan=False)),
+       st.floats(0.05, 2.0))
+def test_composite_weights_are_subprobability(sigmas, span):
+    rays, points = sigmas.shape
+    depths = np.linspace(2.0, 2.0 + span, points)[None].repeat(rays, axis=0)
+    colors = np.ones((rays, points, 3)) * 0.5
+    pixel, weights, transmittance = composite_numpy(sigmas, colors, depths,
+                                                    far=2.0 + span + 0.1)
+    assert (weights >= -1e-12).all()
+    assert (weights.sum(-1) <= 1 + 1e-9).all()
+    assert (np.diff(transmittance, axis=-1) <= 1e-9).all()
+    assert (pixel >= -1e-9).all() and (pixel <= 1 + 1e-9).all()
+
+
+@given(arrays(np.float64, st.tuples(st.integers(3, 24), st.just(2)),
+              elements=st.floats(-50, 50, allow_nan=False)))
+def test_hull_area_invariances(points):
+    """Hull area is translation invariant and scales quadratically."""
+    base = convex_hull_area(points)
+    shifted = convex_hull_area(points + np.array([13.0, -7.0]))
+    doubled = convex_hull_area(points * 2.0)
+    assert base >= 0
+    assert np.isclose(base, shifted, rtol=1e-6, atol=1e-6)
+    assert np.isclose(doubled, 4 * base, rtol=1e-6, atol=1e-6)
+
+
+@given(arrays(np.float64, st.integers(1, 64),
+              elements=st.floats(0, 1, allow_nan=False)),
+       st.integers(0, 2000), st.integers(1, 64))
+def test_allocate_budget_exact_and_bounded(probability, total, n_max):
+    capacity = len(probability) * n_max
+    counts = allocate_ray_budget(probability, total, n_max)
+    assert (counts >= 0).all()
+    assert (counts <= n_max).all()
+    assert counts.sum() == min(total, capacity)
+
+
+@given(arrays(np.float64, st.tuples(st.integers(1, 8), st.integers(2, 32)),
+              elements=st.floats(0, 0.2, allow_nan=False)),
+       st.floats(1e-5, 1e-1))
+def test_sampling_pdf_invariants(weights, tau):
+    ray_p, point_pdf, counts = sampling_pdf(weights, tau)
+    assert np.isclose(ray_p.sum(), 1.0)
+    assert (ray_p >= 0).all()
+    assert np.allclose(point_pdf.sum(-1), 1.0)
+    assert (counts >= 0).all() and (counts <= weights.shape[1]).all()
+
+
+@given(st.integers(0, 100), st.integers(0, 200), st.integers(1, 16))
+def test_residue_counts_total(start, length, modulus):
+    counts = _residue_counts(start, start + length, modulus)
+    assert counts.sum() == length
+    assert counts.max() - counts.min() <= 1
+
+
+@given(st.integers(1, 6), st.integers(0, 30), st.integers(1, 30),
+       st.integers(0, 30), st.integers(1, 30),
+       st.sampled_from(["row_major", "row_interleaved", "view_interleaved",
+                        "spatial_interleaved"]))
+def test_rectangle_load_conservation(view, row0, rows, col0, cols, layout):
+    """Bank loads always sum to the rectangle's location count."""
+    store = FeatureStore(num_views=8, height=64, width=64, channels=4,
+                         layout=layout)
+    region = FootprintRegion(view=view, row0=row0, row1=row0 + rows,
+                             col0=col0, col1=col0 + cols)
+    loads, acts = store.rectangle_bank_load(region, num_banks=8)
+    assert loads.sum() == rows * cols
+    assert (acts >= 0).all()
+
+
+@given(st.integers(1, 512), st.integers(1, 64), st.integers(1, 64),
+       st.integers(1, 8), st.booleans())
+def test_gemm_cycles_bounds(m, k, n, count, shared):
+    shape = GemmShape(m, k, n, count=count, shared_weights=shared)
+    cycles = gemm_cycles(shape)
+    assert cycles >= shape.macs / (16 * 16)     # never beats peak
+    assert 0 < gemm_utilization(shape) <= 1 + 1e-9
+
+
+@given(arrays(np.float64, st.integers(1, 32),
+              elements=st.floats(0, 1e-3, allow_nan=False)),
+       arrays(np.float64, st.integers(1, 32),
+              elements=st.floats(0, 1e-3, allow_nan=False)))
+def test_pipeline_time_bounds(fetch, compute):
+    """Double-buffered time is between max(sums) and their total."""
+    n = min(len(fetch), len(compute))
+    fetch, compute = fetch[:n], compute[:n]
+    total, busy = PrefetchDoubleBuffer.pipeline_time(fetch, compute)
+    assert total >= max(fetch.sum(), compute.sum()) - 1e-12
+    assert total <= fetch.sum() + compute.sum() + 1e-12
+    assert np.isclose(busy, compute.sum())
+
+
+@given(arrays(np.float32, st.tuples(st.integers(1, 4), st.integers(1, 6)),
+              elements=st.floats(-10, 10, allow_nan=False, width=32)))
+def test_tensor_softmax_rows_normalised(values):
+    from repro.nn import functional as F
+
+    out = F.softmax(Tensor(values), axis=-1).data
+    assert np.allclose(out.sum(-1), 1.0, atol=1e-4)
+    assert (out >= 0).all()
