@@ -1,0 +1,18 @@
+# Developer entry points.  PYTHONPATH=src everywhere: the package is
+# used in-tree, no editable install required.
+
+PYTEST := PYTHONPATH=src python -m pytest
+
+.PHONY: test test-all bench perf
+
+test:      ## fast inner loop: unit/property tests, no figure harnesses
+	$(PYTEST) -q -m "not slow"
+
+test-all:  ## full tier-1 suite (tests + paper figure/table harnesses)
+	$(PYTEST) -x -q
+
+bench:     ## hot-path perf harness -> BENCH_hotpaths.json (fails on >25% regression)
+	PYTHONPATH=src python -m benchmarks.harness
+
+perf:      ## pytest-benchmark microbenches (statistical timings)
+	$(PYTEST) -q -m bench

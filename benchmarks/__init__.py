@@ -1,0 +1,6 @@
+"""Paper-figure harnesses (pytest) and the hot-path perf harness.
+
+``python -m benchmarks.harness`` (or ``make bench``) times the
+simulator's hot paths against the seed loop implementations and writes
+``BENCH_hotpaths.json`` at the repo root; see ``benchmarks/harness.py``.
+"""

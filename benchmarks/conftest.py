@@ -14,6 +14,19 @@ import pytest
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
+def pytest_collection_modifyitems(items):
+    """Mark everything under benchmarks/ ``slow`` (the figure/table
+    harnesses take minutes) so ``pytest -m "not slow"`` is a fast inner
+    loop; the hot-path microbenches additionally get ``bench`` so they
+    can be selected on their own with ``-m bench``."""
+    here = os.path.dirname(__file__)
+    for item in items:
+        if str(item.fspath).startswith(here):
+            item.add_marker(pytest.mark.slow)
+            if "test_perf_microbench" in str(item.fspath):
+                item.add_marker(pytest.mark.bench)
+
+
 def emit(name: str, text: str) -> None:
     """Print a regenerated table/figure and persist it."""
     banner = f"\n{'#' * 72}\n# {name}\n{'#' * 72}\n"

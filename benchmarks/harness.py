@@ -1,0 +1,257 @@
+"""Hot-path perf harness: microbenches + regression tracking.
+
+Times the render-and-simulate critical path primitives (coarse-then-
+focus sampling at R=4096, batched trace generation + replay, the fused
+autograd training step, the scatter-add gather backward) and, where a
+seed loop implementation exists in :mod:`repro.perf.reference`, the
+speedup over it.  Results go to ``BENCH_hotpaths.json`` at the repo
+root; when a previous file exists its numbers are compared so perf
+regressions are visible PR-to-PR.
+
+Run with::
+
+    PYTHONPATH=src python -m benchmarks.harness      # or: make bench
+
+JSON schema (``BENCH_hotpaths.json``)::
+
+    {
+      "schema_version": 1,
+      "generated_unix": <float seconds>,
+      "benches": {
+        "<name>": {
+          "mean_s": <float>,            # vectorised path, best-of-rounds mean
+          "rounds": <int>,
+          "loop_reference_mean_s": <float|null>,  # seed loop, if one exists
+          "speedup_vs_loop": <float|null>,
+          "previous_mean_s": <float|null>,        # from the prior run
+          "regression_pct": <float|null>          # +X% means slower now
+        }, ...
+      }
+    }
+
+A bench counts as regressed when ``mean_s`` worsens by more than 25%
+against the committed previous run; the harness exits nonzero so CI can
+flag it (pass ``--no-strict`` to report without failing).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULT_PATH = os.path.join(REPO_ROOT, "BENCH_hotpaths.json")
+REGRESSION_THRESHOLD_PCT = 25.0
+
+
+def _time(func: Callable[[], object], rounds: int = 5,
+          min_total_s: float = 0.2) -> float:
+    """Mean seconds per call over ``rounds`` repetitions.
+
+    Each round loops the callable enough times to amortise timer noise
+    for sub-millisecond paths; the fastest round is reported (standard
+    microbench practice — slower rounds measure interference, not code).
+    """
+    func()  # warm-up (allocator, caches, lazy imports)
+    start = time.perf_counter()
+    func()
+    single = max(time.perf_counter() - start, 1e-9)
+    best = float("inf")
+    for _ in range(rounds):
+        iterations = max(1, int(min_total_s / single / rounds))
+        start = time.perf_counter()
+        for _ in range(iterations):
+            func()
+        elapsed = (time.perf_counter() - start) / iterations
+        best = min(best, elapsed)
+        single = elapsed
+    return best
+
+
+# ----------------------------------------------------------------------
+# Bench definitions: name -> (vectorised callable, loop callable | None)
+# ----------------------------------------------------------------------
+
+def _sampling_inputs(num_rays: int, num_bins: int = 16):
+    rng = np.random.default_rng(0)
+    depths = np.tile(np.linspace(2.0, 6.0, num_bins), (num_rays, 1))
+    weights = rng.random((num_rays, num_bins)) ** 4
+    weights[rng.random(num_rays) < 0.4] = 0.0
+    return depths, weights
+
+
+def bench_coarse_then_focus_plan():
+    from repro.models.sampling import coarse_then_focus_plan
+    from repro.models.sampling import (allocate_ray_budget, sampling_pdf)
+    from repro.perf import reference
+
+    depths, weights = _sampling_inputs(4096)
+
+    def vectorised():
+        return coarse_then_focus_plan(
+            depths, weights, num_focused_avg=16, n_max=48, tau=1e-3,
+            near=2.0, far=6.0, rng=np.random.default_rng(1))
+
+    def looped():
+        ray_p, point_pdf, _ = sampling_pdf(weights, 1e-3)
+        counts = allocate_ray_budget(ray_p, 16 * 4096, 48)
+        plan = reference.focused_depths_loop(
+            depths, point_pdf, counts, 48, 2.0, 6.0,
+            np.random.default_rng(1))
+        return reference.merge_critical_points_loop(
+            plan, depths, weights, 1e-3, 48, 6.0)
+
+    return vectorised, looped
+
+
+def bench_inverse_transform():
+    from repro.models.sampling import _inverse_transform
+    from repro.perf import reference
+
+    rng = np.random.default_rng(0)
+    edges = np.sort(rng.random((4096, 17)), -1) * 4 + 2
+    pdf = rng.random((4096, 16))
+    uniforms = rng.random((4096, 32))
+    return (lambda: _inverse_transform(edges, pdf, uniforms),
+            lambda: reference.inverse_transform_loop(edges, pdf, uniforms))
+
+
+def bench_trace_replay():
+    from repro.hardware.dram import DramConfig
+    from repro.hardware.interleave import FeatureStore, FootprintRegion
+    from repro.hardware.trace import footprints_trace_arrays, replay_trace
+    from repro.perf import reference
+
+    store = FeatureStore(num_views=4, height=128, width=128, channels=32)
+    footprints = [FootprintRegion(view=v, row0=8, row1=72, col0=8, col1=104)
+                  for v in range(4)]
+    config = DramConfig()
+
+    def vectorised():
+        trace = footprints_trace_arrays(store, footprints,
+                                        config.num_banks, config.row_bytes)
+        return replay_trace(trace, config)
+
+    def looped():
+        requests = []
+        for region in footprints:
+            requests.extend(reference.footprint_trace_loop(
+                store, region, config.num_banks, config.row_bytes))
+        return reference.replay_trace_loop(requests, config)
+
+    return vectorised, looped
+
+
+def bench_autograd_training_step():
+    from repro import nn
+
+    rng = np.random.default_rng(0)
+    model = nn.MLP(32, [64, 64, 64], 3, rng=rng)
+    optimizer = nn.Adam(model.parameters(), lr=1e-3)
+    data = rng.standard_normal((256, 32)).astype(np.float32)
+    target = rng.standard_normal((256, 3)).astype(np.float32)
+
+    def step():
+        optimizer.zero_grad()
+        loss = nn.functional.mse_loss(model(nn.Tensor(data)), target)
+        loss.backward()
+        optimizer.step()
+        return loss.item()
+
+    return step, None
+
+
+def bench_getitem_backward():
+    from repro.nn import Tensor
+
+    rng = np.random.default_rng(0)
+    table = rng.standard_normal((4096, 64)).astype(np.float32)
+    index = rng.integers(0, 4096, size=16384)
+    grad = np.ones((16384, 64), dtype=np.float32)
+
+    def gather_backward():
+        x = Tensor(table, requires_grad=True)
+        x[index].backward(grad)
+        return x.grad
+
+    return gather_backward, None
+
+
+BENCHES = {
+    "coarse_then_focus_plan_r4096": bench_coarse_then_focus_plan,
+    "inverse_transform_r4096": bench_inverse_transform,
+    "trace_replay_4x64x96": bench_trace_replay,
+    "autograd_training_step_mlp": bench_autograd_training_step,
+    "getitem_backward_gather_16k": bench_getitem_backward,
+}
+
+
+def run(strict: bool = True) -> int:
+    previous: Dict[str, Dict] = {}
+    if os.path.exists(RESULT_PATH):
+        try:
+            with open(RESULT_PATH) as handle:
+                previous = json.load(handle).get("benches", {})
+        except (json.JSONDecodeError, OSError, AttributeError) as error:
+            print(f"warning: ignoring unreadable {RESULT_PATH}: {error}",
+                  file=sys.stderr)
+
+    benches: Dict[str, Dict] = {}
+    regressions = []
+    print(f"{'bench':<34} {'mean':>10} {'loop ref':>10} {'speedup':>8} "
+          f"{'prev':>10} {'delta':>8}")
+    for name, build in BENCHES.items():
+        vectorised, looped = build()
+        mean_s = _time(vectorised)
+        loop_mean_s: Optional[float] = _time(looped) if looped else None
+        speedup = (loop_mean_s / mean_s) if loop_mean_s else None
+        prev_mean = previous.get(name, {}).get("mean_s")
+        regression_pct = (100.0 * (mean_s - prev_mean) / prev_mean
+                          if prev_mean else None)
+        benches[name] = {
+            "mean_s": mean_s,
+            "rounds": 5,
+            "loop_reference_mean_s": loop_mean_s,
+            "speedup_vs_loop": speedup,
+            "previous_mean_s": prev_mean,
+            "regression_pct": regression_pct,
+        }
+        if regression_pct is not None \
+                and regression_pct > REGRESSION_THRESHOLD_PCT:
+            regressions.append((name, regression_pct))
+        print(f"{name:<34} {mean_s * 1e3:>8.2f}ms "
+              f"{(loop_mean_s or 0) * 1e3:>8.2f}ms "
+              f"{('%.1fx' % speedup) if speedup else '-':>8} "
+              f"{(prev_mean or 0) * 1e3:>8.2f}ms "
+              f"{('%+.1f%%' % regression_pct) if regression_pct is not None else '-':>8}")
+
+    with open(RESULT_PATH, "w") as handle:
+        json.dump({"schema_version": 1, "generated_unix": time.time(),
+                   "benches": benches}, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote {RESULT_PATH}")
+
+    if regressions:
+        for name, pct in regressions:
+            print(f"REGRESSION: {name} slowed by {pct:.1f}% "
+                  f"(threshold {REGRESSION_THRESHOLD_PCT}%)", file=sys.stderr)
+        return 1 if strict else 0
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--no-strict", action="store_true",
+                        help="report regressions without failing")
+    args = parser.parse_args()
+    return run(strict=not args.no_strict)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,12 +10,23 @@ time against the aggregate model.  ``tests/hardware/test_trace.py``
 asserts the two agree within a documented tolerance across layouts and
 footprint shapes — the evidence that the fast aggregate path used by
 full-frame simulation is sound.
+
+Performance note: trace generation and replay are *hot paths* of the
+fidelity harness (a full-frame footprint set is hundreds of thousands of
+requests).  Both are therefore batched struct-of-arrays numpy code —
+:class:`TraceArrays` carries the whole trace as three parallel arrays,
+:func:`footprint_trace_arrays` derives banks and DRAM rows with a
+grouped cumulative count instead of per-location Python, and
+:func:`replay_trace` resolves row hits/misses with one stable sort.  The
+per-request :class:`MemoryRequest` dataclass API is kept as a thin
+adapter over the arrays; ``benchmarks/harness.py`` tracks the speedup of
+the batch path over the seed's generator loop.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -32,36 +43,133 @@ class MemoryRequest:
     num_bytes: int
 
 
-def footprint_trace(store: FeatureStore, region: FootprintRegion,
-                    num_banks: int, row_bytes: int
-                    ) -> Iterator[MemoryRequest]:
-    """Expand a footprint rectangle into per-location memory requests.
+@dataclass(frozen=True)
+class TraceArrays:
+    """A memory trace as struct-of-arrays (one entry per request).
+
+    Entries are in trace (raster/visit) order; ``banks`` and ``rows``
+    are int64, ``num_bytes`` is int64 bytes per request.  This is the
+    batch currency of trace generation and replay; :meth:`requests`
+    adapts back to per-request :class:`MemoryRequest` objects.
+    """
+
+    banks: np.ndarray
+    rows: np.ndarray
+    num_bytes: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.banks)
+
+    def requests(self) -> Iterator[MemoryRequest]:
+        for bank, row, nbytes in zip(self.banks, self.rows, self.num_bytes):
+            yield MemoryRequest(bank=int(bank), row=int(row),
+                                num_bytes=int(nbytes))
+
+    @staticmethod
+    def empty() -> "TraceArrays":
+        zero = np.zeros(0, dtype=np.int64)
+        return TraceArrays(zero, zero.copy(), zero.copy())
+
+    @staticmethod
+    def concatenate(traces: Sequence["TraceArrays"]) -> "TraceArrays":
+        if not traces:
+            return TraceArrays.empty()
+        return TraceArrays(
+            np.concatenate([t.banks for t in traces]),
+            np.concatenate([t.rows for t in traces]),
+            np.concatenate([t.num_bytes for t in traces]))
+
+    @staticmethod
+    def from_requests(requests: Sequence[MemoryRequest]) -> "TraceArrays":
+        if not hasattr(requests, "__len__"):   # generator/iterator input
+            requests = list(requests)
+        count = len(requests)
+        banks = np.fromiter((r.bank for r in requests), dtype=np.int64,
+                            count=count)
+        rows = np.fromiter((r.row for r in requests), dtype=np.int64,
+                           count=count)
+        num_bytes = np.fromiter((r.num_bytes for r in requests),
+                                dtype=np.int64, count=count)
+        return TraceArrays(banks, rows, num_bytes)
+
+
+def _grouped_ranks(banks: np.ndarray) -> np.ndarray:
+    """Rank of each request among the prior requests to the same bank.
+
+    Vectorised grouped cumulative count: a stable sort groups each
+    bank's requests contiguously while preserving trace order inside a
+    group, so the within-group rank is the running index minus the
+    group's start index.
+    """
+    count = len(banks)
+    order = np.argsort(banks, kind="stable")
+    sorted_banks = banks[order]
+    sequence = np.arange(count, dtype=np.int64)
+    new_group = np.ones(count, dtype=bool)
+    new_group[1:] = sorted_banks[1:] != sorted_banks[:-1]
+    group_start = np.maximum.accumulate(np.where(new_group, sequence, 0))
+    ranks = np.empty(count, dtype=np.int64)
+    ranks[order] = sequence - group_start
+    return ranks
+
+
+def footprint_trace_arrays(store: FeatureStore, region: FootprintRegion,
+                           num_banks: int, row_bytes: int) -> TraceArrays:
+    """Batched expansion of a footprint rectangle into a memory trace.
 
     Locations are visited in raster order (how the memory controller
     streams a prefetch).  The DRAM row of a location follows the
     storage layout: within one bank, locations pack in visit order, so
-    we track a per-bank byte cursor and derive the row from it — this
-    reproduces the row locality (or lack of it) each layout exhibits.
+    the row index is the per-bank visit rank times the location size —
+    computed for all locations at once via :func:`_grouped_ranks`.
     """
-    skew = spatial_skew(num_banks)
-    cursors = [0] * num_banks
-    for row in range(region.row0, region.row1):
-        for col in range(region.col0, region.col1):
-            if store.layout == "row_major":
-                rows_per_bank = max(1, (store.num_views * store.height)
-                                    // num_banks)
-                bank = min((region.view * store.height + row)
-                           // rows_per_bank, num_banks - 1)
-            elif store.layout == "row_interleaved":
-                bank = (region.view * store.height + row) % num_banks
-            elif store.layout == "view_interleaved":
-                bank = region.view % num_banks
-            else:
-                bank = (skew * row + col) % num_banks
-            dram_row = cursors[bank] // row_bytes
-            cursors[bank] += store.location_bytes
-            yield MemoryRequest(bank=bank, row=dram_row,
-                                num_bytes=store.location_bytes)
+    num_rows, num_cols = region.num_rows, region.num_cols
+    count = num_rows * num_cols
+    if count <= 0:
+        return TraceArrays.empty()
+
+    feature_rows = np.repeat(
+        np.arange(region.row0, region.row1, dtype=np.int64), num_cols)
+    if store.layout == "row_major":
+        rows_per_bank = max(1, (store.num_views * store.height) // num_banks)
+        banks = np.minimum(
+            (region.view * store.height + feature_rows) // rows_per_bank,
+            num_banks - 1)
+    elif store.layout == "row_interleaved":
+        banks = (region.view * store.height + feature_rows) % num_banks
+    elif store.layout == "view_interleaved":
+        banks = np.full(count, region.view % num_banks, dtype=np.int64)
+    else:
+        feature_cols = np.tile(
+            np.arange(region.col0, region.col1, dtype=np.int64), num_rows)
+        banks = (spatial_skew(num_banks) * feature_rows + feature_cols) \
+            % num_banks
+
+    dram_rows = (_grouped_ranks(banks) * store.location_bytes) // row_bytes
+    num_bytes = np.full(count, store.location_bytes, dtype=np.int64)
+    return TraceArrays(banks, dram_rows, num_bytes)
+
+
+def footprints_trace_arrays(store: FeatureStore,
+                            footprints: Sequence[FootprintRegion],
+                            num_banks: int, row_bytes: int) -> TraceArrays:
+    """Concatenated traces for several footprints (cursors reset per
+    footprint, matching per-prefetch streaming)."""
+    return TraceArrays.concatenate(
+        [footprint_trace_arrays(store, region, num_banks, row_bytes)
+         for region in footprints])
+
+
+def footprint_trace(store: FeatureStore, region: FootprintRegion,
+                    num_banks: int, row_bytes: int
+                    ) -> Iterator[MemoryRequest]:
+    """Per-request adapter over :func:`footprint_trace_arrays`.
+
+    Kept for API compatibility (and readability in tests); bulk callers
+    should stay in array-land via :func:`footprint_trace_arrays`.
+    """
+    return footprint_trace_arrays(store, region, num_banks,
+                                  row_bytes).requests()
 
 
 @dataclass
@@ -79,7 +187,7 @@ class ReplayResult:
         return 0.0 if total == 0 else self.row_hits / total
 
 
-def replay_trace(requests: Sequence[MemoryRequest],
+def replay_trace(requests: Union[TraceArrays, Sequence[MemoryRequest]],
                  config: DramConfig = DramConfig()) -> ReplayResult:
     """Replay requests through per-bank row-buffer state machines.
 
@@ -87,24 +195,35 @@ def replay_trace(requests: Sequence[MemoryRequest],
     shared data bus imposes the bandwidth floor, exactly mirroring the
     aggregate model's two terms — but here hits/misses come from the
     actual access sequence instead of an activation estimate.
-    """
-    bank_time = np.zeros(config.num_banks)
-    open_row = np.full(config.num_banks, -1, dtype=np.int64)
-    total_bytes = 0.0
-    hits = 0
-    misses = 0
-    for request in requests:
-        bursts = int(np.ceil(request.num_bytes / config.burst_bytes))
-        time = bursts * config.t_burst_s
-        if open_row[request.bank] != request.row:
-            time += config.t_rc_s
-            open_row[request.bank] = request.row
-            misses += 1
-        else:
-            hits += 1
-        bank_time[request.bank] += time
-        total_bytes += request.num_bytes
 
+    Vectorised: a stable sort by bank groups each bank's requests in
+    trace order, a row-change scan yields hits/misses, and per-bank busy
+    times reduce via ``np.bincount`` — no per-request Python loop.
+    Accepts either a :class:`TraceArrays` batch or a sequence of
+    :class:`MemoryRequest` (converted up front).
+    """
+    trace = requests if isinstance(requests, TraceArrays) \
+        else TraceArrays.from_requests(requests)
+    count = len(trace)
+    if count == 0:
+        return ReplayResult(service_time_s=0.0, total_bytes=0.0,
+                            row_hits=0, row_misses=0)
+
+    order = np.argsort(trace.banks, kind="stable")
+    sorted_banks = trace.banks[order]
+    sorted_rows = trace.rows[order]
+    first_of_bank = np.ones(count, dtype=bool)
+    first_of_bank[1:] = sorted_banks[1:] != sorted_banks[:-1]
+    miss = first_of_bank.copy()        # open_row starts at -1: always a miss
+    miss[1:] |= sorted_rows[1:] != sorted_rows[:-1]
+    misses = int(miss.sum())
+    hits = count - misses
+
+    bursts = -(-trace.num_bytes[order] // config.burst_bytes)
+    time_per_request = bursts * config.t_burst_s + miss * config.t_rc_s
+    bank_time = np.bincount(sorted_banks, weights=time_per_request,
+                            minlength=config.num_banks)
+    total_bytes = float(trace.num_bytes.sum())
     bus_time = total_bytes / config.peak_bandwidth_bytes
     service = max(float(bank_time.max(initial=0.0)), bus_time)
     return ReplayResult(service_time_s=service, total_bytes=total_bytes,
@@ -122,9 +241,7 @@ def compare_aggregate_to_replay(store: FeatureStore,
                                                      config.num_banks)
     aggregate = DramModel(config).service(bank_bytes, bank_acts)
 
-    requests: List[MemoryRequest] = []
-    for region in footprints:
-        requests.extend(footprint_trace(store, region, config.num_banks,
-                                        config.row_bytes))
-    replayed = replay_trace(requests, config)
+    trace = footprints_trace_arrays(store, footprints, config.num_banks,
+                                    config.row_bytes)
+    replayed = replay_trace(trace, config)
     return aggregate.service_time_s, replayed.service_time_s

@@ -6,6 +6,11 @@ and multi-view consistency along the ray before predicting densities.
 The paper's profiling (Sec. 2.3) shows this module is wildly inefficient
 on GPUs (44.1% of DNN latency at 13.8% of DNN FLOPs), which motivates
 the Ray-Mixer replacement.
+
+The projections and attention weights route through the fused
+``nn.functional`` ops (``linear``, ``softmax`` / ``masked_softmax``),
+so each training step builds one graph node per projection and per
+softmax instead of a chain of elementwise nodes.
 """
 
 from __future__ import annotations

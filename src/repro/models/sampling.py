@@ -16,6 +16,17 @@ Implements the three samplers the paper compares:
   sampling, so rays through empty/occluded space receive few (possibly
   zero) points while surface rays receive many.  For batch training the
   per-ray samples are padded to ``N_max`` with an accompanying mask.
+
+Performance note: this module is on the render critical path (the
+sampler runs for every ray of every frame), so every per-ray Python
+loop has been replaced with batched numpy — a flat batched
+``searchsorted`` in :func:`_inverse_transform`, sort-and-pack in
+:func:`focused_depths`, and a sorted-union mask dance in
+:func:`merge_critical_points` — with row compression skipping the empty
+rays the sampler exists to create.  ``benchmarks/harness.py`` tracks
+the speedup over the seed loop implementations (kept in
+:mod:`repro.perf.reference`); the equivalence suite pins bit-identical
+outputs at fixed seeds.
 """
 
 from __future__ import annotations
@@ -74,25 +85,80 @@ def _inverse_transform(bin_edges: np.ndarray, pdf: np.ndarray,
     ``uniforms`` (R, K) in [0, 1).  Vectorised inverse-CDF; this is the
     software model of the accelerator's "Monte-Carlo simulator" unit
     (PDF-to-CDF converter + comparator array, Fig. 7).
+
+    The bin lookup is batched — no per-ray Python loop.  Two exact
+    strategies, picked by bin count:
+
+    * small B (the paper's regime, N_c <= 64): count, per uniform, how
+      many CDF entries are <= it.  That is literally what a right-biased
+      ``searchsorted`` returns, computed as B vectorised comparisons
+      over the (R, K) uniform block — linear in B but branch-free and
+      cache-friendly, and *bit-identical* to the per-ray loop.
+    * large B: a single flat ``searchsorted``.  Each ray's CDF spans
+      exactly [0, 1] (the final division pins the last entry to 1.0),
+      so offsetting ray ``r``'s CDF and uniforms by ``2 r`` makes the
+      flattened CDF globally ascending and one search locates every
+      (ray, uniform) pair at once.  The offset is exactly representable
+      and preserves every comparison except ties within one double ulp
+      of the offset magnitude (~1e-12 at R~4096), far below the PDF
+      floor.
+
+    The equivalence suite pins both against the seed loop at fixed
+    seeds.
     """
-    pdf = np.maximum(pdf, 0.0) + 1e-12
-    cdf = np.cumsum(pdf, axis=-1)
-    cdf = cdf / cdf[..., -1:]
-    cdf = np.concatenate([np.zeros_like(cdf[..., :1]), cdf], axis=-1)  # (R, B+1)
+    # Computation is pinned to float64 (every in-repo caller already
+    # passes float64): the in-place buffer reuse below assumes one
+    # dtype throughout rather than numpy's pairwise promotion rules.
+    pdf = np.asarray(pdf, dtype=np.float64)
+    bin_edges = np.asarray(bin_edges, dtype=np.float64)
+    uniforms = np.asarray(uniforms, dtype=np.float64)
+    num_rays, num_bins = pdf.shape[0], pdf.shape[-1]
+    pdf = np.maximum(pdf, 0.0)
+    pdf += 1e-12
+    cdf = np.empty((num_rays, num_bins + 1))      # (R, B+1), built in place
+    cdf[:, 0] = 0.0
+    np.cumsum(pdf, axis=-1, out=cdf[:, 1:])
+    np.divide(cdf[:, 1:], cdf[:, -1].copy()[:, None], out=cdf[:, 1:])
+    if num_bins <= 64:
+        # Column 0 is identically zero and uniforms are >= 0, so it
+        # always counts; start from its contribution and accumulate the
+        # remaining columns.  ``searchsorted(..., "right") - 1`` equals
+        # this count minus one, and the two cancel.  uint16 counters
+        # halve the accumulator's memory traffic (B <= 64 here).
+        counters = np.zeros(uniforms.shape, dtype=np.uint16)
+        compare_buffer = np.empty(uniforms.shape, dtype=bool)
+        for column in range(1, num_bins + 1):
+            np.less_equal(cdf[:, column, None], uniforms, out=compare_buffer)
+            counters += compare_buffer
+        indices = np.minimum(counters, num_bins - 1).astype(np.intp)
+    else:
+        rows_2d = np.arange(num_rays)[:, None]
+        offsets = 2.0 * rows_2d
+        flat_positions = np.searchsorted(
+            (cdf + offsets).ravel(), (uniforms + offsets).ravel(),
+            side="right")
+        indices = flat_positions.reshape(uniforms.shape) - 1 \
+            - rows_2d * (num_bins + 1)
+        indices = np.clip(indices, 0, num_bins - 1)
 
-    rows = np.arange(cdf.shape[0])[:, None]
-    # For each uniform find the bin whose CDF interval contains it.
-    indices = np.empty(uniforms.shape, dtype=np.int64)
-    for r in range(cdf.shape[0]):  # per-ray searchsorted keeps memory flat
-        indices[r] = np.searchsorted(cdf[r], uniforms[r], side="right") - 1
-    indices = np.clip(indices, 0, pdf.shape[-1] - 1)
-
-    cdf_lo = cdf[rows, indices]
-    cdf_hi = cdf[rows, indices + 1]
-    frac = (uniforms - cdf_lo) / np.maximum(cdf_hi - cdf_lo, 1e-12)
-    edge_lo = bin_edges[rows, indices]
-    edge_hi = bin_edges[rows, indices + 1]
-    return edge_lo + frac * (edge_hi - edge_lo)
+    # Flat gathers (np.take on a raveled view) beat 2-D advanced
+    # indexing by ~2x: one index array, contiguous reads.  The lerp
+    # reuses the gathered buffers; same ops in the same order as the
+    # seed, so results stay bit-identical.
+    flat_indices = indices + (np.arange(num_rays) * (num_bins + 1))[:, None]
+    cdf_lo = np.take(cdf, flat_indices)
+    edge_lo = np.take(bin_edges, flat_indices)
+    flat_indices += 1
+    cdf_hi = np.take(cdf, flat_indices)
+    edge_hi = np.take(bin_edges, flat_indices)
+    width = np.subtract(cdf_hi, cdf_lo, out=cdf_hi)
+    np.maximum(width, 1e-12, out=width)
+    frac = np.subtract(uniforms, cdf_lo, out=cdf_lo)
+    np.divide(frac, width, out=frac)
+    span = np.subtract(edge_hi, edge_lo, out=edge_hi)
+    span *= frac
+    span += edge_lo
+    return span
 
 
 def _edges_from_centers(depths: np.ndarray, near: float,
@@ -163,6 +229,14 @@ def allocate_ray_budget(ray_probability: np.ndarray, total_points: int,
     Deterministic so renders are reproducible; respects ``n_max`` (the
     training-time pad bound) by redistributing clipped mass to the next
     largest-remainder rays.
+
+    When ``min_points > 0`` the floor is paid for by stealing the excess
+    back from the largest-count rays, so ``counts.sum() == total_points``
+    holds whenever the budget is feasible at all, i.e.
+    ``len(counts) * min_points <= total_points <= len(counts) * n_max``.
+    Outside that range the nearest bound wins: an unaffordable floor
+    leaves the sum above ``total_points``, and a budget exceeding the
+    pad capacity saturates every ray at ``n_max``.
     """
     probability = np.asarray(ray_probability, dtype=np.float64)
     if probability.sum() <= 0:
@@ -174,26 +248,37 @@ def allocate_ray_budget(ray_probability: np.ndarray, total_points: int,
     counts = np.minimum(counts, n_max)
     remainder = int(total_points - counts.sum())
     if remainder > 0:
+        # Largest-remainder rays with headroom each take one point.
         fractional = np.where(counts < n_max, raw - np.floor(raw), -1.0)
         order = np.argsort(fractional)[::-1]
-        for index in order:
-            if remainder == 0:
-                break
-            if counts[index] < n_max:
-                take = min(n_max - counts[index], 1)
-                counts[index] += take
-                remainder -= take
+        chosen = order[counts[order] < n_max][:remainder]
+        counts[chosen] += 1
+        remainder -= len(chosen)
         if remainder > 0:  # everything saturated at n_max
             room = n_max - counts
             order = np.argsort(room)[::-1]
-            for index in order:
-                if remainder == 0:
-                    break
-                take = min(int(room[index]), remainder)
-                counts[index] += take
-                remainder -= take
+            # Greedy fill in room order == clip the running remainder
+            # against each ray's headroom (prefix-sum formulation).
+            room_sorted = room[order]
+            taken_before = np.concatenate(
+                [[0], np.cumsum(room_sorted)[:-1]])
+            take = np.clip(remainder - taken_before, 0, room_sorted)
+            counts[order] += take
+            remainder -= int(take.sum())
     if min_points > 0:
         counts = np.maximum(counts, min_points)
+        excess = int(counts.sum() - total_points)
+        if excess > 0 and total_points >= min_points * len(counts):
+            # The floor pushed us over the global R x N_f budget: steal
+            # the excess back from the largest-count rays (level by
+            # level, deterministically) until the sum is exact again.
+            while excess > 0:
+                stealable = counts > min_points
+                ceiling = counts[stealable].max()
+                victims = np.flatnonzero(stealable & (counts == ceiling))
+                take = min(excess, len(victims))
+                counts[victims[:take]] -= 1
+                excess -= take
     return counts
 
 
@@ -214,18 +299,26 @@ def focused_depths(coarse_depths: np.ndarray, point_pdf: np.ndarray,
     if max_count == 0:
         return SampleSet(depths, mask)
 
+    # The uniforms are drawn for every ray up front (fixed rng stream,
+    # reproducible regardless of the later compression), but the
+    # transform only runs on rays with a nonzero budget — under focused
+    # sampling most rays are empty, which is the point of the paper's
+    # sampler and of skipping them here.
     uniforms = rng.random((num_rays, max_count))
-    all_samples = _inverse_transform(edges, point_pdf, uniforms)
-    # Slice each ray's first c draws *before* sorting — the draws are
-    # i.i.d., so any prefix is an unbiased sample; sorting first would
-    # keep only the nearest depths.
-    for j in range(num_rays):
-        c = int(counts[j])
-        if c == 0:
-            continue
-        chosen = np.sort(all_samples[j, :c])
-        depths[j, :c] = chosen
-        mask[j, :c] = True
+    active = counts > 0
+    active_counts = counts[active]
+    samples = _inverse_transform(edges[active], point_pdf[active],
+                                 uniforms[active])
+    # Keep each active ray's first c draws *before* sorting — the draws
+    # are i.i.d., so any prefix is an unbiased sample; sorting first
+    # would keep only the nearest depths.  Vectorised: push the unused
+    # draws to +inf and sort each row once, so the kept draws land
+    # sorted in the leading columns exactly where the prefix mask
+    # expects them.
+    valid = np.arange(max_count)[None, :] < active_counts[:, None]
+    packed = np.sort(np.where(valid, samples, np.inf), axis=-1)
+    depths[active, :max_count] = np.where(valid, packed, far)
+    mask[:, :max_count] = np.arange(max_count)[None, :] < counts[:, None]
     return SampleSet(depths, mask)
 
 
@@ -247,12 +340,34 @@ def merge_critical_points(plan: SampleSet, coarse_depths: np.ndarray,
     num_rays = plan.depths.shape[0]
     depths = np.full((num_rays, n_max), far, dtype=np.float64)
     mask = np.zeros((num_rays, n_max), dtype=bool)
-    for j in range(num_rays):
-        merged = np.concatenate([plan.depths[j][plan.mask[j]],
-                                 coarse_depths[j][critical[j]]])
-        merged = np.unique(merged)[:n_max]
-        depths[j, :len(merged)] = merged
-        mask[j, :len(merged)] = True
+    # Rays with neither focused samples nor critical coarse points stay
+    # all-padding; only the active subset is merged (most rays are empty
+    # under focused sampling).
+    active = plan.mask.any(axis=-1) | critical.any(axis=-1)
+    if not active.any():
+        return SampleSet(depths, mask)
+    # Vectorised per-ray sorted-union: pad invalid entries to +inf, sort
+    # each row once, drop duplicates by masking repeats back to +inf and
+    # re-sorting (== np.unique on the finite prefix, left-packed), with
+    # no per-ray sort/unique loop.
+    plan_width = plan.depths.shape[1]
+    candidates = np.full(
+        (int(active.sum()), plan_width + coarse_depths.shape[1]), np.inf)
+    np.copyto(candidates[:, :plan_width], plan.depths[active],
+              where=plan.mask[active])
+    np.copyto(candidates[:, plan_width:], coarse_depths[active],
+              where=critical[active])
+    candidates.sort(axis=-1)
+    keep = np.isfinite(candidates)
+    keep[:, 1:] &= candidates[:, 1:] != candidates[:, :-1]
+    counts = np.minimum(keep.sum(axis=-1), n_max)
+    np.copyto(candidates, np.inf, where=~keep)
+    candidates.sort(axis=-1)
+    packed = candidates[:, :n_max]
+    width = packed.shape[1]
+    active_mask = np.arange(width)[None, :] < counts[:, None]
+    depths[active, :width] = np.where(active_mask, packed, far)
+    mask[active] = np.arange(n_max)[None, :] < counts[:, None]
     return SampleSet(depths, mask)
 
 

@@ -4,6 +4,14 @@ These mirror the subset of ``torch.nn.functional`` that the Gen-NeRF
 algorithm stack needs: activations, softmax (for the ray-transformer
 baseline and IBRNet's visibility-style pooling), layer norm, masked ops
 (for padded focused samples), and the MSE training loss from paper Eq. 3.
+
+Performance note: the training hot path runs through :func:`linear`,
+:func:`softmax` / :func:`masked_softmax`, and :func:`mse_loss`, so these
+are *fused* ops — each records a single graph node whose backward is one
+closed-form closure, instead of composing 3-5 elementwise autograd nodes
+with their temporary arrays.  ``nn.Linear`` (hence ``nn.MLP``) and the
+ray-transformer attention route through them; ``benchmarks/harness.py``
+tracks the training-step timing.
 """
 
 from __future__ import annotations
@@ -12,7 +20,8 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from .tensor import Tensor, as_tensor, concatenate, stack, where  # noqa: F401
+from .tensor import (Tensor, as_tensor, concatenate, stack, unbroadcast,  # noqa: F401
+                     where)
 
 
 def relu(x: Tensor) -> Tensor:
@@ -44,27 +53,46 @@ def log(x: Tensor) -> Tensor:
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Numerically stable softmax along ``axis``."""
+    """Numerically stable softmax along ``axis``.
+
+    Fused: a single graph node with the closed-form backward
+    ``y * (g - sum(g * y))`` instead of the exp/sum/divide composition.
+    """
     x = as_tensor(x)
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
-    exps = shifted.exp()
-    return exps / exps.sum(axis=axis, keepdims=True)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    out_data = exps / exps.sum(axis=axis, keepdims=True)
+
+    def backward(g: np.ndarray) -> None:
+        if x.requires_grad:
+            inner = (g * out_data).sum(axis=axis, keepdims=True)
+            x._accumulate(out_data * (g - inner))
+
+    return x._make(out_data, (x,), backward)
 
 
 def masked_softmax(x: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
     """Softmax that assigns zero probability where ``mask`` is False.
 
     Used by the ray transformer when focused sampling pads rays to
-    ``N_max``: padded points must not attend or be attended to.
+    ``N_max``: padded points must not attend or be attended to.  Fused
+    like :func:`softmax`; masked entries have zero output, so the same
+    closed-form backward routes them zero gradient.
     """
     x = as_tensor(x)
     mask = np.asarray(mask, dtype=bool)
     neg = np.where(mask, 0.0, -1e9).astype(x.dtype)
-    shifted = x + Tensor(neg)
-    shifted = shifted - Tensor(shifted.data.max(axis=axis, keepdims=True))
-    exps = shifted.exp() * Tensor(mask.astype(x.dtype))
-    denom = exps.sum(axis=axis, keepdims=True) + 1e-12
-    return exps / denom
+    shifted = x.data + neg
+    shifted = shifted - shifted.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted) * mask.astype(x.dtype)
+    out_data = exps / (exps.sum(axis=axis, keepdims=True) + 1e-12)
+
+    def backward(g: np.ndarray) -> None:
+        if x.requires_grad:
+            inner = (g * out_data).sum(axis=axis, keepdims=True)
+            x._accumulate(unbroadcast(out_data * (g - inner), x.shape))
+
+    return x._make(out_data, (x,), backward)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -83,11 +111,23 @@ def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Ten
 
 
 def mse_loss(prediction: Tensor, target) -> Tensor:
-    """Mean-square error, paper Eq. 3 (averaged rather than summed)."""
+    """Mean-square error, paper Eq. 3 (averaged rather than summed).
+
+    Fused: sub/square/mean collapse into one node whose backward is
+    ``2 * diff / N`` — the training loop's every-step op builds one graph
+    node instead of four.
+    """
     prediction = as_tensor(prediction)
-    target = as_tensor(target)
-    diff = prediction - target.detach()
-    return (diff * diff).mean()
+    diff = prediction.data - as_tensor(target).data
+    out_data = np.asarray((diff * diff).mean(), dtype=prediction.dtype)
+    scale = 2.0 / max(diff.size, 1)
+
+    def backward(g: np.ndarray) -> None:
+        if prediction.requires_grad:
+            prediction._accumulate(
+                unbroadcast((g * scale) * diff, prediction.shape))
+
+    return prediction._make(out_data, (prediction,), backward)
 
 
 def masked_mse_loss(prediction: Tensor, target, mask: np.ndarray) -> Tensor:
@@ -112,11 +152,39 @@ def dropout(x: Tensor, rate: float, rng: np.random.Generator,
 
 
 def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
-    """Affine map ``x @ W + b`` with ``W`` of shape (in, out)."""
-    out = as_tensor(x) @ weight
-    if bias is not None:
-        out = out + bias
-    return out
+    """Affine map ``x @ W + b`` with ``W`` of shape (in, out).
+
+    Fused: matmul and bias-add record a single graph node with one
+    backward closure (``gx = g W^T``, ``gW = x^T g`` summed over batch
+    axes, ``gb = sum(g)``), halving the node and temporary churn of the
+    training loop's dominant op.  Falls back to composed ops for
+    non-matrix weights.
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    if weight.ndim != 2 or x.ndim == 0:
+        out = x @ weight
+        return out + bias if bias is not None else out
+    bias_t = as_tensor(bias) if bias is not None else None
+
+    out_data = x.data @ weight.data
+    if bias_t is not None:
+        out_data = out_data + bias_t.data
+
+    def backward(g: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(unbroadcast(g @ weight.data.T, x.shape))
+        if weight.requires_grad:
+            if x.data.ndim == 1:
+                gw = np.multiply.outer(x.data, g)
+            else:
+                gw = np.swapaxes(x.data, -1, -2) @ g
+            weight._accumulate(unbroadcast(np.asarray(gw), weight.shape))
+        if bias_t is not None and bias_t.requires_grad:
+            bias_t._accumulate(unbroadcast(g, bias_t.shape))
+
+    parents = (x, weight) if bias_t is None else (x, weight, bias_t)
+    return x._make(out_data, parents, backward)
 
 
 def pad_last_axes(x: Tensor, pad: Sequence[tuple], value: float = 0.0) -> Tensor:

@@ -238,7 +238,7 @@ class Conv2d(Module):
             cols_t = Tensor(cols, requires_grad=True, _parents=(x,),
                             _backward=backward)
 
-        out = cols_t @ self.weight + self.bias  # (B, oh*ow, out_c)
+        out = F.linear(cols_t, self.weight, self.bias)  # (B, oh*ow, out_c)
         return out.reshape(batch, out_h, out_w, self.out_channels).transpose(
             (0, 3, 1, 2))
 

@@ -118,11 +118,17 @@ class Adam(Optimizer):
 
 
 def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
-    """Scale gradients in place so the global L2 norm is <= max_norm."""
+    """Scale gradients so the global L2 norm is <= max_norm.
+
+    Scaling is out-of-place: ``.grad`` buffers may be shared between
+    tensors (``Tensor._accumulate`` adopts a sole incoming gradient
+    without copying), so an in-place ``*=`` could double-scale an
+    aliased buffer.
+    """
     params = [p for p in parameters if p.grad is not None]
     total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
     if total > max_norm and total > 0:
         scale = max_norm / total
         for param in params:
-            param.grad *= scale
+            param.grad = param.grad * scale
     return total

@@ -1,0 +1,9 @@
+"""Performance infrastructure: seed reference implementations.
+
+:mod:`repro.perf.reference` preserves the pre-vectorisation per-ray /
+per-request loop implementations of the hot paths.  They are the ground
+truth the equivalence tests pin the batched numpy paths against, and the
+baselines ``benchmarks/harness.py`` measures speedups over.
+"""
+
+from . import reference  # noqa: F401

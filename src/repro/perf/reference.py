@@ -1,0 +1,149 @@
+"""Seed loop implementations of the vectorised hot paths.
+
+These are verbatim copies of the original per-ray / per-request Python
+loop code that :mod:`repro.models.sampling` and
+:mod:`repro.hardware.trace` shipped with, kept for two jobs:
+
+* the equivalence suites (``tests/models/test_sampling_equivalence.py``,
+  ``tests/hardware/test_trace_equivalence.py``) assert the batched numpy
+  paths reproduce these bit-for-bit at fixed seeds, and
+* ``benchmarks/harness.py`` times them to report the speedup of the
+  vectorised paths (recorded in ``BENCH_hotpaths.json``).
+
+Do not "optimise" this module — its value is being the slow, obviously
+correct original.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from ..hardware.dram import DramConfig
+from ..hardware.interleave import FeatureStore, FootprintRegion, spatial_skew
+from ..hardware.trace import MemoryRequest, ReplayResult
+from ..models.sampling import SampleSet, _edges_from_centers
+
+__all__ = [
+    "inverse_transform_loop", "focused_depths_loop",
+    "merge_critical_points_loop", "footprint_trace_loop",
+    "replay_trace_loop",
+]
+
+
+def inverse_transform_loop(bin_edges: np.ndarray, pdf: np.ndarray,
+                           uniforms: np.ndarray) -> np.ndarray:
+    """Seed ``_inverse_transform``: per-ray ``searchsorted`` loop."""
+    pdf = np.maximum(pdf, 0.0) + 1e-12
+    cdf = np.cumsum(pdf, axis=-1)
+    cdf = cdf / cdf[..., -1:]
+    cdf = np.concatenate([np.zeros_like(cdf[..., :1]), cdf], axis=-1)
+
+    rows = np.arange(cdf.shape[0])[:, None]
+    indices = np.empty(uniforms.shape, dtype=np.int64)
+    for r in range(cdf.shape[0]):  # per-ray searchsorted keeps memory flat
+        indices[r] = np.searchsorted(cdf[r], uniforms[r], side="right") - 1
+    indices = np.clip(indices, 0, pdf.shape[-1] - 1)
+
+    cdf_lo = cdf[rows, indices]
+    cdf_hi = cdf[rows, indices + 1]
+    frac = (uniforms - cdf_lo) / np.maximum(cdf_hi - cdf_lo, 1e-12)
+    edge_lo = bin_edges[rows, indices]
+    edge_hi = bin_edges[rows, indices + 1]
+    return edge_lo + frac * (edge_hi - edge_lo)
+
+
+def focused_depths_loop(coarse_depths: np.ndarray, point_pdf: np.ndarray,
+                        counts: np.ndarray, n_max: int, near: float,
+                        far: float, rng: np.random.Generator) -> SampleSet:
+    """Seed ``focused_depths``: per-ray slice/sort/pack loop."""
+    num_rays = coarse_depths.shape[0]
+    counts = np.minimum(np.asarray(counts, dtype=np.int64), n_max)
+    edges = _edges_from_centers(coarse_depths, near, far)
+    max_count = int(counts.max()) if len(counts) else 0
+    depths = np.full((num_rays, n_max), far, dtype=np.float64)
+    mask = np.zeros((num_rays, n_max), dtype=bool)
+    if max_count == 0:
+        return SampleSet(depths, mask)
+
+    uniforms = rng.random((num_rays, max_count))
+    all_samples = inverse_transform_loop(edges, point_pdf, uniforms)
+    for j in range(num_rays):
+        c = int(counts[j])
+        if c == 0:
+            continue
+        chosen = np.sort(all_samples[j, :c])
+        depths[j, :c] = chosen
+        mask[j, :c] = True
+    return SampleSet(depths, mask)
+
+
+def merge_critical_points_loop(plan: SampleSet, coarse_depths: np.ndarray,
+                               coarse_weights: np.ndarray, tau: float,
+                               n_max: int, far: float) -> SampleSet:
+    """Seed ``merge_critical_points``: per-ray concatenate/unique loop."""
+    weights = np.asarray(coarse_weights)
+    critical = weights * max(weights.shape[-1], 1) >= tau
+    num_rays = plan.depths.shape[0]
+    depths = np.full((num_rays, n_max), far, dtype=np.float64)
+    mask = np.zeros((num_rays, n_max), dtype=bool)
+    for j in range(num_rays):
+        merged = np.concatenate([plan.depths[j][plan.mask[j]],
+                                 coarse_depths[j][critical[j]]])
+        merged = np.unique(merged)[:n_max]
+        depths[j, :len(merged)] = merged
+        mask[j, :len(merged)] = True
+    return SampleSet(depths, mask)
+
+
+def footprint_trace_loop(store: FeatureStore, region: FootprintRegion,
+                         num_banks: int, row_bytes: int
+                         ) -> Iterator[MemoryRequest]:
+    """Seed ``footprint_trace``: per-location generator with a Python
+    per-bank byte cursor."""
+    skew = spatial_skew(num_banks)
+    cursors = [0] * num_banks
+    for row in range(region.row0, region.row1):
+        for col in range(region.col0, region.col1):
+            if store.layout == "row_major":
+                rows_per_bank = max(1, (store.num_views * store.height)
+                                    // num_banks)
+                bank = min((region.view * store.height + row)
+                           // rows_per_bank, num_banks - 1)
+            elif store.layout == "row_interleaved":
+                bank = (region.view * store.height + row) % num_banks
+            elif store.layout == "view_interleaved":
+                bank = region.view % num_banks
+            else:
+                bank = (skew * row + col) % num_banks
+            dram_row = cursors[bank] // row_bytes
+            cursors[bank] += store.location_bytes
+            yield MemoryRequest(bank=bank, row=dram_row,
+                                num_bytes=store.location_bytes)
+
+
+def replay_trace_loop(requests: Sequence[MemoryRequest],
+                      config: DramConfig = DramConfig()) -> ReplayResult:
+    """Seed ``replay_trace``: per-request bank state machine loop."""
+    bank_time = np.zeros(config.num_banks)
+    open_row = np.full(config.num_banks, -1, dtype=np.int64)
+    total_bytes = 0.0
+    hits = 0
+    misses = 0
+    for request in requests:
+        bursts = int(np.ceil(request.num_bytes / config.burst_bytes))
+        time = bursts * config.t_burst_s
+        if open_row[request.bank] != request.row:
+            time += config.t_rc_s
+            open_row[request.bank] = request.row
+            misses += 1
+        else:
+            hits += 1
+        bank_time[request.bank] += time
+        total_bytes += request.num_bytes
+
+    bus_time = total_bytes / config.peak_bandwidth_bytes
+    service = max(float(bank_time.max(initial=0.0)), bus_time)
+    return ReplayResult(service_time_s=service, total_bytes=total_bytes,
+                        row_hits=hits, row_misses=misses)

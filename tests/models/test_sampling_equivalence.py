@@ -1,0 +1,157 @@
+"""Vectorised sampling paths vs the seed loop implementations.
+
+The batched ``searchsorted`` / sort-and-pack rewrites of the sampling
+hot paths must be drop-in: at fixed seeds they reproduce the seed
+per-ray loops bit-for-bit (same depths, same masks), including the
+degenerate shapes — single ray, zero-count rays, all rays saturated at
+``n_max``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models.sampling import (SampleSet, _inverse_transform,
+                                   allocate_ray_budget, focused_depths,
+                                   merge_critical_points, sampling_pdf)
+from repro.perf.reference import (focused_depths_loop,
+                                  inverse_transform_loop,
+                                  merge_critical_points_loop)
+
+RAY_COUNTS = [1, 7, 256]
+
+
+def synthetic_coarse(num_rays, num_bins, seed):
+    """Coarse depths/weights with a mix of surface and empty rays."""
+    rng = np.random.default_rng(seed)
+    depths = np.tile(np.linspace(2.0, 6.0, num_bins), (num_rays, 1))
+    depths += rng.random((num_rays, num_bins)) * 1e-3
+    depths = np.sort(depths, axis=-1)
+    weights = rng.random((num_rays, num_bins)) ** 4
+    weights[rng.random(num_rays) < 0.4] = 0.0     # empty rays
+    weights /= max(weights.sum(), 1.0)
+    return depths, weights
+
+
+class TestInverseTransform:
+    @pytest.mark.parametrize("num_rays", RAY_COUNTS)
+    def test_bit_identical(self, num_rays):
+        rng = np.random.default_rng(num_rays)
+        num_bins, num_draws = 16, 24
+        edges = np.sort(rng.random((num_rays, num_bins + 1)), -1) * 4 + 2
+        pdf = rng.random((num_rays, num_bins))
+        uniforms = rng.random((num_rays, num_draws))
+        vectorised = _inverse_transform(edges, pdf, uniforms)
+        looped = inverse_transform_loop(edges, pdf, uniforms)
+        np.testing.assert_array_equal(vectorised, looped)
+
+    @pytest.mark.parametrize("num_rays", RAY_COUNTS)
+    def test_large_bin_count_flat_searchsorted_path(self, num_rays):
+        """B > 64 takes the flat offset-CDF searchsorted branch."""
+        rng = np.random.default_rng(num_rays + 17)
+        num_bins, num_draws = 128, 16
+        edges = np.sort(rng.random((num_rays, num_bins + 1)), -1) * 4 + 2
+        pdf = rng.random((num_rays, num_bins))
+        uniforms = rng.random((num_rays, num_draws))
+        np.testing.assert_array_equal(
+            _inverse_transform(edges, pdf, uniforms),
+            inverse_transform_loop(edges, pdf, uniforms))
+
+    def test_spiky_pdf_bit_identical(self):
+        """Near-degenerate PDFs (one dominant bin) exercise the CDF's
+        flat stretches where the bin lookup is most tie-prone."""
+        rng = np.random.default_rng(99)
+        pdf = np.full((64, 12), 1e-15)
+        pdf[np.arange(64), rng.integers(0, 12, 64)] = 1.0
+        edges = np.tile(np.linspace(2.0, 6.0, 13), (64, 1))
+        uniforms = rng.random((64, 32))
+        np.testing.assert_array_equal(
+            _inverse_transform(edges, pdf, uniforms),
+            inverse_transform_loop(edges, pdf, uniforms))
+
+
+class TestFocusedDepths:
+    @pytest.mark.parametrize("num_rays", RAY_COUNTS)
+    def test_bit_identical(self, num_rays):
+        depths, weights = synthetic_coarse(num_rays, 16, seed=num_rays)
+        _, point_pdf, _ = sampling_pdf(weights, tau=1e-3)
+        counts = np.random.default_rng(7).integers(0, 20, num_rays)
+        vec = focused_depths(depths, point_pdf, counts, n_max=16,
+                             near=2.0, far=6.0,
+                             rng=np.random.default_rng(42))
+        loop = focused_depths_loop(depths, point_pdf, counts, n_max=16,
+                                   near=2.0, far=6.0,
+                                   rng=np.random.default_rng(42))
+        np.testing.assert_array_equal(vec.depths, loop.depths)
+        np.testing.assert_array_equal(vec.mask, loop.mask)
+
+    @pytest.mark.parametrize("counts_kind", ["zero", "saturated"])
+    def test_degenerate_counts(self, counts_kind):
+        depths, weights = synthetic_coarse(7, 16, seed=5)
+        _, point_pdf, _ = sampling_pdf(weights, tau=1e-3)
+        n_max = 12
+        counts = np.zeros(7, dtype=int) if counts_kind == "zero" \
+            else np.full(7, n_max + 5)
+        vec = focused_depths(depths, point_pdf, counts, n_max, 2.0, 6.0,
+                             np.random.default_rng(0))
+        loop = focused_depths_loop(depths, point_pdf, counts, n_max,
+                                   2.0, 6.0, np.random.default_rng(0))
+        np.testing.assert_array_equal(vec.depths, loop.depths)
+        np.testing.assert_array_equal(vec.mask, loop.mask)
+
+
+class TestMergeCriticalPoints:
+    @pytest.mark.parametrize("num_rays", RAY_COUNTS)
+    def test_bit_identical(self, num_rays):
+        depths, weights = synthetic_coarse(num_rays, 16, seed=num_rays + 1)
+        _, point_pdf, _ = sampling_pdf(weights, tau=1e-3)
+        counts = np.random.default_rng(3).integers(0, 16, num_rays)
+        plan = focused_depths(depths, point_pdf, counts, n_max=16,
+                              near=2.0, far=6.0,
+                              rng=np.random.default_rng(11))
+        vec = merge_critical_points(plan, depths, weights, tau=1e-3,
+                                    n_max=16, far=6.0)
+        loop = merge_critical_points_loop(plan, depths, weights, tau=1e-3,
+                                          n_max=16, far=6.0)
+        np.testing.assert_array_equal(vec.depths, loop.depths)
+        np.testing.assert_array_equal(vec.mask, loop.mask)
+
+    def test_duplicates_collapse_and_truncate(self):
+        """Duplicated depths dedupe and overflow truncates farthest."""
+        plan = SampleSet.dense(np.tile(np.linspace(2, 6, 30), (4, 1)))
+        coarse = np.tile(np.linspace(2, 6, 30), (4, 1))   # all duplicates
+        weights = np.full((4, 30), 1.0)                   # all critical
+        vec = merge_critical_points(plan, coarse, weights, tau=1e-3,
+                                    n_max=8, far=6.0)
+        loop = merge_critical_points_loop(plan, coarse, weights, tau=1e-3,
+                                          n_max=8, far=6.0)
+        np.testing.assert_array_equal(vec.depths, loop.depths)
+        np.testing.assert_array_equal(vec.mask, loop.mask)
+        assert (vec.counts == 8).all()
+
+
+class TestBudgetClamp:
+    """Satellite: the min_points floor must not blow the global budget."""
+
+    @pytest.mark.parametrize("num_rays", RAY_COUNTS)
+    @pytest.mark.parametrize("min_points", [1, 3])
+    def test_sum_exact_when_budget_covers_floor(self, num_rays, min_points):
+        rng = np.random.default_rng(num_rays * 13 + min_points)
+        probability = rng.random(num_rays) ** 6   # very skewed
+        total = max(8 * num_rays, min_points * num_rays)
+        counts = allocate_ray_budget(probability, total, n_max=64,
+                                     min_points=min_points)
+        assert counts.sum() == total
+        assert (counts >= min_points).all()
+        assert counts.max() <= 64
+
+    def test_concentrated_probability_steals_from_largest(self):
+        counts = allocate_ray_budget(np.array([1.0, 0.0, 0.0, 0.0]),
+                                     total_points=10, n_max=10, min_points=2)
+        assert counts.sum() == 10
+        assert (counts >= 2).all()
+        assert counts[0] == 4          # paid for the three floors
+
+    def test_floor_wins_when_budget_cannot_cover(self):
+        counts = allocate_ray_budget(np.ones(8), total_points=4, n_max=8,
+                                     min_points=2)
+        assert (counts >= 2).all()     # documented: floor takes precedence

@@ -94,6 +94,74 @@ class TestLayerNormAndLosses:
         assert np.allclose(x.grad, 1.0)
 
 
+class TestFusedOps:
+    """The training hot-path ops record one graph node, correct grads."""
+
+    def test_linear_is_single_node(self, rng):
+        x = Tensor(rng.standard_normal((5, 3)), requires_grad=True)
+        w = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal(4), requires_grad=True)
+        out = F.linear(x, w, b)
+        assert out._parents == (x, w, b)
+
+    def test_linear_gradients(self, rng):
+        x0 = rng.standard_normal((5, 3))
+        w0 = rng.standard_normal((3, 4))
+        b0 = rng.standard_normal(4)
+        x = Tensor(x0.copy(), requires_grad=True)
+        w = Tensor(w0.copy(), requires_grad=True)
+        b = Tensor(b0.copy(), requires_grad=True)
+        F.linear(x, w, b).sum().backward()
+
+        for tensor, base, pick in ((x, x0, 0), (w, w0, 1), (b, b0, 2)):
+            def scalar(a, pick=pick):
+                args = [Tensor(x0.copy()), Tensor(w0.copy()),
+                        Tensor(b0.copy())]
+                args[pick] = Tensor(a)
+                return float(F.linear(*args).sum().data)
+
+            expected = numerical_gradient(scalar, base.copy())
+            assert np.abs(tensor.grad - expected).max() < 1e-4
+
+    def test_linear_batched_and_vector_inputs(self, rng):
+        w = Tensor(rng.standard_normal((3, 2)), requires_grad=True)
+        batched = Tensor(rng.standard_normal((4, 5, 3)), requires_grad=True)
+        F.linear(batched, w).sum().backward()
+        assert w.grad.shape == (3, 2)
+        assert batched.grad.shape == (4, 5, 3)
+        w.zero_grad()
+        vec = Tensor(rng.standard_normal(3), requires_grad=True)
+        F.linear(vec, w, Tensor(np.zeros(2), requires_grad=True)
+                 ).sum().backward()
+        assert vec.grad.shape == (3,) and w.grad.shape == (3, 2)
+
+    def test_softmax_is_single_node(self, rng):
+        x = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        out = F.softmax(x, axis=-1)
+        assert out._parents == (x,)
+
+    def test_masked_softmax_gradient(self, rng):
+        x0 = rng.standard_normal((2, 5))
+        mask = np.array([[True, True, True, False, False], [True] * 5])
+        target = rng.standard_normal((2, 5)) * mask
+        x = Tensor(x0.copy(), requires_grad=True)
+        F.mse_loss(F.masked_softmax(x, mask, axis=-1), target).backward()
+
+        def scalar(a):
+            return float(F.mse_loss(F.masked_softmax(Tensor(a), mask,
+                                                     axis=-1), target).data)
+
+        expected = numerical_gradient(scalar, x0.copy())
+        assert np.abs(x.grad - expected).max() < 1e-5
+        assert np.allclose(x.grad[0, 3:], 0.0)
+
+    def test_mse_loss_is_single_node(self, rng):
+        pred = Tensor(rng.standard_normal((3, 2)), requires_grad=True)
+        loss = F.mse_loss(pred, rng.standard_normal((3, 2)))
+        assert loss._parents == (pred,)
+        assert loss.size == 1
+
+
 class TestIm2Col:
     def test_shapes(self, rng):
         images = rng.standard_normal((2, 3, 8, 8))

@@ -139,6 +139,26 @@ class TestReductionsAndShape:
 
         check_gradient(op, [(4, 3)], numgrad)
 
+    def test_getitem_integer_array_matches_add_at(self):
+        """The bincount fast path equals the generic scatter-add."""
+        rng = np.random.default_rng(8)
+        for idx in (np.array([0, 3, 3, 1, 3]),
+                    np.array([[0, 1], [1, 0]]),
+                    np.array([-1, -4, 2])):
+            data = rng.standard_normal((4, 3)).astype(np.float32)
+            g = rng.standard_normal(idx.shape + (3,)).astype(np.float32)
+            x = Tensor(data, requires_grad=True)
+            x[idx].backward(g)
+            expected = np.zeros_like(data)
+            np.add.at(expected, idx, g)
+            assert np.allclose(x.grad, expected, atol=1e-6)
+
+    def test_getitem_integer_array_1d_data(self):
+        x = Tensor(np.arange(5, dtype=np.float32), requires_grad=True)
+        idx = np.array([4, 4, 0])
+        x[idx].sum().backward()
+        assert np.allclose(x.grad, [1, 0, 0, 0, 2])
+
     def test_expand_squeeze(self):
         x = Tensor(np.ones((3, 4)), requires_grad=True)
         y = x.expand_dims(1).squeeze(1)
@@ -208,6 +228,42 @@ class TestGraphMechanics:
         (x * 2).sum().backward()
         x.zero_grad()
         assert x.grad is None
+
+    def test_shared_grad_buffers_never_mutated(self):
+        """`_accumulate` adopts a sole incoming gradient without copying;
+        a later accumulation must allocate instead of mutating the
+        (possibly shared) buffer in place."""
+        a = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        b = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        (a + b).sum().backward()
+        # a.grad and b.grad may be the same object here — both adopted
+        # the pass-through gradient.  Accumulating more into `a` must
+        # not change `b`'s gradient.
+        (a * 3).sum().backward()
+        assert np.allclose(a.grad, 4.0)
+        assert np.allclose(b.grad, 1.0)
+
+    def test_caller_mutating_seed_grad_does_not_corrupt_leaves(self):
+        """backward() copies the caller's gradient: identity-like chains
+        pass the root gradient through to leaves, so adopting the
+        caller's buffer would let later mutation rewrite .grad."""
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        y = x.reshape(3)                       # identity-like chain
+        seed = np.full(3, 2.0, dtype=np.float32)
+        y.backward(seed)
+        seed[:] = 0.0
+        assert np.allclose(x.grad, 2.0)
+
+    def test_second_backward_accumulates_out_of_place(self):
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        y = x * 2
+        y.sum().backward()
+        first = x.grad
+        y2 = x * 3
+        y2.sum().backward()
+        assert np.allclose(x.grad, 5.0)
+        # The adopted first buffer was not written in place.
+        assert np.allclose(first, 2.0) or first is x.grad
 
 
 class TestHelpers:
