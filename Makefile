@@ -2,8 +2,9 @@
 # used in-tree, no editable install required.
 
 PYTEST := PYTHONPATH=src python -m pytest
+HARNESS := PYTHONPATH=src python -m benchmarks.harness
 
-.PHONY: test test-all bench perf
+.PHONY: test test-all bench bench-e2e bench-smoke perf check
 
 test:      ## fast inner loop: unit/property tests, no figure harnesses
 	$(PYTEST) -q -m "not slow"
@@ -12,7 +13,15 @@ test-all:  ## full tier-1 suite (tests + paper figure/table harnesses)
 	$(PYTEST) -x -q
 
 bench:     ## hot-path perf harness -> BENCH_hotpaths.json (fails on >25% regression)
-	PYTHONPATH=src python -m benchmarks.harness
+	$(HARNESS)
+
+bench-e2e: ## end-to-end benches only (render_rays + scheduler slab sweep)
+	$(HARNESS) --only render_rays_e2e_r1024 scheduler_slab_sweep
+
+bench-smoke: ## one quick round of every bench body, no JSON write
+	$(HARNESS) --smoke
 
 perf:      ## pytest-benchmark microbenches (statistical timings)
 	$(PYTEST) -q -m bench
+
+check: test bench-smoke  ## one command gates a PR: fast tests + bench smoke

@@ -2,15 +2,20 @@
 
 Times the render-and-simulate critical path primitives (coarse-then-
 focus sampling at R=4096, batched trace generation + replay, the fused
-autograd training step, the scatter-add gather backward) and, where a
-seed loop implementation exists in :mod:`repro.perf.reference`, the
-speedup over it.  Results go to ``BENCH_hotpaths.json`` at the repo
-root; when a previous file exists its numbers are compared so perf
-regressions are visible PR-to-PR.
+autograd training step, the scatter-add gather backward) and the
+*end-to-end* paths this repo optimises (full ``render_rays`` at R=1024
+under ``inference_mode``; the scheduler's all-candidate slab sweep),
+and, where a seed loop implementation exists in
+:mod:`repro.perf.reference`, the speedup over it.  Results go to
+``BENCH_hotpaths.json`` at the repo root; when a previous file exists
+its numbers are compared so perf regressions are visible PR-to-PR.
 
 Run with::
 
-    PYTHONPATH=src python -m benchmarks.harness      # or: make bench
+    PYTHONPATH=src python -m benchmarks.harness            # or: make bench
+    PYTHONPATH=src python -m benchmarks.harness --only render_rays_e2e_r1024 \
+        scheduler_slab_sweep                               # or: make bench-e2e
+    PYTHONPATH=src python -m benchmarks.harness --smoke    # quick CI gate
 
 JSON schema (``BENCH_hotpaths.json``)::
 
@@ -31,7 +36,9 @@ JSON schema (``BENCH_hotpaths.json``)::
 
 A bench counts as regressed when ``mean_s`` worsens by more than 25%
 against the committed previous run; the harness exits nonzero so CI can
-flag it (pass ``--no-strict`` to report without failing).
+flag it (pass ``--no-strict`` to report without failing).  ``--smoke``
+runs single short rounds and does not rewrite the JSON — it exists so
+``make check`` can exercise every bench body quickly.
 """
 
 from __future__ import annotations
@@ -41,7 +48,7 @@ import json
 import os
 import sys
 import time
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Iterable, Optional
 
 import numpy as np
 
@@ -183,43 +190,141 @@ def bench_getitem_backward():
     return gather_backward, None
 
 
+def bench_render_rays_e2e():
+    """Full Gen-NeRF ``render_rays`` for 1024 rays, scene encoded once.
+
+    Fast path: stacked-map batched gathering under ``inference_mode``.
+    Loop reference: the seed inference path — 512-ray renderer chunks,
+    per-view gather loops, stack-copied pooling, grad-mode graphs.
+    """
+    from repro import nn
+    from repro.geometry.rays import rays_for_image
+    from repro.models.gen_nerf import GenNeRF, GenNerfConfig
+    from repro.models.ibrnet import ModelConfig
+    from repro.models.renderer import render_source_views
+    from repro.perf import reference
+    from repro.scenes.datasets import make_scene
+
+    scene = make_scene("llff", seed=3, image_scale=1 / 8)
+    model = GenNeRF(GenNerfConfig(fine=ModelConfig(ray_module="mixer")))
+    model.eval()
+    source_images = render_source_views(scene, num_points=64, step=2)
+    with nn.inference_mode():
+        coarse_maps, fine_maps = model.encode_scene(source_images)
+        coarse_list = [coarse_maps[i] for i in range(len(source_images))]
+        fine_list = [fine_maps[i] for i in range(len(source_images))]
+    bundle = rays_for_image(scene.target_camera, scene.near, scene.far,
+                            step=8).select(slice(0, 1024))
+
+    def fast():
+        with nn.inference_mode():
+            return model.render_rays(bundle, scene.source_cameras,
+                                     coarse_maps, fine_maps, source_images)
+
+    def looped():
+        return reference.render_rays_chunked_loop(
+            model, bundle, scene.source_cameras, coarse_list, fine_list,
+            source_images, chunk=512)
+
+    return fast, looped
+
+
+def bench_scheduler_slab_sweep():
+    """Full greedy frame partition of a 256x192 frame with 6 views.
+
+    Fast path: one frustum unprojection for every depth slab, one
+    projection per view, batched delta-overlap and patch assembly.
+    Loop reference: the seed per-(slab, view) projection loops plus the
+    per-tile / per-slab Python patch construction.
+    """
+    from repro.core.pipeline import hardware_rig
+    from repro.hardware.scheduler import (GreedyPatchScheduler,
+                                          SchedulerConfig)
+    from repro.perf import reference
+    from repro.scenes.datasets import DatasetSpec
+
+    spec = DatasetSpec("bench", width=256, height=192, fov_x_deg=50.0,
+                       near=2.0, far=6.0, rig="orbit", rig_distance=4.0)
+    rig = hardware_rig(spec, num_views=6, seed=0)
+    scheduler = GreedyPatchScheduler(SchedulerConfig())
+
+    def fast():
+        return scheduler.plan_frame(rig.novel, rig.sources, rig.near,
+                                    rig.far)
+
+    def looped():
+        return reference.plan_frame_loop(scheduler, rig.novel, rig.sources,
+                                         rig.near, rig.far)
+
+    return fast, looped
+
+
 BENCHES = {
     "coarse_then_focus_plan_r4096": bench_coarse_then_focus_plan,
     "inverse_transform_r4096": bench_inverse_transform,
     "trace_replay_4x64x96": bench_trace_replay,
     "autograd_training_step_mlp": bench_autograd_training_step,
     "getitem_backward_gather_16k": bench_getitem_backward,
+    "render_rays_e2e_r1024": bench_render_rays_e2e,
+    "scheduler_slab_sweep": bench_scheduler_slab_sweep,
 }
 
 
-def run(strict: bool = True) -> int:
+def compare_to_previous(mean_s: float, prev_entry: Optional[Dict]
+                        ) -> Optional[float]:
+    """Regression percentage of ``mean_s`` against a prior JSON entry.
+
+    Returns None when there is no usable prior mean (first run, renamed
+    bench, or a malformed entry) — the unit suite feeds this synthetic
+    priors to pin the second-run behaviour.
+    """
+    if not isinstance(prev_entry, dict):
+        return None
+    prev_mean = prev_entry.get("mean_s")
+    if not isinstance(prev_mean, (int, float)) or prev_mean <= 0:
+        return None
+    return 100.0 * (mean_s - prev_mean) / prev_mean
+
+
+def run(strict: bool = True, result_path: str = RESULT_PATH,
+        only: Optional[Iterable[str]] = None, rounds: int = 5,
+        min_total_s: float = 0.2, write: bool = True) -> int:
     previous: Dict[str, Dict] = {}
-    if os.path.exists(RESULT_PATH):
+    if os.path.exists(result_path):
         try:
-            with open(RESULT_PATH) as handle:
+            with open(result_path) as handle:
                 previous = json.load(handle).get("benches", {})
         except (json.JSONDecodeError, OSError, AttributeError) as error:
-            print(f"warning: ignoring unreadable {RESULT_PATH}: {error}",
+            print(f"warning: ignoring unreadable {result_path}: {error}",
                   file=sys.stderr)
+
+    selected = dict(BENCHES)
+    if only:
+        unknown = set(only) - set(BENCHES)
+        if unknown:
+            print(f"unknown benches: {sorted(unknown)}", file=sys.stderr)
+            return 2
+        selected = {name: BENCHES[name] for name in only}
 
     benches: Dict[str, Dict] = {}
     regressions = []
     print(f"{'bench':<34} {'mean':>10} {'loop ref':>10} {'speedup':>8} "
           f"{'prev':>10} {'delta':>8}")
-    for name, build in BENCHES.items():
+    for name, build in selected.items():
         vectorised, looped = build()
-        mean_s = _time(vectorised)
-        loop_mean_s: Optional[float] = _time(looped) if looped else None
+        mean_s = _time(vectorised, rounds=rounds, min_total_s=min_total_s)
+        loop_mean_s: Optional[float] = (
+            _time(looped, rounds=rounds, min_total_s=min_total_s)
+            if looped else None)
         speedup = (loop_mean_s / mean_s) if loop_mean_s else None
-        prev_mean = previous.get(name, {}).get("mean_s")
-        regression_pct = (100.0 * (mean_s - prev_mean) / prev_mean
-                          if prev_mean else None)
+        prev_entry = previous.get(name)
+        regression_pct = compare_to_previous(mean_s, prev_entry)
         benches[name] = {
             "mean_s": mean_s,
-            "rounds": 5,
+            "rounds": rounds,
             "loop_reference_mean_s": loop_mean_s,
             "speedup_vs_loop": speedup,
-            "previous_mean_s": prev_mean,
+            "previous_mean_s": (prev_entry or {}).get("mean_s"),
             "regression_pct": regression_pct,
         }
         if regression_pct is not None \
@@ -228,14 +333,19 @@ def run(strict: bool = True) -> int:
         print(f"{name:<34} {mean_s * 1e3:>8.2f}ms "
               f"{(loop_mean_s or 0) * 1e3:>8.2f}ms "
               f"{('%.1fx' % speedup) if speedup else '-':>8} "
-              f"{(prev_mean or 0) * 1e3:>8.2f}ms "
+              f"{((prev_entry or {}).get('mean_s') or 0) * 1e3:>8.2f}ms "
               f"{('%+.1f%%' % regression_pct) if regression_pct is not None else '-':>8}")
 
-    with open(RESULT_PATH, "w") as handle:
-        json.dump({"schema_version": 1, "generated_unix": time.time(),
-                   "benches": benches}, handle, indent=2)
-        handle.write("\n")
-    print(f"\nwrote {RESULT_PATH}")
+    if write:
+        # Partial runs (--only) keep the other benches' previous entries
+        # so a targeted rerun cannot silently drop history.
+        merged = dict(previous)
+        merged.update(benches)
+        with open(result_path, "w") as handle:
+            json.dump({"schema_version": 1, "generated_unix": time.time(),
+                       "benches": merged}, handle, indent=2)
+            handle.write("\n")
+        print(f"\nwrote {result_path}")
 
     if regressions:
         for name, pct in regressions:
@@ -249,8 +359,17 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--no-strict", action="store_true",
                         help="report regressions without failing")
+    parser.add_argument("--only", nargs="+", metavar="BENCH",
+                        help="run a subset of benches (merged into the "
+                             "existing JSON)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="single quick round per bench, no JSON write "
+                             "— exercises every bench body for CI")
     args = parser.parse_args()
-    return run(strict=not args.no_strict)
+    if args.smoke:
+        return run(strict=False, only=args.only, rounds=1,
+                   min_total_s=0.0, write=False)
+    return run(strict=not args.no_strict, only=args.only)
 
 
 if __name__ == "__main__":

@@ -126,10 +126,11 @@ class FeatureStore:
             rows_per_bank = max(1, (self.num_views * self.height)
                                 // num_banks)
             flat0 = region.view * self.height + region.row0
-            for flat in range(flat0, flat0 + rows):
-                bank = min(flat // rows_per_bank, num_banks - 1)
-                loads[bank] += cols
-                acts[bank] += 1
+            banks = np.minimum(np.arange(flat0, flat0 + rows)
+                               // rows_per_bank, num_banks - 1)
+            row_counts = np.bincount(banks, minlength=num_banks)
+            loads += row_counts * cols
+            acts += row_counts
             return loads, acts
 
         if self.layout == "row_interleaved":
@@ -147,15 +148,32 @@ class FeatureStore:
 
         # spatial_interleaved: skewed mapping
         # bank = (skew * row + col) mod num_banks.  Within one feature
-        # row the columns sweep residues contiguously, so per-row loads
-        # reduce to a residue count with a row-dependent offset.
+        # row the columns sweep residues contiguously: every row loads
+        # ``cols // B`` on every bank plus one extra on the ``cols % B``
+        # residues starting at its own offset.  Counting the per-row
+        # window starts with a bincount collapses the former per-row
+        # Python loop (the fig11/fig12 hot path — this runs for every
+        # (patch, view) of a frame) into three array passes, with
+        # per-element arithmetic identical to the looped version.
         skew = spatial_skew(num_banks)
-        for row in range(region.row0, region.row1):
-            offset = skew * row
-            row_counts = _residue_counts(offset + region.col0,
-                                         offset + region.col1, num_banks)
-            loads += row_counts
-            acts += (row_counts > 0).astype(np.int64)
+        base, remainder = divmod(cols, num_banks)
+        loads += rows * base
+        if remainder:
+            # extra[b] = #rows whose length-``remainder`` residue
+            # window, starting at that row's offset, covers bank b — a
+            # circular windowed sum of the start histogram, computed on
+            # a doubled cumulative sum.
+            starts = (skew * np.arange(region.row0, region.row1)
+                      + region.col0) % num_banks
+            start_hist = np.bincount(starts, minlength=num_banks)
+            csum = np.concatenate(
+                [[0], np.cumsum(np.concatenate([start_hist, start_hist]))])
+            idx = np.arange(num_banks) + num_banks
+            extra = csum[idx + 1] - csum[idx - remainder + 1]
+            loads += extra
+            acts += rows if base > 0 else extra
+        elif base > 0:
+            acts += rows
         return loads, acts
 
 

@@ -169,23 +169,35 @@ class GreedyPatchScheduler:
         grid_h, grid_w = np.meshgrid(hs, ws, indexing="ij")
         return grid_h.ravel(), grid_w.ravel()
 
-    def _frustum_corners(self, novel: Camera, h0: np.ndarray, w0: np.ndarray,
-                         h1: np.ndarray, w1: np.ndarray, depth_lo: float,
-                         depth_hi: float) -> np.ndarray:
-        """(T, 8, 3) world corners for T pixel tiles at a depth slab."""
+    def _frustum_corners_slabs(self, novel: Camera, h0: np.ndarray,
+                               w0: np.ndarray, h1: np.ndarray,
+                               w1: np.ndarray, depth_edges: np.ndarray
+                               ) -> np.ndarray:
+        """(n_slabs, T, 8, 3) world corners for every depth slab at once.
+
+        ``depth_edges`` has n_slabs+1 entries; slab s spans
+        [edges[s], edges[s+1]].  One unprojection covers all slabs — the
+        per-point math is unchanged from the per-slab version, so the
+        corners are bit-identical.
+        """
         tiles = h0.shape[0]
+        n_slabs = depth_edges.shape[0] - 1
         pixel_corners = np.stack([
             np.stack([w0, h0], axis=-1),
             np.stack([w1, h0], axis=-1),
             np.stack([w1, h1], axis=-1),
             np.stack([w0, h1], axis=-1),
         ], axis=1).astype(np.float64)                      # (T, 4, 2)
-        corners = np.empty((tiles, 8, 3))
-        for index, depth in enumerate((depth_lo, depth_hi)):
-            pts = novel.unproject(pixel_corners.reshape(-1, 2),
-                                  np.full(tiles * 4, depth))
-            corners[:, index * 4:(index + 1) * 4, :] = pts.reshape(tiles, 4, 3)
-        return corners
+        # (n_slabs, 2 ends, T, 4 corners): every (slab, end) pair reuses
+        # the same pixel corners at its own depth.
+        slab_depths = np.stack([depth_edges[:-1], depth_edges[1:]], axis=1)
+        pixels = np.broadcast_to(pixel_corners,
+                                 (n_slabs, 2, tiles, 4, 2)).reshape(-1, 2)
+        depths = np.broadcast_to(slab_depths[..., None, None],
+                                 (n_slabs, 2, tiles, 4)).reshape(-1)
+        points = novel.unproject(pixels, depths)
+        corners = points.reshape(n_slabs, 2, tiles, 4, 3)
+        return corners.transpose(0, 2, 1, 3, 4).reshape(n_slabs, tiles, 8, 3)
 
     def _footprint_stats(self, corners: np.ndarray, source: Camera
                          ) -> Tuple[np.ndarray, np.ndarray]:
@@ -251,23 +263,29 @@ class GreedyPatchScheduler:
         tiles = h0.shape[0]
         num_views = len(sources)
 
+        # All slabs' frusta in one unprojection, then one projection per
+        # view over the whole (slab, tile) block — the Python loop is
+        # over the S source views only, not n_slabs x S.
+        depth_edges = near + (far - near) \
+            * (np.arange(n_slabs + 1) * shape.dd) / cfg.depth_bins
+        corners = self._frustum_corners_slabs(novel, h0, w0, h1, w1,
+                                              depth_edges)
+        flat_corners = corners.reshape(n_slabs * tiles, 8, 3)
         locs = np.zeros((tiles, n_slabs, num_views))
         bboxes = np.zeros((tiles, n_slabs, num_views, 4), dtype=np.int64)
-        for slab in range(n_slabs):
-            depth_lo = near + (far - near) * (slab * shape.dd) / cfg.depth_bins
-            depth_hi = near + (far - near) * ((slab + 1) * shape.dd) \
-                / cfg.depth_bins
-            corners = self._frustum_corners(novel, h0, w0, h1, w1,
-                                            depth_lo, depth_hi)
-            for view, source in enumerate(sources):
-                locations, bbox = self._footprint_stats(corners, source)
-                locs[:, slab, view] = locations
-                bboxes[:, slab, view] = bbox
+        for view, source in enumerate(sources):
+            locations, bbox = self._footprint_stats(flat_corners, source)
+            locs[:, :, view] = locations.reshape(n_slabs, tiles).T
+            bboxes[:, :, view] = bbox.reshape(n_slabs, tiles, 4) \
+                .transpose(1, 0, 2)
 
+        # Depth-delta reuse: consecutive slabs of a tile overlap; all
+        # slab pairs are independent, so the per-slab loop collapses to
+        # one shifted-slice pass.
         delta_locs = locs.copy()
-        for slab in range(1, n_slabs):
-            prev = bboxes[:, slab - 1]
-            curr = bboxes[:, slab]
+        if n_slabs > 1:
+            prev = bboxes[:, :-1]
+            curr = bboxes[:, 1:]
             inter_rows = np.maximum(
                 0, np.minimum(prev[..., 1], curr[..., 1])
                 - np.maximum(prev[..., 0], curr[..., 0]))
@@ -278,7 +296,7 @@ class GreedyPatchScheduler:
                 (curr[..., 1] - curr[..., 0])
                 * (curr[..., 3] - curr[..., 2]), 1)
             overlap_fraction = np.clip(inter_rows * inter_cols / area, 0, 1)
-            delta_locs[:, slab] *= (1.0 - overlap_fraction)
+            delta_locs[:, 1:] *= (1.0 - overlap_fraction)
         delta_locs = np.maximum(delta_locs, 16.0)   # control-granule floor
 
         elem = cfg.channels * cfg.bytes_per_element
@@ -336,22 +354,35 @@ class GreedyPatchScheduler:
                 continue
             n_slabs = delta_bytes.shape[1]
             histogram[shape] += selected_tiles.size * n_slabs
-            for t in selected_tiles:
+            # The numeric part of patch assembly is batched: delta
+            # column spans for every (tile, slab, view) in one pass,
+            # then ``tolist`` hands plain ints to the object builders.
+            sel_bbox = bboxes[selected_tiles]       # (n_sel, n_slabs, S, 4)
+            sel_cols = _delta_column_spans(sel_bbox,
+                                           delta_locs[selected_tiles])
+            bbox_list = sel_bbox.tolist()
+            cols_list = sel_cols.tolist()
+            bytes_list = delta_bytes[selected_tiles].tolist()
+            bounds = np.stack([h0[selected_tiles], h1[selected_tiles],
+                               w0[selected_tiles], w1[selected_tiles]],
+                              axis=-1).tolist()
+            for t_index, (th0, th1, tw0, tw1) in enumerate(bounds):
                 for slab in range(n_slabs):
                     d0 = slab * shape.dd
-                    footprints = _delta_footprints(bboxes[t, slab],
-                                                   delta_locs[t, slab])
+                    tile_bbox = bbox_list[t_index][slab]
+                    footprints = [
+                        FootprintRegion(view=v, row0=bb[0], row1=bb[1],
+                                        col0=bb[2],
+                                        col1=bb[2]
+                                        + cols_list[t_index][slab][v])
+                        for v, bb in enumerate(tile_bbox)]
                     resident = [
-                        FootprintRegion(view=v,
-                                        row0=int(bboxes[t, slab, v, 0]),
-                                        row1=int(bboxes[t, slab, v, 1]),
-                                        col0=int(bboxes[t, slab, v, 2]),
-                                        col1=int(bboxes[t, slab, v, 3]))
-                        for v in range(len(sources))]
-                    patch = Patch(h0=int(h0[t]), h1=int(h1[t]),
-                                  w0=int(w0[t]), w1=int(w1[t]),
+                        FootprintRegion(view=v, row0=bb[0], row1=bb[1],
+                                        col0=bb[2], col1=bb[3])
+                        for v, bb in enumerate(tile_bbox)]
+                    patch = Patch(h0=th0, h1=th1, w0=tw0, w1=tw1,
                                   d0=d0, d1=d0 + shape.dd,
-                                  prefetch_bytes=float(delta_bytes[t, slab]),
+                                  prefetch_bytes=bytes_list[t_index][slab],
                                   footprints=footprints,
                                   resident_footprints=resident)
                     patches.append(patch)
@@ -380,6 +411,19 @@ class GreedyPatchScheduler:
                 * (8 * 12 / 16 + 8 + 1)
             work += macros * per_macro
         return work
+
+
+def _delta_column_spans(bboxes: np.ndarray, delta_locs: np.ndarray
+                        ) -> np.ndarray:
+    """Delta-region column counts for (..., S, 4) bboxes at once.
+
+    The same arithmetic as :func:`_delta_footprints`, batched over any
+    leading (tile, slab) axes: each view's bbox keeps its row span and
+    the column span shrinks to carry the delta location count.
+    """
+    rows = np.maximum(1, bboxes[..., 1] - bboxes[..., 0])
+    cols = np.maximum(1, np.ceil(delta_locs / rows).astype(np.int64))
+    return np.minimum(cols, np.maximum(1, bboxes[..., 3] - bboxes[..., 2]))
 
 
 def _delta_footprints(bboxes_sv: np.ndarray, delta_locs_sv: np.ndarray
@@ -425,17 +469,16 @@ def fixed_partition(novel: Camera, sources: Sequence[Camera], near: float,
         if (full_bytes <= config.buffer_bytes).all() or k == 4:
             patches = []
             total = 0.0
-            for t in range(h0.shape[0]):
-                footprints = [FootprintRegion(view=v,
-                                              row0=int(bboxes[t, 0, v, 0]),
-                                              row1=int(bboxes[t, 0, v, 1]),
-                                              col0=int(bboxes[t, 0, v, 2]),
-                                              col1=int(bboxes[t, 0, v, 3]))
-                              for v in range(len(sources))]
-                patches.append(Patch(h0=int(h0[t]), h1=int(h1[t]),
-                                     w0=int(w0[t]), w1=int(w1[t]),
+            bbox_list = bboxes[:, 0].tolist()
+            bytes_list = full_bytes[:, 0].tolist()
+            bounds = np.stack([h0, h1, w0, w1], axis=-1).tolist()
+            for t, (th0, th1, tw0, tw1) in enumerate(bounds):
+                footprints = [FootprintRegion(view=v, row0=bb[0], row1=bb[1],
+                                              col0=bb[2], col1=bb[3])
+                              for v, bb in enumerate(bbox_list[t])]
+                patches.append(Patch(h0=th0, h1=th1, w0=tw0, w1=tw1,
                                      d0=0, d1=config.depth_bins,
-                                     prefetch_bytes=float(full_bytes[t, 0]),
+                                     prefetch_bytes=bytes_list[t],
                                      footprints=footprints))
                 total += patches[-1].prefetch_bytes
             best_plan = FramePlan(patches=patches, total_prefetch_bytes=total,

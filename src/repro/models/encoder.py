@@ -9,7 +9,7 @@ encoder here is a small conv stack producing half-resolution maps
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional
 
 import numpy as np
 
@@ -41,15 +41,23 @@ class ConvEncoder(nn.Module):
         x = nn.functional.elu(self.conv2(x))
         return self.conv3(x)
 
-    def encode_views(self, images: np.ndarray) -> List[Tensor]:
-        """Encode (S, 3, H, W) source images to per-view (Hf, Wf, C) maps.
+    def encode_views(self, images: np.ndarray) -> Tensor:
+        """Encode (S, 3, H, W) source images to stacked (S, Hf, Wf, C) maps.
 
         Maps are returned channel-last because the feature fetcher indexes
         by pixel; keeping C contiguous mirrors how the accelerator stores
-        features DRAM-row-wise per location.
+        features DRAM-row-wise per location.  The views stay stacked in
+        one tensor (a single transpose instead of a per-image list) so
+        the fetcher's batched multi-view gather indexes them directly;
+        ``maps[i]`` still yields the per-view (Hf, Wf, C) map.
         """
-        features = self.forward(Tensor(np.asarray(images, dtype=np.float32)))
-        return [features[i].transpose((1, 2, 0)) for i in range(features.shape[0])]
+        # self(...) rather than self.forward(...): the Module call
+        # wrapper is what arms the graph-free path after
+        # ``eval_inference()``.
+        features = self(Tensor(np.asarray(images, dtype=np.float32)))
+        # contiguous(): the transpose is a strided view, and the batched
+        # gather reshapes the maps on every chunk — materialise once.
+        return features.transpose((0, 2, 3, 1)).contiguous()
 
     def flops(self, height: int, width: int, views: int = 1) -> int:
         half_h, half_w = height // 2, width // 2

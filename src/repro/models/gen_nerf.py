@@ -21,7 +21,7 @@ DESIGN.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -74,8 +74,12 @@ class GenNeRF(nn.Module):
 
     # ------------------------------------------------------------------
     def encode_scene(self, source_images: np.ndarray
-                     ) -> Tuple[List[Tensor], List[Tensor]]:
-        """(coarse maps, fine maps) for (S, 3, H, W) source images."""
+                     ) -> Tuple[Tensor, Tensor]:
+        """(coarse maps, fine maps) for (S, 3, H, W) source images.
+
+        Each element is the stacked channel-last (S, Hf, Wf, C) feature
+        tensor of its encoder (index per view or pass whole).
+        """
         return (self.coarse.encode_scene(source_images),
                 self.fine.encode_scene(source_images))
 
@@ -93,7 +97,7 @@ class GenNeRF(nn.Module):
     # ------------------------------------------------------------------
     def coarse_pass(self, bundle: RayBundle,
                     source_cameras: Sequence[Camera],
-                    coarse_maps: Sequence[Tensor],
+                    coarse_maps: Union[Tensor, Sequence[Tensor]],
                     source_images: np.ndarray,
                     rng: Optional[np.random.Generator] = None
                     ) -> Tuple[np.ndarray, np.ndarray, RenderOutput]:
@@ -105,7 +109,10 @@ class GenNeRF(nn.Module):
         cfg = self.config
         chosen = self.select_coarse_views(bundle, source_cameras)
         cams = [source_cameras[i] for i in chosen]
-        maps = [coarse_maps[i] for i in chosen]
+        if isinstance(coarse_maps, Tensor):
+            maps = coarse_maps[chosen]     # batched view gather, grad-aware
+        else:
+            maps = [coarse_maps[i] for i in chosen]
         images = source_images[chosen]
 
         gen = rng or np.random.default_rng(0)
@@ -128,19 +135,24 @@ class GenNeRF(nn.Module):
             cfg.tau, bundle.near, bundle.far, rng=rng)
         if min_points > 0:
             # Guarantee a minimal sample count per ray (training batches
-            # need every ray to produce a differentiable pixel).
+            # need every ray to produce a differentiable pixel).  One
+            # boolean-masked scatter covers all deficient rays — this
+            # runs on every render, so no per-ray Python loop.
             needs = plan.counts < min_points
             if needs.any():
                 fallback = np.linspace(bundle.near, bundle.far,
                                        min_points + 2)[1:-1]
-                for j in np.where(needs)[0]:
-                    plan.depths[j, :min_points] = fallback
-                    plan.mask[j, :min_points] = True
+                rows = np.broadcast_to(needs[:, None],
+                                       (needs.shape[0], min_points))
+                plan.depths[:, :min_points] = np.where(
+                    rows, fallback, plan.depths[:, :min_points])
+                plan.mask[:, :min_points] |= rows
         return plan
 
     def fine_pass(self, bundle: RayBundle, samples: SampleSet,
                   source_cameras: Sequence[Camera],
-                  fine_maps: Sequence[Tensor], source_images: np.ndarray
+                  fine_maps: Union[Tensor, Sequence[Tensor]],
+                  source_images: np.ndarray
                   ) -> Tuple[Tensor, Tensor, RenderOutput]:
         """Steps 2-5 of the vanilla pipeline at the focused samples."""
         points = bundle.points_at(samples.depths)
@@ -155,8 +167,9 @@ class GenNeRF(nn.Module):
 
     def render_rays(self, bundle: RayBundle,
                     source_cameras: Sequence[Camera],
-                    coarse_maps: Sequence[Tensor],
-                    fine_maps: Sequence[Tensor], source_images: np.ndarray,
+                    coarse_maps: Union[Tensor, Sequence[Tensor]],
+                    fine_maps: Union[Tensor, Sequence[Tensor]],
+                    source_images: np.ndarray,
                     rng: Optional[np.random.Generator] = None,
                     return_aux: bool = False):
         """Full Gen-NeRF pipeline for a ray bundle -> (R, 3) pixels."""

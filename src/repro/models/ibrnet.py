@@ -19,7 +19,7 @@ models (Table 2's channel-pruning rows) are built.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -36,6 +36,22 @@ DIRECTION_DIM = 4  # relative-direction encoding width (diff vec + dot)
 
 def _scaled(width: int, scale: float, minimum: int = 2) -> int:
     return max(minimum, int(round(width * scale)))
+
+
+def _mlp_split(mlp: "nn.MLP", inputs) -> Tensor:
+    """Run an MLP whose first layer consumes a (virtual) concatenation.
+
+    ``inputs`` partition the first ``Linear``'s input width; they pass
+    through :func:`repro.nn.functional.linear_split` (no concat copy,
+    broadcast inputs multiply their weight slice once) and the rest of
+    the stack applies as usual.
+    """
+    modules = list(mlp.net)
+    first = modules[0]
+    x = nn.functional.linear_split(inputs, first.weight, first.bias)
+    for module in modules[1:]:
+        x = module(x)
+    return x
 
 
 @dataclass(frozen=True)
@@ -123,13 +139,18 @@ class GeneralizableNeRF(nn.Module):
             raise ValueError(f"unknown ray_module {cfg.ray_module!r}")
 
     # ------------------------------------------------------------------
-    def encode_scene(self, source_images: np.ndarray) -> List[Tensor]:
-        """One-time per-scene encoding of (S, 3, H, W) source images."""
+    def encode_scene(self, source_images: np.ndarray) -> Tensor:
+        """One-time per-scene encoding of (S, 3, H, W) source images.
+
+        Returns the stacked channel-last (S, Hf, Wf, C) feature tensor;
+        index it per view or hand it to the batched fetcher whole.
+        """
         return self.encoder.encode_views(source_images)
 
     def forward(self, points: np.ndarray, ray_dirs: np.ndarray,
                 source_cameras: Sequence[Camera],
-                feature_maps: Sequence[Tensor], source_images: np.ndarray,
+                feature_maps: Union[Tensor, Sequence[Tensor]],
+                source_images: np.ndarray,
                 mask: Optional[np.ndarray] = None) -> RenderOutput:
         """Predict (rgb, sigma) for (R, P, 3) sampled points.
 
@@ -145,41 +166,58 @@ class GeneralizableNeRF(nn.Module):
     def _forward_fetched(self, fetched: FetchedFeatures,
                          mask: Optional[np.ndarray]) -> RenderOutput:
         cfg = self.config
-        num_views = fetched.num_views
         visibility = fetched.visibility  # (S, R, P) bool
         if mask is not None:
             visibility = visibility & np.asarray(mask, dtype=bool)[None]
-        vis_f = visibility.astype(np.float32)[..., None]  # (S, R, P, 1)
-        vis_t = Tensor(vis_f)
+        # Dense renders usually see every point in every view; masking
+        # is then multiplication by exactly 1.0 and a constant S
+        # denominator, so the masking passes are skipped outright —
+        # element values are unchanged (both modes share this branch,
+        # so grad/inference bit-equality is unaffected).
+        all_visible = bool(visibility.all())
+        if all_visible:
+            vis_t = None
+            denom = Tensor(np.float32(visibility.shape[0]))
+        else:
+            vis_f = visibility.astype(np.float32)[..., None]  # (S, R, P, 1)
+            vis_t = Tensor(vis_f)
+            denom = Tensor(np.maximum(vis_f.sum(axis=0), 1e-6))  # (R, P, 1)
+        rgb_t = Tensor(fetched.rgb)
+        dirs_t = Tensor(fetched.direction_delta)
 
-        per_view_in = nn.concatenate(
-            [fetched.features, Tensor(fetched.rgb),
-             Tensor(fetched.direction_delta)], axis=-1)
-        latents = self.view_mlp(per_view_in) * vis_t       # (S, R, P, H1)
+        # The aggregation MLPs consume concatenations of per-view and
+        # pooled inputs; ``_mlp_split`` routes each part through its own
+        # slice of the first layer's weight, so the (S, R, P, sum-width)
+        # concat copies are never built and the per-ray pooled
+        # statistics multiply their weight slice once instead of once
+        # per view — the dominant non-gather cost of the render path.
+        latents = _mlp_split(self.view_mlp,
+                             [fetched.features, rgb_t, dirs_t])
+        if not all_visible:
+            latents = latents * vis_t
 
-        denom = Tensor(np.maximum(vis_f.sum(axis=0), 1e-6))  # (R, P, 1)
         mean = latents.sum(axis=0) / denom                  # (R, P, H1)
-        centered = (latents - mean.expand_dims(0)) * vis_t
+        centered = latents - mean.expand_dims(0)
+        if not all_visible:
+            centered = centered * vis_t
         var = (centered * centered).sum(axis=0) / denom     # (R, P, H1)
+        mean_b = mean.expand_dims(0)                        # (1, R, P, H1)
+        var_b = var.expand_dims(0)
 
-        mean_b = nn.stack([mean] * num_views, axis=0)
-        var_b = nn.stack([var] * num_views, axis=0)
-
-        scores = self.score_mlp(
-            nn.concatenate([latents, mean_b, var_b], axis=-1))  # (S,R,P,1)
+        scores = _mlp_split(self.score_mlp,
+                            [latents, mean_b, var_b])       # (S, R, P, 1)
         alpha = nn.functional.masked_softmax(
             scores, visibility[..., None], axis=0)
         pooled = (alpha * latents).sum(axis=0)              # (R, P, H1)
 
-        color_logits = self.color_mlp(
-            nn.concatenate([latents, mean_b,
-                            Tensor(fetched.direction_delta)], axis=-1))
+        color_logits = _mlp_split(self.color_mlp,
+                                  [latents, mean_b, dirs_t])
         beta = nn.functional.masked_softmax(
             color_logits, visibility[..., None], axis=0)
-        rgb = (beta * Tensor(fetched.rgb)).sum(axis=0)      # (R, P, 3)
+        rgb = (beta * rgb_t).sum(axis=0)                    # (R, P, 3)
 
-        density_features = self.density_mlp(
-            nn.concatenate([pooled, var], axis=-1))          # (R, P, D_sigma)
+        density_features = _mlp_split(self.density_mlp,
+                                      [pooled, var])         # (R, P, D_sigma)
 
         ray_mask = visibility.any(axis=0)                    # (R, P)
         logits = self.ray_module(density_features, mask=ray_mask)

@@ -4,6 +4,15 @@ Chunked, no-grad rendering of full (optionally strided) images for both
 the IBRNet-style baseline (uniform/hierarchical sampling, equal points
 per ray) and Gen-NeRF (coarse-then-focus).  Returns images plus the
 sampling statistics the efficiency analyses need.
+
+Performance notes: renders run under :class:`repro.nn.inference_mode`
+(the true no-grad fast path — no graph, no closures); the chunk size is
+*adaptive* — small ray counts render as one chunk instead of paying the
+per-chunk Python cost, large images stream in bounded chunks so the
+(S, R, P, C) intermediates never blow up memory; and callers that
+render the same scene repeatedly can pass precomputed ``feature_maps``
+to skip re-encoding (see :mod:`repro.core.experiments`, which caches
+them per (model, scene) across a harness run).
 """
 
 from __future__ import annotations
@@ -18,41 +27,95 @@ from ..geometry.rays import (RayBundle, image_shape_for_step, rays_for_image,
                              stratified_depths)
 from ..scenes.datasets import Scene
 from ..scenes.render_gt import render_image as render_gt_image
+from ..scenes.render_gt import render_rays as render_gt_rays
 from .gen_nerf import GenNeRF
 from .ibrnet import GeneralizableNeRF
 from .sampling import SampleSet, hierarchical_depths
 from .volume_rendering import composite
 
+# One chunk's worth of (view, ray, point) cells: bounds the peak size of
+# the fetched-feature intermediates at roughly budget * (C + a few) * 4
+# bytes while letting small renders go through in a single pass.
+_CHUNK_CELL_BUDGET = 2_000_000
+
+
+def adaptive_chunk(num_rays: int, num_views: int, points_per_ray: int,
+                   requested: Optional[int] = None,
+                   cell_budget: int = _CHUNK_CELL_BUDGET) -> int:
+    """Rays per chunk: everything at once when it fits, streaming else.
+
+    ``requested`` (a caller's explicit chunk size) wins when given —
+    Gen-NeRF's per-chunk budget redistribution is semantically a
+    tile-local scheduling choice, so callers that rely on a specific
+    tile size keep it.
+    """
+    if requested is not None:
+        return requested
+    cells_per_ray = max(1, num_views * points_per_ray)
+    if num_rays * cells_per_ray <= cell_budget:
+        return max(num_rays, 1)
+    return max(256, cell_budget // cells_per_ray)
+
 
 def render_source_views(scene: Scene, num_points: int = 128,
                         step: int = 1) -> np.ndarray:
-    """Ground-truth source images (S, 3, H, W) for conditioning."""
-    images = []
-    for camera in scene.source_cameras:
-        img = render_gt_image(scene.field, camera, scene.near, scene.far,
-                              num_points=num_points, step=step,
-                              white_background=scene.spec.white_background)
-        images.append(np.transpose(img, (2, 0, 1)))
-    return np.asarray(images, dtype=np.float32)
+    """Ground-truth source images (S, 3, H, W) for conditioning.
+
+    All source cameras render through one concatenated ray bundle (the
+    per-camera Python loop collapsed into chunked batched field
+    queries); per-ray results are identical to rendering each camera
+    separately because the deterministic reference sampler is
+    ray-independent.
+    """
+    cameras = scene.source_cameras
+    if not cameras:
+        return np.zeros((0, 3, 0, 0), dtype=np.float32)
+    bundles = [rays_for_image(camera, scene.near, scene.far, step=step)
+               for camera in cameras]
+    combined = RayBundle(
+        np.concatenate([b.origins for b in bundles], axis=0),
+        np.concatenate([b.directions for b in bundles], axis=0),
+        scene.near, scene.far)
+    pixels = np.zeros((len(combined), 3), dtype=np.float64)
+    chunk = 4096
+    for start in range(0, len(combined), chunk):
+        part = combined.select(slice(start, start + chunk))
+        pixels[start:start + chunk] = render_gt_rays(
+            scene.field, part, num_points,
+            white_background=scene.spec.white_background)
+    rows, cols = image_shape_for_step(cameras[0], step)
+    images = pixels.reshape(len(cameras), rows, cols, 3)
+    return np.ascontiguousarray(
+        np.transpose(images, (0, 3, 1, 2))).astype(np.float32)
 
 
 def render_image_ibrnet(model: GeneralizableNeRF, scene: Scene,
                         source_images: np.ndarray, num_points: int,
-                        step: int = 4, chunk: int = 512,
+                        step: int = 4, chunk: Optional[int] = None,
                         hierarchical: bool = False,
-                        coarse_points: Optional[int] = None) -> np.ndarray:
+                        coarse_points: Optional[int] = None,
+                        feature_maps=None) -> np.ndarray:
     """Baseline rendering: equal sample count on every ray.
 
     The hierarchical coarse pass defaults to ``num_points`` samples so
     fixed-capacity ray modules (the Ray-Mixer's N_max) see a constant
     point count in both passes.
+
+    Note: with ``hierarchical`` the fine-depth draws consume the rng
+    chunk by chunk, so the rendered image depends on the chunking; pass
+    an explicit ``chunk`` to reproduce a specific split — the adaptive
+    default favours throughput.
     """
     coarse_points = coarse_points or num_points
-    with nn.no_grad():
-        feature_maps = model.encode_scene(source_images)
+    with nn.inference_mode():
+        if feature_maps is None:
+            feature_maps = model.encode_scene(source_images)
         bundle = rays_for_image(scene.target_camera, scene.near, scene.far,
                                 step=step)
         rows, cols = image_shape_for_step(scene.target_camera, step)
+        chunk = adaptive_chunk(len(bundle), len(scene.source_cameras),
+                               num_points + (coarse_points if hierarchical
+                                             else 0), chunk)
         out = np.zeros((len(bundle), 3), dtype=np.float64)
         rng = np.random.default_rng(0)
         for start in range(0, len(bundle), chunk):
@@ -83,15 +146,32 @@ def render_image_ibrnet(model: GeneralizableNeRF, scene: Scene,
 
 def render_image_gen_nerf(model: GenNeRF, scene: Scene,
                           source_images: np.ndarray, step: int = 4,
-                          chunk: int = 512
+                          chunk: Optional[int] = None,
+                          feature_maps=None
                           ) -> Tuple[np.ndarray, Dict[str, float]]:
-    """Gen-NeRF rendering; returns (image, stats with avg focused points)."""
-    with nn.no_grad():
+    """Gen-NeRF rendering; returns (image, stats with avg focused points).
+
+    ``feature_maps`` (the ``(coarse_maps, fine_maps)`` pair from
+    :meth:`GenNeRF.encode_scene`) skips re-encoding when provided.
+
+    Note: the focused-sampling budget is redistributed *within* each
+    chunk (tile-local scheduling, mirroring the accelerator) and the
+    sampler reseeds per chunk, so the rendered image depends on the
+    chunking; pass an explicit ``chunk`` to reproduce a specific
+    tiling — the adaptive default favours throughput.
+    """
+    with nn.inference_mode():
         model.eval()
-        coarse_maps, fine_maps = model.encode_scene(source_images)
+        if feature_maps is None:
+            coarse_maps, fine_maps = model.encode_scene(source_images)
+        else:
+            coarse_maps, fine_maps = feature_maps
         bundle = rays_for_image(scene.target_camera, scene.near, scene.far,
                                 step=step)
         rows, cols = image_shape_for_step(scene.target_camera, step)
+        chunk = adaptive_chunk(len(bundle), len(scene.source_cameras),
+                               model.config.coarse_points
+                               + model.config.n_max, chunk)
         out = np.zeros((len(bundle), 3), dtype=np.float64)
         total_points = 0
         for start in range(0, len(bundle), chunk):

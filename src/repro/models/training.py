@@ -158,10 +158,17 @@ class Trainer:
 
 def finetune(model: nn.Module, scene: Scene, steps: int,
              config: Optional[TrainConfig] = None,
-             gt_points: int = 128) -> List[float]:
+             gt_points: int = 128,
+             data: Optional[SceneData] = None) -> List[float]:
     """Per-scene finetuning (paper Table 3 protocol): continue training
-    the pretrained model on a single scene's views."""
+    the pretrained model on a single scene's views.
+
+    ``data`` accepts an already-prepared :class:`SceneData` so harnesses
+    that finetune many variants on the same scene render its ground-truth
+    source views once instead of once per call.
+    """
     cfg = config or TrainConfig()
-    data = SceneData.prepare(scene, gt_points=gt_points)
+    if data is None:
+        data = SceneData.prepare(scene, gt_points=gt_points)
     trainer = Trainer(model, [data], cfg)
     return trainer.fit(steps)

@@ -12,13 +12,14 @@ from .layers import (MLP, AvgPool2d, Conv2d, ELU, LayerNorm, Linear, Module,
 from .optim import (Adam, ConstantLR, ExponentialDecayLR, LRSchedule, SGD,
                     clip_grad_norm)
 from .serialize import load_module, save_module
-from .tensor import (Tensor, as_tensor, concatenate, grad_enabled, no_grad,
-                     ones, stack, unbroadcast, where, zeros)
+from .tensor import (Tensor, as_tensor, concatenate, grad_enabled,
+                     inference_mode, no_grad, ones, stack, unbroadcast, where,
+                     zeros)
 
 __all__ = [
     "functional",
     "Tensor", "as_tensor", "concatenate", "stack", "where", "zeros", "ones",
-    "no_grad", "grad_enabled", "unbroadcast",
+    "no_grad", "inference_mode", "grad_enabled", "unbroadcast",
     "Module", "Parameter", "Linear", "Conv2d", "AvgPool2d", "Sequential",
     "MLP", "LayerNorm", "ReLU", "ELU", "Sigmoid",
     "MultiHeadSelfAttention", "TransformerBlock",

@@ -20,8 +20,9 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from .tensor import (Tensor, as_tensor, concatenate, stack, unbroadcast,  # noqa: F401
-                     where)
+from .tensor import (Tensor, as_tensor, concatenate, grad_enabled,  # noqa: F401
+                     stack, unbroadcast, where)
+from .tensor import _node, _plain
 
 
 def relu(x: Tensor) -> Tensor:
@@ -62,13 +63,15 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     exps = np.exp(shifted)
     out_data = exps / exps.sum(axis=axis, keepdims=True)
+    if not x._tracked():
+        return _plain(out_data)
 
     def backward(g: np.ndarray) -> None:
         if x.requires_grad:
             inner = (g * out_data).sum(axis=axis, keepdims=True)
             x._accumulate(out_data * (g - inner))
 
-    return x._make(out_data, (x,), backward)
+    return _node(out_data, (x,), backward)
 
 
 def masked_softmax(x: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
@@ -81,18 +84,27 @@ def masked_softmax(x: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
     """
     x = as_tensor(x)
     mask = np.asarray(mask, dtype=bool)
-    neg = np.where(mask, 0.0, -1e9).astype(x.dtype)
-    shifted = x.data + neg
-    shifted = shifted - shifted.max(axis=axis, keepdims=True)
-    exps = np.exp(shifted) * mask.astype(x.dtype)
+    if mask.all():
+        # All-valid masks are the common case on dense renders; adding
+        # a zero bias and multiplying by 1.0 are bit-exact identities,
+        # so skip those passes (the +1e-12 denominator stays).
+        shifted = x.data - x.data.max(axis=axis, keepdims=True)
+        exps = np.exp(shifted)
+    else:
+        neg = np.where(mask, 0.0, -1e9).astype(x.dtype)
+        shifted = x.data + neg
+        shifted = shifted - shifted.max(axis=axis, keepdims=True)
+        exps = np.exp(shifted) * mask.astype(x.dtype)
     out_data = exps / (exps.sum(axis=axis, keepdims=True) + 1e-12)
+    if not x._tracked():
+        return _plain(out_data)
 
     def backward(g: np.ndarray) -> None:
         if x.requires_grad:
             inner = (g * out_data).sum(axis=axis, keepdims=True)
             x._accumulate(unbroadcast(out_data * (g - inner), x.shape))
 
-    return x._make(out_data, (x,), backward)
+    return _node(out_data, (x,), backward)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -120,6 +132,8 @@ def mse_loss(prediction: Tensor, target) -> Tensor:
     prediction = as_tensor(prediction)
     diff = prediction.data - as_tensor(target).data
     out_data = np.asarray((diff * diff).mean(), dtype=prediction.dtype)
+    if not prediction._tracked():
+        return _plain(out_data)
     scale = 2.0 / max(diff.size, 1)
 
     def backward(g: np.ndarray) -> None:
@@ -127,7 +141,7 @@ def mse_loss(prediction: Tensor, target) -> Tensor:
             prediction._accumulate(
                 unbroadcast((g * scale) * diff, prediction.shape))
 
-    return prediction._make(out_data, (prediction,), backward)
+    return _node(out_data, (prediction,), backward)
 
 
 def masked_mse_loss(prediction: Tensor, target, mask: np.ndarray) -> Tensor:
@@ -167,24 +181,39 @@ def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
         return out + bias if bias is not None else out
     bias_t = as_tensor(bias) if bias is not None else None
 
-    out_data = x.data @ weight.data
+    # Batched (..., in) inputs flatten to one (N, in) GEMM: numpy's
+    # stacked matmul dispatches a BLAS call per leading-axis matrix,
+    # which for the model's small per-ray matrices is call-overhead
+    # bound; a single large GEMM also lets the weight gradient skip the
+    # per-batch (B, in, out) intermediate and its reduction.
+    batch_shape = x.data.shape[:-1]
+    x2d = x.data.reshape(-1, x.data.shape[-1]) if x.data.ndim > 2 else x.data
+    out_data = x2d @ weight.data
     if bias_t is not None:
         out_data = out_data + bias_t.data
+    if x.data.ndim > 2:
+        out_data = out_data.reshape(batch_shape + (weight.data.shape[1],))
+    if not x._tracked(weight, *(() if bias_t is None else (bias_t,))):
+        return _plain(out_data)
 
     def backward(g: np.ndarray) -> None:
+        g2d = g.reshape(-1, g.shape[-1]) if g.ndim > 2 else g
         if x.requires_grad:
-            x._accumulate(unbroadcast(g @ weight.data.T, x.shape))
+            gx = g2d @ weight.data.T
+            x._accumulate(unbroadcast(gx.reshape(g.shape[:-1] + (x.data.shape[-1],))
+                                      if g.ndim > 2 else gx, x.shape))
         if weight.requires_grad:
             if x.data.ndim == 1:
                 gw = np.multiply.outer(x.data, g)
             else:
-                gw = np.swapaxes(x.data, -1, -2) @ g
+                gw = x2d.T @ g2d
             weight._accumulate(unbroadcast(np.asarray(gw), weight.shape))
         if bias_t is not None and bias_t.requires_grad:
-            bias_t._accumulate(unbroadcast(g, bias_t.shape))
+            gb = g2d.sum(axis=0) if g2d.ndim > 1 else g2d
+            bias_t._accumulate(unbroadcast(gb, bias_t.shape))
 
     parents = (x, weight) if bias_t is None else (x, weight, bias_t)
-    return x._make(out_data, parents, backward)
+    return _node(out_data, parents, backward)
 
 
 def pad_last_axes(x: Tensor, pad: Sequence[tuple], value: float = 0.0) -> Tensor:
@@ -192,6 +221,8 @@ def pad_last_axes(x: Tensor, pad: Sequence[tuple], value: float = 0.0) -> Tensor
     x = as_tensor(x)
     widths = [(0, 0)] * (x.ndim - len(pad)) + list(pad)
     out_data = np.pad(x.data, widths, constant_values=value)
+    if not x._tracked():
+        return _plain(out_data)
     slicer = tuple(slice(lo, out_data.shape[i] - hi)
                    for i, (lo, hi) in enumerate(widths))
 
@@ -199,7 +230,7 @@ def pad_last_axes(x: Tensor, pad: Sequence[tuple], value: float = 0.0) -> Tensor
         if x.requires_grad:
             x._accumulate(g[slicer])
 
-    return x._make(out_data, (x,), backward)
+    return _node(out_data, (x,), backward)
 
 
 def im2col(images: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
@@ -250,3 +281,91 @@ def col2im(cols: np.ndarray, image_shape, kernel: int, stride: int,
     if padding:
         images = images[:, :, padding:-padding, padding:-padding]
     return images
+
+
+def linear_split(xs: Sequence[Tensor], weight: Tensor,
+                 bias: Optional[Tensor] = None) -> Tensor:
+    """``concatenate(xs, -1) @ W + b`` without materialising the concat.
+
+    The weight's input rows are partitioned by the inputs' trailing
+    widths and each input multiplies its own slice; inputs may be
+    *broadcast* along leading axes (e.g. per-ray pooled statistics fed
+    next to per-view latents), in which case their partial product is
+    computed once at their own shape and broadcast-added — the render
+    path's aggregation MLPs skip both the (S, R, P, sum_widths) concat
+    copy and the S-fold duplicate GEMMs this way.  One fused graph
+    node; the backward routes ``g @ W_slice^T`` to each input
+    (unbroadcast over expanded axes) and per-slice weight gradients
+    ``x^T g`` (summing ``g`` over axes the input was broadcast along).
+
+    Note: the summation order differs from the concatenated GEMM, so
+    results match :func:`linear` to float tolerance, not bit-for-bit;
+    grad- and inference-mode share this code path, so the two modes
+    remain bit-identical to each other.
+    """
+    xs = [as_tensor(x) for x in xs]
+    weight = as_tensor(weight)
+    bias_t = as_tensor(bias) if bias is not None else None
+    widths = [x.shape[-1] for x in xs]
+    if sum(widths) != weight.shape[0]:
+        raise ValueError(f"input widths {widths} do not partition weight "
+                         f"rows {weight.shape[0]}")
+    offsets = np.cumsum([0] + widths)
+
+    out_data = None
+    partials = []
+    for x, start, stop in zip(xs, offsets[:-1], offsets[1:]):
+        w_slice = weight.data[start:stop]
+        x2d = x.data.reshape(-1, x.data.shape[-1]) if x.data.ndim > 2 \
+            else x.data
+        part = x2d @ w_slice
+        if x.data.ndim > 2:
+            part = part.reshape(x.data.shape[:-1] + (weight.data.shape[1],))
+        partials.append(part)
+        out_data = part if out_data is None else out_data + part
+    if bias_t is not None:
+        out_data = out_data + bias_t.data
+
+    tracked = grad_enabled() and (weight.requires_grad
+                                  or any(x.requires_grad for x in xs)
+                                  or (bias_t is not None
+                                      and bias_t.requires_grad))
+    if not tracked:
+        return _plain(out_data)
+
+    def backward(g: np.ndarray) -> None:
+        g2d = g.reshape(-1, g.shape[-1]) if g.ndim > 2 else g
+        grad_w = None
+        for x, start, stop in zip(xs, offsets[:-1], offsets[1:]):
+            w_slice = weight.data[start:stop]
+            if x.requires_grad:
+                gx = g2d @ w_slice.T
+                if g.ndim > 2:
+                    gx = gx.reshape(g.shape[:-1] + (w_slice.shape[0],))
+                x._accumulate(unbroadcast(gx, x.shape))
+            if weight.requires_grad:
+                # Sum g over axes this input was broadcast along, then
+                # one (in_i, N) x (N, out) product per slice.
+                extra = g.ndim - x.data.ndim
+                g_for_w = g
+                if extra > 0:
+                    g_for_w = g.sum(axis=tuple(range(extra)))
+                # Axes where x has size 1 but g doesn't:
+                axes = tuple(i for i in range(x.data.ndim - 1)
+                             if x.data.shape[i] == 1
+                             and g_for_w.shape[i] != 1)
+                if axes:
+                    g_for_w = g_for_w.sum(axis=axes, keepdims=True)
+                gw2d = g_for_w.reshape(-1, g.shape[-1])
+                x2d = x.data.reshape(-1, x.data.shape[-1])
+                if grad_w is None:
+                    grad_w = np.empty_like(weight.data)
+                grad_w[start:stop] = x2d.T @ gw2d
+        if weight.requires_grad and grad_w is not None:
+            weight._accumulate(grad_w)
+        if bias_t is not None and bias_t.requires_grad:
+            gb = g2d.sum(axis=0) if g2d.ndim > 1 else g2d
+            bias_t._accumulate(unbroadcast(gb, bias_t.shape))
+
+    parents = tuple(xs) + ((weight,) if bias_t is None else (weight, bias_t))
+    return _node(out_data, parents, backward)

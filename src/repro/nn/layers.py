@@ -14,7 +14,8 @@ import numpy as np
 
 from . import functional as F
 from . import init
-from .tensor import Tensor, as_tensor, grad_enabled
+from .tensor import (Tensor, _node, _plain, as_tensor, grad_enabled,
+                     no_grad)
 
 
 class Parameter(Tensor):
@@ -36,6 +37,7 @@ class Module:
         self._parameters: Dict[str, Parameter] = {}
         self._modules: Dict[str, "Module"] = {}
         self.training = True
+        self._inference = False
 
     def __setattr__(self, name, value):
         if isinstance(value, Parameter):
@@ -63,12 +65,31 @@ class Module:
 
     def train(self, mode: bool = True) -> "Module":
         self.training = mode
+        if mode:
+            self._inference = False
         for module in self._modules.values():
             module.train(mode)
         return self
 
     def eval(self) -> "Module":
         return self.train(False)
+
+    def eval_inference(self, mode: bool = True) -> "Module":
+        """Switch to eval *and* arm the inference fast path.
+
+        Every subsequent ``module(...)`` call runs its forward under
+        :class:`repro.nn.inference_mode`: ops skip graph construction,
+        ``requires_grad`` propagation, and backward-closure allocation,
+        while the forward values stay bit-identical to the grad-enabled
+        path.  ``module.train()`` disarms it.
+        """
+        self.train(False)
+        stack = [self]
+        while stack:
+            module = stack.pop()
+            module._inference = mode
+            stack.extend(module._modules.values())
+        return self
 
     def state_dict(self) -> Dict[str, np.ndarray]:
         return {name: p.data.copy() for name, p in self.named_parameters()}
@@ -87,6 +108,9 @@ class Module:
             param.data[...] = state[name]
 
     def __call__(self, *args, **kwargs):
+        if getattr(self, "_inference", False) and grad_enabled():
+            with no_grad():
+                return self.forward(*args, **kwargs)
         return self.forward(*args, **kwargs)
 
     def forward(self, *args, **kwargs):
@@ -200,6 +224,19 @@ class MLP(Module):
         return sum(m.flops(batch) for m in self.net if isinstance(m, Linear))
 
 
+def _array_fingerprint(arr: np.ndarray) -> tuple:
+    """Cheap content fingerprint for cache-staleness detection.
+
+    Samples a strided subset (bounded cost regardless of size); any
+    in-place edit that touches the array broadly — normalisation,
+    augmentation — changes it, while the full-array hash a bulletproof
+    check would need costs as much as the work the cache saves.
+    """
+    flat = arr.reshape(-1)
+    sample = flat[::max(1, flat.size // 64)]
+    return (arr.shape, float(sample.sum()), float(flat[0]), float(flat[-1]))
+
+
 class Conv2d(Module):
     """2D convolution on (B, C, H, W) tensors via im2col + GEMM.
 
@@ -221,26 +258,75 @@ class Conv2d(Module):
         self.weight = Parameter(
             init.kaiming_uniform(rng, fan_in, shape=(fan_in, out_channels)))
         self.bias = Parameter(init.zeros((out_channels,)))
+        # im2col results for grad-free inputs, keyed by array identity.
+        # Training re-runs the encoder every step on the *same* source
+        # images (only the weights change), so the patch rearrangement —
+        # the most expensive non-GEMM part of the conv — is computed
+        # once per scene.  Values keep a reference to the input array,
+        # so an id() collision after garbage collection cannot alias:
+        # the identity check below compares the stored object itself.
+        self._cols_cache: Dict[int, tuple] = {}
+        self._cols_cache_limit = 8
+
+    def train(self, mode: bool = True) -> "Module":
+        # Phase changes are natural cache boundaries: callers that edit
+        # their input buffers between train/eval phases get a fresh
+        # im2col even if the cheap fingerprint below would miss the
+        # edit.
+        self._cols_cache.clear()
+        return super().train(mode)
 
     def forward(self, x: Tensor) -> Tensor:
         x = as_tensor(x)
         batch, _, height, width = x.shape
-        cols, out_h, out_w = F.im2col(x.data, self.kernel, self.stride,
-                                      self.padding)
-        cols_t = Tensor(cols)
+        # Only worth caching for constant inputs under grad mode (the
+        # training loop's per-step re-encode of fixed source images);
+        # inference callers cache whole encoded maps a level up.
+        cacheable = grad_enabled() and not x.requires_grad
+        cached = self._cols_cache.get(id(x.data)) if cacheable else None
+        if cached is not None and cached[0] is x.data \
+                and cached[1] == _array_fingerprint(x.data):
+            _, _, cols, out_h, out_w = cached
+        else:
+            cols, out_h, out_w = F.im2col(x.data, self.kernel, self.stride,
+                                          self.padding)
+            if cacheable:
+                if len(self._cols_cache) >= self._cols_cache_limit:
+                    self._cols_cache.clear()
+                self._cols_cache[id(x.data)] = (
+                    x.data, _array_fingerprint(x.data), cols, out_h, out_w)
         image_shape = x.shape
         kernel, stride, padding = self.kernel, self.stride, self.padding
+        weight, bias = self.weight, self.bias
+        out_channels = self.out_channels
 
-        if x.requires_grad and grad_enabled():
-            def backward(g: np.ndarray) -> None:
-                x._accumulate(F.col2im(g, image_shape, kernel, stride, padding))
+        # Fused single-node conv: one GEMM over the flattened patches,
+        # materialised channel-first (contiguous, so downstream
+        # elementwise ops don't walk a transposed view), with a single
+        # backward closure — the former linear -> reshape -> transpose
+        # node chain re-copied the (B, C, H, W) gradient at every hop.
+        cols2d = cols.reshape(-1, cols.shape[-1])
+        out2d = cols2d @ weight.data + bias.data
+        out_data = np.ascontiguousarray(
+            out2d.reshape(batch, out_h, out_w, out_channels)
+            .transpose(0, 3, 1, 2))
+        if not x._tracked(weight, bias):
+            return _plain(out_data)
 
-            cols_t = Tensor(cols, requires_grad=True, _parents=(x,),
-                            _backward=backward)
+        def backward(g: np.ndarray) -> None:
+            g2d = np.ascontiguousarray(
+                g.transpose(0, 2, 3, 1)).reshape(-1, out_channels)
+            if weight.requires_grad:
+                weight._accumulate(cols2d.T @ g2d)
+            if bias.requires_grad:
+                bias._accumulate(g2d.sum(axis=0))
+            if x.requires_grad:
+                gcols = (g2d @ weight.data.T).reshape(batch, -1,
+                                                      cols2d.shape[-1])
+                x._accumulate(F.col2im(gcols, image_shape, kernel, stride,
+                                       padding))
 
-        out = F.linear(cols_t, self.weight, self.bias)  # (B, oh*ow, out_c)
-        return out.reshape(batch, out_h, out_w, self.out_channels).transpose(
-            (0, 3, 1, 2))
+        return _node(out_data, (x, weight, bias), backward)
 
     def flops(self, batch: int, height: int, width: int) -> int:
         out_h = (height + 2 * self.padding - self.kernel) // self.stride + 1

@@ -17,17 +17,29 @@ Design notes
   the closures in reverse order.
 * Broadcasting follows numpy semantics; gradients are un-broadcast by
   summing over expanded axes (see :func:`unbroadcast`).
-* Gradient tracking can be suspended with :class:`no_grad` (used by the
-  renderers at inference time so that large image-sized graphs are never
-  built).
-* This substrate is the training hot path, so accumulation avoids
-  copies where it safely can (:meth:`Tensor._accumulate` adopts a sole
-  incoming gradient buffer; anything that mutates ``.grad`` in place
-  must own it — see ``clip_grad_norm``), integer-array gathers use a
-  ``np.bincount`` scatter in the backward instead of ``np.add.at``, and
-  the fused ops in :mod:`repro.nn.functional` (``linear``, ``softmax``,
-  ``mse_loss``) collapse multi-node subgraphs into single nodes.
-  ``benchmarks/harness.py`` times a full training step.
+* Gradient tracking can be suspended with :class:`no_grad` /
+  :class:`inference_mode` (used by the renderers at inference time so
+  that large image-sized graphs are never built).
+* This substrate is both the training and the *inference* hot path.
+  Every op short-circuits **before** building its backward closure: when
+  gradients are globally disabled or no input requires them, the op
+  computes plain ndarray math and returns a graph-free tensor through
+  :func:`_plain` (a ``__new__``-based constructor that skips the dtype
+  coercion checks of ``Tensor.__init__``).  Under
+  :class:`inference_mode` an end-to-end render therefore allocates no
+  closures, propagates no ``requires_grad`` flags, and records no
+  parents — while producing bit-identical forward values, because the
+  array math is the same code path in both modes
+  (``tests/nn/test_inference_mode.py`` pins this).
+* Training-side accumulation avoids copies where it safely can
+  (:meth:`Tensor._accumulate` adopts a sole incoming gradient buffer;
+  anything that mutates ``.grad`` in place must own it — see
+  ``clip_grad_norm``), integer-array gathers use a ``np.bincount``
+  scatter in the backward instead of ``np.add.at``, and the fused ops in
+  :mod:`repro.nn.functional` (``linear``, ``softmax``, ``mse_loss``)
+  collapse multi-node subgraphs into single nodes.
+  ``benchmarks/harness.py`` times a full training step and a full
+  inference-mode render.
 """
 
 from __future__ import annotations
@@ -48,8 +60,9 @@ class no_grad(contextlib.ContextDecorator):
     """Context manager that disables graph construction.
 
     Inside the context, ops produce plain result tensors with
-    ``requires_grad=False`` and record no parents, so inference never
-    accumulates memory for backward.
+    ``requires_grad=False``, record no parents, and skip backward-closure
+    allocation entirely, so inference never accumulates memory for
+    backward.
     """
 
     def __enter__(self):
@@ -60,6 +73,18 @@ class no_grad(contextlib.ContextDecorator):
     def __exit__(self, *exc):
         _GRAD_ENABLED[0] = self._prev
         return False
+
+
+class inference_mode(no_grad):
+    """The end-to-end inference fast path.
+
+    Semantically identical to :class:`no_grad` — ops run plain ndarray
+    math through the same fused kernels and return graph-free tensors —
+    but named for intent: wrap whole-frame renders in it (or set
+    :meth:`repro.nn.Module.eval_inference`) and the forward stays
+    bit-identical to the grad-enabled forward while skipping every
+    per-op graph cost.  ``Tensor.backward`` raises inside it.
+    """
 
 
 def grad_enabled() -> bool:
@@ -125,6 +150,36 @@ def as_tensor(value: ArrayLike, dtype=None) -> "Tensor":
     return Tensor(_as_array(value, dtype))
 
 
+def _plain(data: np.ndarray) -> "Tensor":
+    """Graph-free tensor around a float ndarray, skipping ``__init__``.
+
+    The inference fast path: no dtype inspection, no grad bookkeeping
+    beyond zeroing the slots.  Callers guarantee ``data`` is already
+    floating (true for every op output whose inputs are); ``asarray``
+    only materialises the odd 0-d reduction scalar and passes real
+    ndarrays through untouched.
+    """
+    out = Tensor.__new__(Tensor)
+    out.data = np.asarray(data)
+    out.grad = None
+    out._grad_owned = False
+    out.requires_grad = False
+    out._parents = ()
+    out._backward = None
+    out.name = ""
+    return out
+
+
+def _node(data: np.ndarray, parents: Tuple["Tensor", ...],
+          backward: Callable[[np.ndarray], None]) -> "Tensor":
+    """Graph-recording tensor; callers have already checked grad_enabled."""
+    out = _plain(data)
+    out.requires_grad = True
+    out._parents = parents
+    out._backward = backward
+    return out
+
+
 class Tensor:
     """A numpy array with reverse-mode autograd.
 
@@ -157,8 +212,8 @@ class Tensor:
         self.grad: Optional[np.ndarray] = None
         self._grad_owned = False
         self.requires_grad = bool(requires_grad)
-        self._parents = _parents if grad_enabled() else ()
-        self._backward = _backward if grad_enabled() else None
+        self._parents = _parents if _GRAD_ENABLED[0] else ()
+        self._backward = _backward if _GRAD_ENABLED[0] else None
         self.name = name
 
     # ------------------------------------------------------------------
@@ -193,7 +248,7 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """Return a tensor sharing data but cut from the graph."""
-        return Tensor(self.data, requires_grad=False)
+        return _plain(self.data)
 
     def copy(self) -> "Tensor":
         return Tensor(self.data.copy(), requires_grad=self.requires_grad)
@@ -208,12 +263,27 @@ class Tensor:
     # ------------------------------------------------------------------
     # Graph mechanics
     # ------------------------------------------------------------------
+    def _tracked(self, *others: "Tensor") -> bool:
+        """True when this op must record the graph.
+
+        The check every op runs *before* allocating its backward
+        closure — the core of the inference fast path.
+        """
+        if not _GRAD_ENABLED[0]:
+            return False
+        if self.requires_grad:
+            return True
+        for other in others:
+            if other.requires_grad:
+                return True
+        return False
+
     def _make(self, data: np.ndarray, parents: Tuple["Tensor", ...],
               backward: Callable[[np.ndarray], None]) -> "Tensor":
-        requires = grad_enabled() and any(p.requires_grad for p in parents)
-        if not requires:
-            return Tensor(data)
-        return Tensor(data, requires_grad=True, _parents=parents, _backward=backward)
+        """Compatibility node builder for out-of-module op definitions."""
+        if _GRAD_ENABLED[0] and any(p.requires_grad for p in parents):
+            return _node(data, parents, backward)
+        return _plain(data)
 
     def _accumulate(self, grad: np.ndarray) -> None:
         # First gradient with the right dtype is adopted without a copy;
@@ -237,6 +307,11 @@ class Tensor:
 
     def backward(self, grad: Optional[np.ndarray] = None) -> None:
         """Backpropagate from this tensor through the recorded graph."""
+        if not _GRAD_ENABLED[0]:
+            raise RuntimeError(
+                "backward() is disabled inside no_grad/inference_mode "
+                "(ops run here record no graph; exit the context to "
+                "backpropagate a previously recorded one)")
         if not self.requires_grad:
             raise RuntimeError("backward() on a tensor that does not require grad")
         if grad is None:
@@ -286,6 +361,8 @@ class Tensor:
     def __add__(self, other: ArrayLike) -> "Tensor":
         other = as_tensor(other)
         out_data = self.data + other.data
+        if not self._tracked(other):
+            return _plain(out_data)
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
@@ -293,16 +370,20 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(unbroadcast(g, other.shape))
 
-        return self._make(out_data, (self, other), backward)
+        return _node(out_data, (self, other), backward)
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
+        out_data = -self.data
+        if not self._tracked():
+            return _plain(out_data)
+
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(-g)
 
-        return self._make(-self.data, (self,), backward)
+        return _node(out_data, (self,), backward)
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
         return self + (-as_tensor(other))
@@ -313,6 +394,8 @@ class Tensor:
     def __mul__(self, other: ArrayLike) -> "Tensor":
         other = as_tensor(other)
         out_data = self.data * other.data
+        if not self._tracked(other):
+            return _plain(out_data)
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
@@ -320,13 +403,15 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(unbroadcast(g * self.data, other.shape))
 
-        return self._make(out_data, (self, other), backward)
+        return _node(out_data, (self, other), backward)
 
     __rmul__ = __mul__
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
         other = as_tensor(other)
         out_data = self.data / other.data
+        if not self._tracked(other):
+            return _plain(out_data)
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
@@ -335,7 +420,7 @@ class Tensor:
                 other._accumulate(
                     unbroadcast(-g * self.data / (other.data ** 2), other.shape))
 
-        return self._make(out_data, (self, other), backward)
+        return _node(out_data, (self, other), backward)
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return as_tensor(other) / self
@@ -344,45 +429,53 @@ class Tensor:
         if not np.isscalar(exponent):
             raise TypeError("only scalar exponents are supported")
         out_data = self.data ** exponent
+        if not self._tracked():
+            return _plain(out_data)
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(g * exponent * self.data ** (exponent - 1))
 
-        return self._make(out_data, (self,), backward)
+        return _node(out_data, (self,), backward)
 
     # ------------------------------------------------------------------
     # Elementwise nonlinearities
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
         out_data = np.exp(self.data)
+        if not self._tracked():
+            return _plain(out_data)
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(g * out_data)
 
-        return self._make(out_data, (self,), backward)
+        return _node(out_data, (self,), backward)
 
     def log(self) -> "Tensor":
         out_data = np.log(self.data)
+        if not self._tracked():
+            return _plain(out_data)
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(g / self.data)
 
-        return self._make(out_data, (self,), backward)
+        return _node(out_data, (self,), backward)
 
     def sqrt(self) -> "Tensor":
         return self ** 0.5
 
     def tanh(self) -> "Tensor":
         out_data = np.tanh(self.data)
+        if not self._tracked():
+            return _plain(out_data)
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(g * (1.0 - out_data ** 2))
 
-        return self._make(out_data, (self,), backward)
+        return _node(out_data, (self,), backward)
 
     def sigmoid(self) -> "Tensor":
         # Numerically stable logistic.
@@ -392,25 +485,39 @@ class Tensor:
             np.exp(np.clip(self.data, -60, 60))
             / (1.0 + np.exp(np.clip(self.data, -60, 60))),
         ).astype(self.data.dtype)
+        if not self._tracked():
+            return _plain(out_data)
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(g * out_data * (1.0 - out_data))
 
-        return self._make(out_data, (self,), backward)
+        return _node(out_data, (self,), backward)
 
     def relu(self) -> "Tensor":
         mask = self.data > 0
         out_data = self.data * mask
+        if not self._tracked():
+            return _plain(out_data)
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(g * mask)
 
-        return self._make(out_data, (self,), backward)
+        return _node(out_data, (self,), backward)
 
     def elu(self, alpha: float = 1.0) -> "Tensor":
         pos = self.data > 0
+        if not self._tracked():
+            # Inference fast path: same element values, two fewer array
+            # passes — expm1 over min(x, 0) in place, positives copied
+            # over the top, no dtype round-trip.
+            out_data = np.minimum(self.data, 0.0)
+            np.expm1(out_data, out=out_data)
+            if alpha != 1.0:
+                out_data *= alpha
+            np.copyto(out_data, self.data, where=pos)
+            return _plain(out_data)
         expm1 = np.expm1(np.minimum(self.data, 0.0))
         out_data = np.where(pos, self.data, alpha * expm1).astype(self.data.dtype)
 
@@ -419,42 +526,50 @@ class Tensor:
                 local = np.where(pos, 1.0, alpha * (expm1 + 1.0))
                 self._accumulate(g * local)
 
-        return self._make(out_data, (self,), backward)
+        return _node(out_data, (self,), backward)
 
     def softplus(self) -> "Tensor":
         out_data = np.logaddexp(0.0, self.data).astype(self.data.dtype)
+        if not self._tracked():
+            return _plain(out_data)
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
                 sig = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60, 60)))
                 self._accumulate(g * sig)
 
-        return self._make(out_data, (self,), backward)
+        return _node(out_data, (self,), backward)
 
     def abs(self) -> "Tensor":
         out_data = np.abs(self.data)
+        if not self._tracked():
+            return _plain(out_data)
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(g * np.sign(self.data))
 
-        return self._make(out_data, (self,), backward)
+        return _node(out_data, (self,), backward)
 
     def clip(self, low: float, high: float) -> "Tensor":
         out_data = np.clip(self.data, low, high)
+        if not self._tracked():
+            return _plain(out_data)
         mask = (self.data > low) & (self.data < high)
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(g * mask)
 
-        return self._make(out_data, (self,), backward)
+        return _node(out_data, (self,), backward)
 
     # ------------------------------------------------------------------
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        if not self._tracked():
+            return _plain(out_data)
 
         def backward(g: np.ndarray) -> None:
             if not self.requires_grad:
@@ -464,7 +579,7 @@ class Tensor:
                 grad = np.expand_dims(grad, axis=axis)
             self._accumulate(np.broadcast_to(grad, self.shape).copy())
 
-        return self._make(out_data, (self,), backward)
+        return _node(out_data, (self,), backward)
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -484,6 +599,8 @@ class Tensor:
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.max(axis=axis, keepdims=keepdims)
+        if not self._tracked():
+            return _plain(np.asarray(out_data))
 
         def backward(g: np.ndarray) -> None:
             if not self.requires_grad:
@@ -498,7 +615,7 @@ class Tensor:
             counts = mask.sum(axis=axis if axis is not None else None, keepdims=True)
             self._accumulate(np.broadcast_to(grad, self.shape) * mask / counts)
 
-        return self._make(out_data, (self,), backward)
+        return _node(np.asarray(out_data), (self,), backward)
 
     def min(self, axis=None, keepdims: bool = False) -> "Tensor":
         return -((-self).max(axis=axis, keepdims=keepdims))
@@ -506,6 +623,8 @@ class Tensor:
     def cumsum(self, axis: int = -1) -> "Tensor":
         """Cumulative sum; the adjoint is a reversed cumulative sum."""
         out_data = np.cumsum(self.data, axis=axis)
+        if not self._tracked():
+            return _plain(out_data)
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
@@ -513,7 +632,7 @@ class Tensor:
                 self._accumulate(np.flip(np.cumsum(flipped, axis=axis),
                                          axis=axis))
 
-        return self._make(out_data, (self,), backward)
+        return _node(out_data, (self,), backward)
 
     # ------------------------------------------------------------------
     # Linear algebra
@@ -521,6 +640,8 @@ class Tensor:
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         other = as_tensor(other)
         out_data = self.data @ other.data
+        if not self._tracked(other):
+            return _plain(out_data)
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
@@ -540,7 +661,7 @@ class Tensor:
                     gb = gb.sum(axis=tuple(range(gb.ndim - 1)))
                 other._accumulate(unbroadcast(np.asarray(gb), other.shape))
 
-        return self._make(out_data, (self, other), backward)
+        return _node(out_data, (self, other), backward)
 
     # ------------------------------------------------------------------
     # Shape manipulation
@@ -549,13 +670,15 @@ class Tensor:
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
         out_data = self.data.reshape(shape)
+        if not self._tracked():
+            return _plain(out_data)
         in_shape = self.shape
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(g.reshape(in_shape))
 
-        return self._make(out_data, (self,), backward)
+        return _node(out_data, (self,), backward)
 
     def transpose(self, *axes) -> "Tensor":
         if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
@@ -563,13 +686,15 @@ class Tensor:
         if not axes:
             axes = tuple(reversed(range(self.ndim)))
         out_data = self.data.transpose(axes)
+        if not self._tracked():
+            return _plain(out_data)
         inverse = np.argsort(axes)
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(g.transpose(inverse))
 
-        return self._make(out_data, (self,), backward)
+        return _node(out_data, (self,), backward)
 
     def swapaxes(self, a: int, b: int) -> "Tensor":
         axes = list(range(self.ndim))
@@ -578,6 +703,8 @@ class Tensor:
 
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
+        if not self._tracked():
+            return _plain(out_data)
         fast_gather = (isinstance(index, np.ndarray)
                        and index.dtype != bool
                        and np.issubdtype(index.dtype, np.integer)
@@ -594,31 +721,78 @@ class Tensor:
                 np.add.at(full, index, g)
             self._accumulate(full)
 
-        return self._make(out_data, (self,), backward)
+        return _node(out_data, (self,), backward)
+
+    def contiguous(self) -> "Tensor":
+        """Materialise a C-contiguous copy of the data (identity op).
+
+        Shape ops like :meth:`transpose` return numpy views; a consumer
+        that repeatedly reshapes such a view (e.g. the flat-indexed
+        multi-view gather over the stacked feature maps) would re-copy
+        it on every call.  Paying the copy once here makes every later
+        reshape free.  No-op when already contiguous.
+        """
+        if self.data.flags.c_contiguous:
+            return self
+        out_data = np.ascontiguousarray(self.data)
+        if not self._tracked():
+            return _plain(out_data)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g)
+
+        return _node(out_data, (self,), backward)
 
     def expand_dims(self, axis: int) -> "Tensor":
         out_data = np.expand_dims(self.data, axis)
+        if not self._tracked():
+            return _plain(out_data)
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(np.squeeze(g, axis=axis))
 
-        return self._make(out_data, (self,), backward)
+        return _node(out_data, (self,), backward)
 
     def squeeze(self, axis: int) -> "Tensor":
         out_data = np.squeeze(self.data, axis=axis)
+        if not self._tracked():
+            return _plain(out_data)
 
         def backward(g: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(np.expand_dims(g, axis=axis))
 
-        return self._make(out_data, (self,), backward)
+        return _node(out_data, (self,), backward)
+
+    def broadcast_to(self, shape: Tuple[int, ...]) -> "Tensor":
+        """Copy-free broadcast view; the adjoint sums expanded axes.
+
+        The forward allocates nothing (``.data`` is a read-only numpy
+        broadcast view — consume it, don't write it) and the backward is
+        a single ``unbroadcast`` sum instead of n per-slice
+        accumulations, making it the cheap alternative to the
+        ``stack([t] * n)`` idiom.
+        """
+        out_data = np.broadcast_to(self.data, tuple(shape))
+        if not self._tracked():
+            return _plain(out_data)
+        in_shape = self.shape
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(unbroadcast(g, in_shape))
+
+        return _node(out_data, (self,), backward)
 
 
 def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient routing."""
     tensors = [as_tensor(t) for t in tensors]
     out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    if not (_GRAD_ENABLED[0] and any(t.requires_grad for t in tensors)):
+        return _plain(out_data)
     sizes = [t.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
 
@@ -629,11 +803,7 @@ def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
                 slicer[axis] = slice(int(start), int(stop))
                 tensor._accumulate(g[tuple(slicer)])
 
-    requires = grad_enabled() and any(t.requires_grad for t in tensors)
-    if not requires:
-        return Tensor(out_data)
-    return Tensor(out_data, requires_grad=True, _parents=tuple(tensors),
-                  _backward=backward)
+    return _node(out_data, tuple(tensors), backward)
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -649,6 +819,8 @@ def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
     a = as_tensor(a)
     b = as_tensor(b)
     out_data = np.where(cond, a.data, b.data)
+    if not (_GRAD_ENABLED[0] and (a.requires_grad or b.requires_grad)):
+        return _plain(out_data)
 
     def backward(g: np.ndarray) -> None:
         if a.requires_grad:
@@ -656,10 +828,7 @@ def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
         if b.requires_grad:
             b._accumulate(unbroadcast(g * ~cond, b.shape))
 
-    requires = grad_enabled() and (a.requires_grad or b.requires_grad)
-    if not requires:
-        return Tensor(out_data)
-    return Tensor(out_data, requires_grad=True, _parents=(a, b), _backward=backward)
+    return _node(out_data, (a, b), backward)
 
 
 def zeros(shape, requires_grad: bool = False) -> Tensor:

@@ -1,14 +1,25 @@
 """Seed loop implementations of the vectorised hot paths.
 
-These are verbatim copies of the original per-ray / per-request Python
-loop code that :mod:`repro.models.sampling` and
-:mod:`repro.hardware.trace` shipped with, kept for two jobs:
+These are verbatim copies of the original per-ray / per-request /
+per-view Python loop code that :mod:`repro.models.sampling`,
+:mod:`repro.hardware.trace`, :mod:`repro.models.features`, and
+:mod:`repro.hardware.scheduler` shipped with, kept for two jobs:
 
 * the equivalence suites (``tests/models/test_sampling_equivalence.py``,
-  ``tests/hardware/test_trace_equivalence.py``) assert the batched numpy
-  paths reproduce these bit-for-bit at fixed seeds, and
+  ``tests/hardware/test_trace_equivalence.py``,
+  ``tests/hardware/test_scheduler_equivalence.py``) assert the batched
+  numpy paths reproduce these bit-for-bit at fixed seeds, and
 * ``benchmarks/harness.py`` times them to report the speedup of the
   vectorised paths (recorded in ``BENCH_hotpaths.json``).
+
+The end-to-end ``render_rays_chunked_loop`` reproduces the seed
+inference path in structure: fixed 512-ray renderer chunks, a per-view
+feature-gather loop, the v0 per-ray sampler loops, ``stack``-copied
+pooled statistics, float64 colour/direction interpolation, and
+grad-mode graph construction (no :class:`repro.nn.inference_mode`).
+Its pixels agree with the fast path to float32 interpolation tolerance
+(the fast path carries the colour and direction lerps at float32),
+which ``tests/models/test_render_e2e_equivalence.py`` pins.
 
 Do not "optimise" this module — its value is being the slow, obviously
 correct original.
@@ -16,19 +27,25 @@ correct original.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence
+from typing import Iterator, List, Sequence, Tuple
 
 import numpy as np
 
+from .. import nn
+from ..nn import Tensor
 from ..hardware.dram import DramConfig
 from ..hardware.interleave import FeatureStore, FootprintRegion, spatial_skew
 from ..hardware.trace import MemoryRequest, ReplayResult
+from ..models.features import FetchedFeatures, bilinear_gather
 from ..models.sampling import SampleSet, _edges_from_centers
+from ..models.volume_rendering import composite
 
 __all__ = [
     "inverse_transform_loop", "focused_depths_loop",
     "merge_critical_points_loop", "footprint_trace_loop",
-    "replay_trace_loop",
+    "replay_trace_loop", "encode_views_loop", "fetch_features_loop",
+    "forward_fetched_loop", "render_rays_chunked_loop",
+    "evaluate_candidate_loop", "plan_frame_loop",
 ]
 
 
@@ -147,3 +164,343 @@ def replay_trace_loop(requests: Sequence[MemoryRequest],
     service = max(float(bank_time.max(initial=0.0)), bus_time)
     return ReplayResult(service_time_s=service, total_bytes=total_bytes,
                         row_hits=hits, row_misses=misses)
+
+
+# ----------------------------------------------------------------------
+# Seed end-to-end inference path (pre-batched-gather, pre-no-grad mode)
+# ----------------------------------------------------------------------
+
+def encode_views_loop(encoder, images: np.ndarray) -> List[Tensor]:
+    """Seed ``ConvEncoder.encode_views``: per-image transpose list."""
+    features = encoder.forward(Tensor(np.asarray(images, dtype=np.float32)))
+    return [features[i].transpose((1, 2, 0))
+            for i in range(features.shape[0])]
+
+
+def _bilinear_numpy_loop(image_hwc: np.ndarray,
+                         pixels: np.ndarray) -> np.ndarray:
+    """Seed float64 bilinear sample of one (H, W, C) view."""
+    height, width = image_hwc.shape[:2]
+    u = np.clip(pixels[:, 0], 0.0, width - 1.0)
+    v = np.clip(pixels[:, 1], 0.0, height - 1.0)
+    x0 = np.floor(u).astype(np.int64)
+    y0 = np.floor(v).astype(np.int64)
+    x1 = np.minimum(x0 + 1, width - 1)
+    y1 = np.minimum(y0 + 1, height - 1)
+    fx = (u - x0)[:, None]
+    fy = (v - y0)[:, None]
+    top = image_hwc[y0, x0] * (1 - fx) + image_hwc[y0, x1] * fx
+    bottom = image_hwc[y1, x0] * (1 - fx) + image_hwc[y1, x1] * fx
+    return (top * (1 - fy) + bottom * fy).astype(np.float32)
+
+
+def _direction_features_loop(points: np.ndarray, ray_dirs: np.ndarray,
+                             source) -> np.ndarray:
+    """Seed per-view relative direction encoding (float64 geometry)."""
+    to_point = points - source.center
+    norms = np.linalg.norm(to_point, axis=-1, keepdims=True)
+    source_dirs = to_point / np.maximum(norms, 1e-9)
+    target_dirs = np.broadcast_to(ray_dirs[:, None, :], points.shape)
+    diff = target_dirs - source_dirs
+    dot = np.sum(target_dirs * source_dirs, axis=-1, keepdims=True)
+    return np.concatenate([diff, dot], axis=-1).astype(np.float32)
+
+
+def fetch_features_loop(points: np.ndarray, ray_dirs: np.ndarray,
+                        source_cameras, feature_maps: Sequence[Tensor],
+                        source_images: np.ndarray,
+                        feature_scale: float = 0.5) -> FetchedFeatures:
+    """Seed ``fetch_features``: one Python iteration per source view."""
+    num_views = len(source_cameras)
+    rays, pts_per_ray = points.shape[0], points.shape[1]
+    flat_points = points.reshape(-1, 3)
+
+    view_features = []
+    view_rgb = np.empty((num_views, rays, pts_per_ray, 3), dtype=np.float32)
+    view_dirs = np.empty((num_views, rays, pts_per_ray, 4), dtype=np.float32)
+    view_visible = np.empty((num_views, rays, pts_per_ray), dtype=bool)
+
+    for index, camera in enumerate(source_cameras):
+        pixels, depth = camera.project(flat_points, return_depth=True)
+        finite = np.isfinite(pixels).all(axis=-1) & (depth > 1e-6)
+        safe_pixels = np.where(finite[:, None], pixels, 0.0)
+
+        feature_pixels = safe_pixels * feature_scale
+        gathered = bilinear_gather(feature_maps[index], feature_pixels)
+        view_features.append(
+            gathered.reshape(rays, pts_per_ray, gathered.shape[-1]))
+
+        image_hwc = np.ascontiguousarray(
+            np.transpose(source_images[index], (1, 2, 0)).astype(np.float32))
+        rgb = _bilinear_numpy_loop(image_hwc, safe_pixels)
+        view_rgb[index] = rgb.reshape(rays, pts_per_ray, 3)
+
+        view_dirs[index] = _direction_features_loop(points, ray_dirs, camera)
+        inside = (finite
+                  & (pixels[:, 0] >= 0)
+                  & (pixels[:, 0] <= camera.intrinsics.width - 1)
+                  & (pixels[:, 1] >= 0)
+                  & (pixels[:, 1] <= camera.intrinsics.height - 1))
+        view_visible[index] = inside.reshape(rays, pts_per_ray)
+
+    stacked = nn.concatenate([f.expand_dims(0) for f in view_features],
+                             axis=0)
+    return FetchedFeatures(features=stacked, rgb=view_rgb,
+                           direction_delta=view_dirs,
+                           visibility=view_visible)
+
+
+def forward_fetched_loop(model, fetched: FetchedFeatures,
+                         mask) -> "object":
+    """Seed ``GeneralizableNeRF._forward_fetched``: ``stack``-copied
+    pooled statistics instead of broadcast views."""
+    from ..models.ibrnet import RenderOutput
+
+    num_views = fetched.num_views
+    visibility = fetched.visibility
+    if mask is not None:
+        visibility = visibility & np.asarray(mask, dtype=bool)[None]
+    vis_f = visibility.astype(np.float32)[..., None]
+    vis_t = Tensor(vis_f)
+
+    per_view_in = nn.concatenate(
+        [fetched.features, Tensor(fetched.rgb),
+         Tensor(fetched.direction_delta)], axis=-1)
+    latents = model.view_mlp(per_view_in) * vis_t
+
+    denom = Tensor(np.maximum(vis_f.sum(axis=0), 1e-6))
+    mean = latents.sum(axis=0) / denom
+    centered = (latents - mean.expand_dims(0)) * vis_t
+    var = (centered * centered).sum(axis=0) / denom
+
+    mean_b = nn.stack([mean] * num_views, axis=0)
+    var_b = nn.stack([var] * num_views, axis=0)
+
+    scores = model.score_mlp(
+        nn.concatenate([latents, mean_b, var_b], axis=-1))
+    alpha = nn.functional.masked_softmax(
+        scores, visibility[..., None], axis=0)
+    pooled = (alpha * latents).sum(axis=0)
+
+    color_logits = model.color_mlp(
+        nn.concatenate([latents, mean_b,
+                        Tensor(fetched.direction_delta)], axis=-1))
+    beta = nn.functional.masked_softmax(
+        color_logits, visibility[..., None], axis=0)
+    rgb = (beta * Tensor(fetched.rgb)).sum(axis=0)
+
+    density_features = model.density_mlp(
+        nn.concatenate([pooled, var], axis=-1))
+
+    ray_mask = visibility.any(axis=0)
+    logits = model.ray_module(density_features, mask=ray_mask)
+    sigma = nn.functional.softplus(logits) \
+        * Tensor(ray_mask.astype(np.float32))
+    return RenderOutput(rgb=rgb, sigma=sigma,
+                        density_features=density_features,
+                        any_visible=ray_mask)
+
+
+def _model_forward_loop(model, points: np.ndarray, ray_dirs: np.ndarray,
+                        source_cameras, feature_maps: Sequence[Tensor],
+                        source_images: np.ndarray, mask=None):
+    fetched = fetch_features_loop(points, ray_dirs, source_cameras,
+                                  feature_maps, source_images,
+                                  model.encoder.feature_scale)
+    return forward_fetched_loop(model, fetched, mask)
+
+
+def render_rays_chunked_loop(model, bundle, source_cameras,
+                             coarse_maps: Sequence[Tensor],
+                             fine_maps: Sequence[Tensor],
+                             source_images: np.ndarray,
+                             chunk: int = 512) -> np.ndarray:
+    """Seed end-to-end inference: fixed-size renderer chunks, per-view
+    gathers, the v0 per-ray sampler loops, and full grad-mode graph
+    construction (the path a naive ``render_rays`` call took before
+    ``inference_mode``)."""
+    from ..geometry.rays import stratified_depths
+    from ..models.sampling import allocate_ray_budget, sampling_pdf
+
+    cfg = model.config
+    out = np.zeros((len(bundle), 3), dtype=np.float64)
+    for start in range(0, len(bundle), chunk):
+        part = bundle.select(slice(start, start + chunk))
+
+        chosen = model.select_coarse_views(part, source_cameras)
+        cams = [source_cameras[i] for i in chosen]
+        maps = [coarse_maps[i] for i in chosen]
+        images = source_images[chosen]
+        gen = np.random.default_rng(0)
+        coarse_depths = stratified_depths(gen, len(part), cfg.coarse_points,
+                                          part.near, part.far, jitter=False)
+        coarse_points = part.points_at(coarse_depths)
+        coarse_out = _model_forward_loop(model.coarse, coarse_points,
+                                         part.directions, cams, maps, images)
+        _, weights = composite(coarse_out.sigma, coarse_out.rgb,
+                               coarse_depths, part.far)
+        coarse_weights = weights.data.astype(np.float64)
+
+        # Steps 2-3 with the v0 per-ray loops (the same seed loop
+        # implementations the sampling benches time).
+        plan_gen = np.random.default_rng(0)
+        ray_p, point_pdf, _ = sampling_pdf(coarse_weights, cfg.tau)
+        budget = cfg.focused_points * len(part)
+        counts = allocate_ray_budget(ray_p, budget, cfg.n_max)
+        plan = focused_depths_loop(coarse_depths, point_pdf, counts,
+                                   cfg.n_max, part.near, part.far, plan_gen)
+        plan = merge_critical_points_loop(plan, coarse_depths,
+                                          coarse_weights, cfg.tau,
+                                          cfg.n_max, part.far)
+
+        fine_points = part.points_at(plan.depths)
+        fine_out = _model_forward_loop(model.fine, fine_points,
+                                       part.directions, source_cameras,
+                                       fine_maps, source_images,
+                                       mask=plan.mask)
+        bin_width = (part.far - part.near) / max(cfg.coarse_points, 1)
+        pixel, _ = composite(fine_out.sigma, fine_out.rgb, plan.depths,
+                             part.far, mask=plan.mask, max_delta=bin_width)
+        out[start:start + chunk] = pixel.data
+    return out
+
+
+# ----------------------------------------------------------------------
+# Seed scheduler slab sweep (per-slab / per-view footprint loops)
+# ----------------------------------------------------------------------
+
+def evaluate_candidate_loop(scheduler, novel, sources, height: int,
+                            width: int, shape, near: float, far: float
+                            ) -> Tuple[np.ndarray, ...]:
+    """Seed ``GreedyPatchScheduler.evaluate_candidate``: one frustum
+    projection per (slab, view) pair and a per-slab overlap loop."""
+    cfg = scheduler.config
+    h0, w0 = scheduler._tile_grid(height, width, shape)
+    h1 = np.minimum(h0 + shape.dh, height)
+    w1 = np.minimum(w0 + shape.dw, width)
+    n_slabs = cfg.depth_bins // shape.dd
+    tiles = h0.shape[0]
+    num_views = len(sources)
+
+    def frustum_corners(depth_lo, depth_hi):
+        pixel_corners = np.stack([
+            np.stack([w0, h0], axis=-1),
+            np.stack([w1, h0], axis=-1),
+            np.stack([w1, h1], axis=-1),
+            np.stack([w0, h1], axis=-1),
+        ], axis=1).astype(np.float64)
+        corners = np.empty((tiles, 8, 3))
+        for index, depth in enumerate((depth_lo, depth_hi)):
+            pts = novel.unproject(pixel_corners.reshape(-1, 2),
+                                  np.full(tiles * 4, depth))
+            corners[:, index * 4:(index + 1) * 4, :] = \
+                pts.reshape(tiles, 4, 3)
+        return corners
+
+    locs = np.zeros((tiles, n_slabs, num_views))
+    bboxes = np.zeros((tiles, n_slabs, num_views, 4), dtype=np.int64)
+    for slab in range(n_slabs):
+        depth_lo = near + (far - near) * (slab * shape.dd) / cfg.depth_bins
+        depth_hi = near + (far - near) * ((slab + 1) * shape.dd) \
+            / cfg.depth_bins
+        corners = frustum_corners(depth_lo, depth_hi)
+        for view, source in enumerate(sources):
+            locations, bbox = scheduler._footprint_stats(corners, source)
+            locs[:, slab, view] = locations
+            bboxes[:, slab, view] = bbox
+
+    delta_locs = locs.copy()
+    for slab in range(1, n_slabs):
+        prev = bboxes[:, slab - 1]
+        curr = bboxes[:, slab]
+        inter_rows = np.maximum(
+            0, np.minimum(prev[..., 1], curr[..., 1])
+            - np.maximum(prev[..., 0], curr[..., 0]))
+        inter_cols = np.maximum(
+            0, np.minimum(prev[..., 3], curr[..., 3])
+            - np.maximum(prev[..., 2], curr[..., 2]))
+        area = np.maximum(
+            (curr[..., 1] - curr[..., 0])
+            * (curr[..., 3] - curr[..., 2]), 1)
+        overlap_fraction = np.clip(inter_rows * inter_cols / area, 0, 1)
+        delta_locs[:, slab] *= (1.0 - overlap_fraction)
+    delta_locs = np.maximum(delta_locs, 16.0)
+
+    elem = cfg.channels * cfg.bytes_per_element
+    full_bytes = locs.sum(axis=2) * elem
+    delta_bytes = delta_locs.sum(axis=2) * elem
+    return h0, w0, h1, w1, full_bytes, delta_bytes, delta_locs, bboxes
+
+
+def plan_frame_loop(scheduler, novel, sources, near: float, far: float):
+    """Seed ``GreedyPatchScheduler.plan_frame``: per-(slab, view)
+    candidate evaluation plus the per-tile / per-slab Python patch
+    assembly with per-patch ``int`` conversions."""
+    from ..hardware.scheduler import FramePlan, Patch, _delta_footprints
+
+    cfg = scheduler.config
+    height = novel.intrinsics.height
+    width = novel.intrinsics.width
+    macro = cfg.macro_tile
+    macro_rows = int(np.ceil(height / macro))
+    macro_cols = int(np.ceil(width / macro))
+    num_macros = macro_rows * macro_cols
+
+    per_candidate = []
+    macro_cost = np.full((len(cfg.candidates), num_macros), np.inf)
+    for c_index, shape in enumerate(cfg.candidates):
+        evaluated = evaluate_candidate_loop(scheduler, novel, sources,
+                                            height, width, shape, near, far)
+        h0, w0, h1, w1, full_bytes, delta_bytes, delta_locs, bboxes = \
+            evaluated
+        per_candidate.append(evaluated)
+        macro_index = (h0 // macro) * macro_cols + (w0 // macro)
+        tile_total = delta_bytes.sum(axis=1)
+        fits = (full_bytes <= cfg.buffer_bytes).all(axis=1)
+        cost = np.where(fits, tile_total, np.inf)
+        sums = np.zeros(num_macros)
+        bad = np.zeros(num_macros, dtype=bool)
+        np.add.at(sums, macro_index, np.where(np.isinf(cost), 0.0, cost))
+        np.logical_or.at(bad, macro_index, np.isinf(cost))
+        macro_cost[c_index] = np.where(bad, np.inf, sums)
+
+    chosen = np.argmin(macro_cost, axis=0)
+    fallback = int(np.argmin([c.cells for c in cfg.candidates]))
+    no_fit = np.isinf(macro_cost.min(axis=0))
+    chosen[no_fit] = fallback
+
+    patches = []
+    histogram = {c: 0 for c in cfg.candidates}
+    total_bytes = 0.0
+    for c_index, shape in enumerate(cfg.candidates):
+        h0, w0, h1, w1, full_bytes, delta_bytes, delta_locs, bboxes = \
+            per_candidate[c_index]
+        macro_index = (h0 // macro) * macro_cols + (w0 // macro)
+        selected_tiles = np.where(chosen[macro_index] == c_index)[0]
+        if selected_tiles.size == 0:
+            continue
+        n_slabs = delta_bytes.shape[1]
+        histogram[shape] += selected_tiles.size * n_slabs
+        for t in selected_tiles:
+            for slab in range(n_slabs):
+                d0 = slab * shape.dd
+                footprints = _delta_footprints(bboxes[t, slab],
+                                               delta_locs[t, slab])
+                resident = [
+                    FootprintRegion(view=v,
+                                    row0=int(bboxes[t, slab, v, 0]),
+                                    row1=int(bboxes[t, slab, v, 1]),
+                                    col0=int(bboxes[t, slab, v, 2]),
+                                    col1=int(bboxes[t, slab, v, 3]))
+                    for v in range(len(sources))]
+                patch = Patch(h0=int(h0[t]), h1=int(h1[t]),
+                              w0=int(w0[t]), w1=int(w1[t]),
+                              d0=d0, d1=d0 + shape.dd,
+                              prefetch_bytes=float(delta_bytes[t, slab]),
+                              footprints=footprints,
+                              resident_footprints=resident)
+                patches.append(patch)
+                total_bytes += patch.prefetch_bytes
+    return FramePlan(patches=patches, total_prefetch_bytes=total_bytes,
+                     candidate_histogram=histogram, image_height=height,
+                     image_width=width, depth_bins=cfg.depth_bins)

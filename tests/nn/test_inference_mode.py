@@ -1,0 +1,191 @@
+"""Equivalence suite for the true no-grad inference fast path.
+
+The contract of :class:`repro.nn.inference_mode` (and the
+:meth:`repro.nn.Module.eval_inference` flag): ops skip graph
+construction, ``requires_grad`` propagation, and backward-closure
+allocation — and the forward values are **bit-identical** to the
+grad-enabled path, because both run the same array code.  Pinned here
+across the layer zoo and the full Gen-NeRF ``render_rays`` pipeline at
+fixed seeds, plus guards that ``backward`` under no-grad raises.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models.ray_mixer import RayMixer
+from repro.models.volume_rendering import composite
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)
+
+
+def _forward_pair(build, run):
+    """(grad-mode output, inference-mode output) of a fixed-seed model."""
+    model = build()
+    grad_out = run(model)
+    with nn.inference_mode():
+        inf_out = run(model)
+    return grad_out, inf_out
+
+
+class TestBitIdenticalForwards:
+    def test_linear(self, rng):
+        x = rng.standard_normal((64, 12)).astype(np.float32)
+        grad_out, inf_out = _forward_pair(
+            lambda: nn.Linear(12, 8, rng=np.random.default_rng(0)),
+            lambda m: m(nn.Tensor(x)))
+        assert np.array_equal(grad_out.data, inf_out.data)
+
+    def test_mlp_elu_stack(self, rng):
+        x = rng.standard_normal((32, 16)).astype(np.float32)
+        grad_out, inf_out = _forward_pair(
+            lambda: nn.MLP(16, [24, 24], 4, rng=np.random.default_rng(1)),
+            lambda m: m(nn.Tensor(x)))
+        assert np.array_equal(grad_out.data, inf_out.data)
+
+    def test_multi_head_self_attention(self, rng):
+        x = rng.standard_normal((4, 10, 16)).astype(np.float32)
+        mask = rng.random((4, 10)) > 0.3
+        mask[:, 0] = True
+        grad_out, inf_out = _forward_pair(
+            lambda: nn.MultiHeadSelfAttention(16, heads=4,
+                                              rng=np.random.default_rng(2)),
+            lambda m: m(nn.Tensor(x), mask=mask))
+        assert np.array_equal(grad_out.data, inf_out.data)
+
+    def test_ray_mixer(self, rng):
+        x = rng.standard_normal((6, 16, 8)).astype(np.float32)
+        mask = rng.random((6, 16)) > 0.4
+        grad_out, inf_out = _forward_pair(
+            lambda: RayMixer(8, 16, rng=np.random.default_rng(3)),
+            lambda m: m(nn.Tensor(x), mask=mask))
+        assert np.array_equal(grad_out.data, inf_out.data)
+
+    def test_composite(self, rng):
+        sigmas = nn.Tensor(rng.random((5, 12)).astype(np.float32))
+        colors = nn.Tensor(rng.random((5, 12, 3)).astype(np.float32))
+        depths = np.sort(rng.uniform(2.0, 6.0, (5, 12)), axis=-1)
+        mask = rng.random((5, 12)) > 0.2
+        pixel_g, weights_g = composite(sigmas, colors, depths, 6.0,
+                                       mask=mask, max_delta=0.5)
+        with nn.inference_mode():
+            pixel_i, weights_i = composite(sigmas, colors, depths, 6.0,
+                                           mask=mask, max_delta=0.5)
+        assert np.array_equal(pixel_g.data, pixel_i.data)
+        assert np.array_equal(weights_g.data, weights_i.data)
+
+    def test_full_render_rays(self):
+        from repro.geometry.rays import rays_for_image
+        from repro.models.gen_nerf import GenNeRF, GenNerfConfig
+        from repro.models.ibrnet import ModelConfig
+        from repro.models.renderer import render_source_views
+        from repro.scenes.datasets import make_scene
+
+        scene = make_scene("llff", seed=3, image_scale=1 / 16)
+        config = GenNerfConfig(
+            fine=ModelConfig(feature_dim=8, view_hidden=8, score_hidden=4,
+                             density_hidden=12, density_feature_dim=6,
+                             ray_module="mixer", n_max=12,
+                             encoder_hidden=6),
+            coarse_points=6, focused_points=8)
+        model = GenNeRF(config, rng=np.random.default_rng(5))
+        model.eval()
+        source_images = render_source_views(scene, num_points=24, step=4)
+        bundle = rays_for_image(scene.target_camera, scene.near, scene.far,
+                                step=16).select(slice(0, 96))
+
+        coarse_maps, fine_maps = model.encode_scene(source_images)
+        pixel_grad = model.render_rays(bundle, scene.source_cameras,
+                                       coarse_maps, fine_maps,
+                                       source_images)
+        with nn.inference_mode():
+            coarse_inf, fine_inf = model.encode_scene(source_images)
+            assert np.array_equal(coarse_maps.data, coarse_inf.data)
+            assert np.array_equal(fine_maps.data, fine_inf.data)
+            pixel_inf = model.render_rays(bundle, scene.source_cameras,
+                                          coarse_inf, fine_inf,
+                                          source_images)
+        assert np.array_equal(pixel_grad.data, pixel_inf.data)
+
+
+class TestGraphSuppression:
+    def test_no_parents_no_closures(self):
+        w = nn.Tensor(np.ones((3, 3), dtype=np.float32), requires_grad=True)
+        with nn.inference_mode():
+            out = nn.Tensor(np.ones((2, 3), dtype=np.float32)) @ w
+        assert out.requires_grad is False
+        assert out._parents == ()
+        assert out._backward is None
+
+    def test_backward_on_inference_output_raises(self):
+        w = nn.Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+        with nn.inference_mode():
+            out = (w * 2.0).sum()
+        with pytest.raises(RuntimeError):
+            out.backward()
+
+    def test_backward_inside_no_grad_raises(self):
+        w = nn.Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+        loss = (w * 2.0).sum()
+        with nn.inference_mode():
+            with pytest.raises(RuntimeError, match="inference_mode"):
+                loss.backward()
+
+    def test_grad_flag_restored_after_context(self):
+        assert nn.grad_enabled()
+        with nn.inference_mode():
+            assert not nn.grad_enabled()
+        assert nn.grad_enabled()
+
+
+class TestEvalInferenceFlag:
+    def test_module_call_runs_graph_free(self, rng):
+        x = rng.standard_normal((8, 12)).astype(np.float32)
+        model = nn.MLP(12, [8], 4, rng=np.random.default_rng(0))
+        baseline = model(nn.Tensor(x))
+        assert baseline.requires_grad
+
+        model.eval_inference()
+        assert not model.training
+        out = model(nn.Tensor(x))
+        assert out.requires_grad is False
+        assert out._parents == ()
+        assert np.array_equal(baseline.data, out.data)
+
+    def test_train_disarms_inference(self, rng):
+        x = rng.standard_normal((4, 12)).astype(np.float32)
+        model = nn.MLP(12, [8], 4, rng=np.random.default_rng(0))
+        model.eval_inference()
+        model.train()
+        out = model(nn.Tensor(x))
+        assert out.requires_grad
+
+
+class TestBroadcastTo:
+    """`Tensor.broadcast_to`: copy-free expand with a summing adjoint."""
+
+    def test_forward_values_and_view(self, rng):
+        x = nn.Tensor(rng.standard_normal((1, 4, 3)).astype(np.float32),
+                      requires_grad=True)
+        out = x.broadcast_to((5, 4, 3))
+        assert out.shape == (5, 4, 3)
+        assert np.array_equal(out.data, np.broadcast_to(x.data, (5, 4, 3)))
+
+    def test_backward_sums_expanded_axes(self, rng):
+        x = nn.Tensor(rng.standard_normal((1, 4, 3)).astype(np.float32),
+                      requires_grad=True)
+        g = rng.standard_normal((5, 4, 3)).astype(np.float32)
+        (x.broadcast_to((5, 4, 3)) * nn.Tensor(g)).sum().backward()
+        expected = (np.broadcast_to(x.data, (5, 4, 3)) * 0 + g).sum(axis=0,
+                                                                    keepdims=True)
+        np.testing.assert_allclose(x.grad, expected, atol=1e-5)
+
+    def test_inference_mode_is_graph_free(self, rng):
+        x = nn.Tensor(rng.standard_normal((1, 3)).astype(np.float32),
+                      requires_grad=True)
+        with nn.inference_mode():
+            out = x.broadcast_to((4, 3))
+        assert out._parents == () and not out.requires_grad

@@ -1,0 +1,120 @@
+"""Unit tests for the perf-regression harness's comparison machinery.
+
+PR 1 shipped the harness before any baseline existed, so the
+``previous_mean_s`` / ``regression_pct`` fields were never exercised
+end-to-end.  These tests feed it synthetic prior JSON files and pin:
+the second run populates the comparison fields, a >25% slowdown fails
+loudly (exit code 1), and malformed priors are ignored rather than
+crashing the run.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from benchmarks import harness
+
+
+def _fake_bench():
+    """A bench whose 'vectorised' path is trivially fast and stable."""
+    x = np.arange(64)
+    return (lambda: x.sum()), None
+
+
+@pytest.fixture()
+def fake_benches(monkeypatch):
+    monkeypatch.setattr(harness, "BENCHES", {"fake_bench": _fake_bench})
+
+
+class TestCompareToPrevious:
+    def test_no_prior_entry(self):
+        assert harness.compare_to_previous(1.0, None) is None
+
+    def test_malformed_prior_entry(self):
+        assert harness.compare_to_previous(1.0, {"mean_s": None}) is None
+        assert harness.compare_to_previous(1.0, {"mean_s": 0.0}) is None
+        assert harness.compare_to_previous(1.0, {"other": 2.0}) is None
+        assert harness.compare_to_previous(1.0, "not-a-dict") is None
+
+    def test_regression_percentage(self):
+        assert harness.compare_to_previous(1.5, {"mean_s": 1.0}) \
+            == pytest.approx(50.0)
+        assert harness.compare_to_previous(0.5, {"mean_s": 1.0}) \
+            == pytest.approx(-50.0)
+
+
+class TestRunComparison:
+    def test_first_run_has_no_previous(self, fake_benches, tmp_path):
+        result = tmp_path / "bench.json"
+        code = harness.run(strict=True, result_path=str(result), rounds=1,
+                           min_total_s=0.0)
+        assert code == 0
+        data = json.loads(result.read_text())
+        entry = data["benches"]["fake_bench"]
+        assert entry["previous_mean_s"] is None
+        assert entry["regression_pct"] is None
+
+    def test_second_run_populates_comparison(self, fake_benches, tmp_path):
+        result = tmp_path / "bench.json"
+        harness.run(strict=True, result_path=str(result), rounds=1,
+                    min_total_s=0.0)
+        # strict=False: a microsecond-scale fake bench jitters well past
+        # the 25% threshold run-to-run; this test pins the *comparison
+        # fields*, the strictness tests below pin the exit codes.
+        harness.run(strict=False, result_path=str(result), rounds=1,
+                    min_total_s=0.0)
+        entry = json.loads(result.read_text())["benches"]["fake_bench"]
+        assert entry["previous_mean_s"] is not None
+        assert entry["regression_pct"] is not None
+
+    def test_large_regression_fails_loudly(self, fake_benches, tmp_path):
+        result = tmp_path / "bench.json"
+        synthetic = {"schema_version": 1, "generated_unix": 0.0,
+                     "benches": {"fake_bench": {"mean_s": 1e-12}}}
+        result.write_text(json.dumps(synthetic))
+        code = harness.run(strict=True, result_path=str(result), rounds=1,
+                           min_total_s=0.0)
+        assert code == 1                      # >25% slower than the prior
+        entry = json.loads(result.read_text())["benches"]["fake_bench"]
+        assert entry["regression_pct"] > harness.REGRESSION_THRESHOLD_PCT
+
+    def test_no_strict_reports_without_failing(self, fake_benches, tmp_path):
+        result = tmp_path / "bench.json"
+        synthetic = {"schema_version": 1, "generated_unix": 0.0,
+                     "benches": {"fake_bench": {"mean_s": 1e-12}}}
+        result.write_text(json.dumps(synthetic))
+        assert harness.run(strict=False, result_path=str(result), rounds=1,
+                           min_total_s=0.0) == 0
+
+    def test_huge_prior_counts_as_improvement(self, fake_benches, tmp_path):
+        result = tmp_path / "bench.json"
+        synthetic = {"schema_version": 1, "generated_unix": 0.0,
+                     "benches": {"fake_bench": {"mean_s": 1e9}}}
+        result.write_text(json.dumps(synthetic))
+        assert harness.run(strict=True, result_path=str(result), rounds=1,
+                           min_total_s=0.0) == 0
+        entry = json.loads(result.read_text())["benches"]["fake_bench"]
+        assert entry["regression_pct"] < 0
+
+    def test_unreadable_prior_is_ignored(self, fake_benches, tmp_path):
+        result = tmp_path / "bench.json"
+        result.write_text("{not json")
+        assert harness.run(strict=True, result_path=str(result), rounds=1,
+                           min_total_s=0.0) == 0
+
+    def test_partial_run_merges_other_entries(self, fake_benches, tmp_path):
+        result = tmp_path / "bench.json"
+        synthetic = {"schema_version": 1, "generated_unix": 0.0,
+                     "benches": {"other_bench": {"mean_s": 2.0}}}
+        result.write_text(json.dumps(synthetic))
+        harness.run(strict=True, result_path=str(result), rounds=1,
+                    min_total_s=0.0, only=["fake_bench"])
+        data = json.loads(result.read_text())["benches"]
+        assert "other_bench" in data          # history preserved
+        assert "fake_bench" in data
+
+    def test_unknown_only_selection_errors(self, fake_benches, tmp_path):
+        assert harness.run(strict=True,
+                           result_path=str(tmp_path / "bench.json"),
+                           only=["nope"]) == 2
