@@ -4,7 +4,7 @@
 PYTEST := PYTHONPATH=src python -m pytest
 HARNESS := PYTHONPATH=src python -m benchmarks.harness
 
-.PHONY: test test-all bench bench-e2e bench-smoke perf check
+.PHONY: test test-all bench bench-e2e bench-smoke perf docs-check check
 
 test:      ## fast inner loop: unit/property tests, no figure harnesses
 	$(PYTEST) -q -m "not slow"
@@ -24,4 +24,7 @@ bench-smoke: ## one quick round of every bench body, no JSON write
 perf:      ## pytest-benchmark microbenches (statistical timings)
 	$(PYTEST) -q -m bench
 
-check: test bench-smoke  ## one command gates a PR: fast tests + bench smoke
+docs-check: ## README/docs links and code references resolve
+	$(PYTEST) -q tests/test_docs.py
+
+check: test docs-check bench-smoke  ## one command gates a PR: fast tests + docs links + bench smoke

@@ -4,7 +4,8 @@ Times the render-and-simulate critical path primitives (coarse-then-
 focus sampling at R=4096, batched trace generation + replay, the fused
 autograd training step, the scatter-add gather backward) and the
 *end-to-end* paths this repo optimises (full ``render_rays`` at R=1024
-under ``inference_mode``; the scheduler's all-candidate slab sweep),
+under ``inference_mode``; the scheduler's all-candidate slab sweep; the
+batched accelerator frame simulation),
 and, where a seed loop implementation exists in
 :mod:`repro.perf.reference`, the speedup over it.  Results go to
 ``BENCH_hotpaths.json`` at the repo root; when a previous file exists
@@ -259,6 +260,43 @@ def bench_scheduler_slab_sweep():
     return fast, looped
 
 
+def bench_accel_frame_sim():
+    """Cycle-level frame simulation of a 320x240 frame with 6 views.
+
+    Fast path: the batched ``simulate_frame`` — all patches' bank
+    loads, DRAM service, and engine compute in one grouped array pass.
+    Loop reference: the seed per-patch Python loop
+    (``reference.simulate_frame_loop``).  Both consume one shared
+    precomputed frame plan (~300 patches) so the bench isolates the
+    frame-simulation arithmetic from the scheduler.
+    """
+    from repro.core.pipeline import hardware_rig
+    from repro.hardware import GenNerfAccelerator
+    from repro.models.workload import typical_workload
+    from repro.perf import reference
+    from repro.scenes.datasets import DatasetSpec
+
+    spec = DatasetSpec("bench", width=320, height=240, fov_x_deg=50.0,
+                       near=2.0, far=6.0, rig="orbit", rig_distance=4.0)
+    rig = hardware_rig(spec, num_views=6, seed=0)
+    workload = typical_workload(height=240, width=320, num_views=6)
+    fast_accel = GenNerfAccelerator()
+    loop_accel = GenNerfAccelerator()
+    plan = fast_accel.plan_frame(rig.novel, rig.sources, rig.near, rig.far,
+                                 workload)
+
+    def fast():
+        return fast_accel.simulate_frame(workload, rig.novel, rig.sources,
+                                         rig.near, rig.far, plan=plan)
+
+    def looped():
+        return reference.simulate_frame_loop(
+            loop_accel, workload, rig.novel, rig.sources, rig.near,
+            rig.far, plan=plan)
+
+    return fast, looped
+
+
 BENCHES = {
     "coarse_then_focus_plan_r4096": bench_coarse_then_focus_plan,
     "inverse_transform_r4096": bench_inverse_transform,
@@ -267,6 +305,7 @@ BENCHES = {
     "getitem_backward_gather_16k": bench_getitem_backward,
     "render_rays_e2e_r1024": bench_render_rays_e2e,
     "scheduler_slab_sweep": bench_scheduler_slab_sweep,
+    "accel_frame_sim": bench_accel_frame_sim,
 }
 
 

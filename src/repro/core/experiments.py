@@ -11,8 +11,11 @@ tractable, with defaults chosen to finish in minutes.
 
 from __future__ import annotations
 
+import concurrent.futures
+import os
+import sys
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -158,6 +161,84 @@ def run_fig9(datasets: Sequence[str] = PROFILE_DATASETS, seed: int = 3,
 
 
 # ----------------------------------------------------------------------
+# Multi-process variant runner
+# ----------------------------------------------------------------------
+# The table2/table3 harnesses train several *independent* model
+# variants (identical schedules, per-variant RNG seeds, deterministic
+# scene generation), which makes them embarrassingly parallel on
+# multi-core hosts.  ``run_variants`` fans the variant units out over a
+# ``concurrent.futures`` process pool; results always come back in task
+# order and each unit is a pure function of its arguments, so the rows
+# — and therefore the committed figure/table artefacts — are
+# byte-identical whether the units run in one process or many.
+
+def detect_workers(num_tasks: int, workers: Optional[int] = None) -> int:
+    """Resolve the worker count for :func:`run_variants`.
+
+    Priority: explicit ``workers`` argument, then the ``REPRO_WORKERS``
+    environment variable, then ``os.cpu_count()``; always clamped to
+    ``[1, num_tasks]``.  On a single-core host this returns 1 and the
+    runner stays in-process.
+    """
+    if workers is None:
+        env = os.environ.get("REPRO_WORKERS", "").strip()
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                print(f"warning: ignoring non-integer REPRO_WORKERS={env!r}",
+                      file=sys.stderr)
+    if workers is None:
+        workers = os.cpu_count() or 1
+    return max(1, min(int(workers), max(int(num_tasks), 1)))
+
+
+def run_variants(tasks: Sequence[Tuple[Callable, Dict]],
+                 workers: Optional[int] = None) -> List:
+    """Run ``(function, kwargs)`` units, results in task order.
+
+    With more than one worker the units execute on a
+    ``ProcessPoolExecutor`` (functions must be module-level so they
+    pickle); with one worker — or if the pool cannot start, e.g. in a
+    sandbox without process spawning — they run sequentially in this
+    process.  Exceptions raised *by a unit* propagate unchanged in
+    either mode; only pool-infrastructure failures trigger the
+    sequential fallback.
+    """
+    tasks = list(tasks)
+    count = detect_workers(len(tasks), workers)
+    if count <= 1 or len(tasks) <= 1:
+        return [function(**kwargs) for function, kwargs in tasks]
+    # Only pool-infrastructure failures fall back to sequential:
+    # OSError during pool construction or task submission (worker
+    # processes spawn lazily inside ``submit``, so a sandbox that
+    # blocks process creation surfaces there, not in the constructor)
+    # and BrokenProcessPool (a worker died without delivering a
+    # result).  An exception *raised by a unit* is re-raised by
+    # ``future.result()`` as itself — including OSError subclasses —
+    # and must propagate, not trigger a silent sequential re-run of
+    # every unit; ``futures`` being bound marks that submission
+    # finished and any later OSError is the unit's own.
+    futures = None
+    try:
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=count) as pool:
+            futures = [pool.submit(function, **kwargs)
+                       for function, kwargs in tasks]
+            return [future.result() for future in futures]
+    except OSError as error:
+        if futures is not None:
+            raise
+        print(f"warning: process pool unavailable ({error}); "
+              f"running variants sequentially", file=sys.stderr)
+        return [function(**kwargs) for function, kwargs in tasks]
+    except concurrent.futures.process.BrokenProcessPool as error:
+        print(f"warning: process pool broke ({error}); "
+              f"running variants sequentially", file=sys.stderr)
+        return [function(**kwargs) for function, kwargs in tasks]
+
+
+# ----------------------------------------------------------------------
 # Tables 2 & 3 — component ablation and per-scene finetuning
 # ----------------------------------------------------------------------
 @dataclass
@@ -233,88 +314,118 @@ def _evaluate_model(model, scene: Scene, source_images: np.ndarray,
     return M.psnr(image, reference), M.lpips_proxy(image, reference)
 
 
-def run_table2(train_steps: int = 240, eval_step: int = 8,
-               image_scale: float = 1 / 12, num_points: int = 20,
-               seed: int = 1, scenes: Sequence[str] = ("fern", "fortress",
-                                                       "horns", "trex"),
-               num_source_views: int = 10) -> List[AblationRow]:
-    """Component ablation (paper Table 2) at numpy scale.
+TABLE2_VARIANTS = ("vanilla", "no_transformer", "mixer", "gen_nerf")
 
-    Trains each variant with an identical schedule on the four LLFF
-    scene analogues, then evaluates PSNR/LPIPS-proxy per scene.
-    MFLOPs/pixel columns come from the paper-scale workload model.
+
+def _table2_prepare(train_steps: int, eval_step: int, image_scale: float,
+                    num_points: int, seed: int, scenes: Sequence[str],
+                    num_source_views: int):
+    """Deterministic shared inputs of every table-2 variant unit.
+
+    Scene generation is crc32-seeded and the dense reference render
+    depends only on (scene, step), so rebuilding this in a worker
+    process yields exactly the values the sequential path shares.
     """
     eval_scenes = llff_eval_scenes(image_scale, num_source_views, seed=seed)
     scene_data = {name: M.SceneData.prepare(sc, gt_points=128)
                   for name, sc in eval_scenes.items() if name in scenes}
     train_cfg = M.TrainConfig(steps=train_steps, rays_per_batch=40,
                               num_points=num_points, seed=seed)
+    references = {name: M.render_target_reference(data.scene,
+                                                  num_points=192,
+                                                  step=eval_step)
+                  for name, data in scene_data.items()}
+    return scene_data, train_cfg, references
+
+
+def _table2_evaluate(model, method: str, workload_row: str, scene_data,
+                     references, encoded, num_points: int, eval_step: int,
+                     views: int = 10,
+                     hierarchical: bool = True) -> AblationRow:
+    """One table-2 row: PSNR/LPIPS-proxy per scene for one variant.
+
+    ``encoded`` caches each model's scene encodings across its
+    view-count evaluations; it is keyed by the model object itself (not
+    ``id()``): the dict keeps each model alive, so a freed model's id
+    can never alias a new one.
+    """
+    from .. import nn
+
+    workload = table2_workload(workload_row, num_views=views)
+    per_scene = {}
+    for name, data in scene_data.items():
+        key = (model, name)
+        if key not in encoded:
+            with nn.inference_mode():
+                encoded[key] = model.encode_scene(data.source_images)
+        per_scene[name] = _evaluate_model(model, data.scene,
+                                          data.source_images, num_points,
+                                          eval_step, hierarchical,
+                                          views=views,
+                                          reference=references[name],
+                                          feature_maps=encoded[key])
+    return AblationRow(method=method,
+                       mflops_per_pixel=workload.flops_per_pixel() / 1e6,
+                       per_scene=per_scene)
+
+
+def _table2_unit(kind: str, train_steps: int, eval_step: int,
+                 image_scale: float, num_points: int, seed: int,
+                 scenes: Sequence[str], num_source_views: int,
+                 prep=None) -> List[AblationRow]:
+    """Train and evaluate one independent table-2 variant.
+
+    Module-level and argument-pure so :func:`run_variants` can ship it
+    to a worker process; every variant re-seeds its own RNG, so rows
+    are identical no matter where (or next to what) the unit runs.
+    ``prep`` optionally injects the shared :func:`_table2_prepare`
+    output so the sequential path pays for it once.
+    """
+    if prep is None:
+        prep = _table2_prepare(train_steps, eval_step, image_scale,
+                               num_points, seed, scenes, num_source_views)
+    scene_data, train_cfg, references = prep
     n_max = num_points
+    encoded: Dict[Tuple[object, str], object] = {}
 
     def train(model) -> None:
         trainer = M.Trainer(model, list(scene_data.values()), train_cfg)
         trainer.fit(train_steps)
         model.eval()
 
-    rows: List[AblationRow] = []
-
-    # Hoisted out of the evaluation loops: the dense reference render
-    # depends only on (scene, step) — one per scene, not one per
-    # (variant, scene) — and each variant's scene encoding is computed
-    # once and reused across its view-count evaluations.
-    references = {name: M.render_target_reference(data.scene,
-                                                  num_points=192,
-                                                  step=eval_step)
-                  for name, data in scene_data.items()}
-    # Keyed by the model object itself (not id()): the dict keeps each
-    # model alive, so a freed model's id can never alias a new one.
-    encoded: Dict[Tuple[object, str], object] = {}
-
-    def evaluate(model, method: str, workload_row: str,
-                 views: int = 10, hierarchical: bool = True) -> None:
-        from .. import nn
-
-        workload = table2_workload(workload_row, num_views=views)
-        per_scene = {}
-        for name, data in scene_data.items():
-            key = (model, name)
-            if key not in encoded:
-                with nn.inference_mode():
-                    encoded[key] = model.encode_scene(data.source_images)
-            per_scene[name] = _evaluate_model(model, data.scene,
-                                              data.source_images, num_points,
-                                              eval_step, hierarchical,
-                                              views=views,
-                                              reference=references[name],
-                                              feature_maps=encoded[key])
-        rows.append(AblationRow(method=method,
-                                mflops_per_pixel=workload.flops_per_pixel()
-                                / 1e6, per_scene=per_scene))
+    def evaluate(model, method: str, workload_row: str, views: int = 10,
+                 hierarchical: bool = True) -> AblationRow:
+        return _table2_evaluate(model, method, workload_row, scene_data,
+                                references, encoded, num_points, eval_step,
+                                views=views, hierarchical=hierarchical)
 
     rng = np.random.default_rng(seed)
-    vanilla = M.GeneralizableNeRF(_small_model_config("transformer", n_max),
-                                  rng=rng)
-    train(vanilla)
-    evaluate(vanilla, "vanilla IBRNet", "vanilla")
+    if kind == "vanilla":
+        model = M.GeneralizableNeRF(
+            _small_model_config("transformer", n_max), rng=rng)
+        train(model)
+        return [evaluate(model, "vanilla IBRNet", "vanilla")]
+    if kind == "no_transformer":
+        model = M.GeneralizableNeRF(_small_model_config("none", n_max),
+                                    rng=rng)
+        train(model)
+        return [evaluate(model, "- ray transformer", "no_ray_transformer")]
+    if kind == "mixer":
+        model = M.GeneralizableNeRF(_small_model_config("mixer", n_max),
+                                    rng=rng)
+        train(model)
+        return [evaluate(model, "+ Ray-Mixer", "ray_mixer")]
+    if kind != "gen_nerf":
+        raise KeyError(f"unknown table-2 variant {kind!r}")
 
-    rng = np.random.default_rng(seed)
-    no_transformer = M.GeneralizableNeRF(_small_model_config("none", n_max),
-                                         rng=rng)
-    train(no_transformer)
-    evaluate(no_transformer, "- ray transformer", "no_ray_transformer")
-
-    rng = np.random.default_rng(seed)
-    mixer = M.GeneralizableNeRF(_small_model_config("mixer", n_max), rng=rng)
-    train(mixer)
-    evaluate(mixer, "+ Ray-Mixer", "ray_mixer")
-
-    rng = np.random.default_rng(seed)
+    # Coarse-then-focus plus the pruned ladder, one unit: pruning
+    # starts from the trained Gen-NeRF weights.
     gen_cfg = M.GenNerfConfig(fine=_small_model_config("mixer", n_max),
                               coarse_points=8,
                               focused_points=max(8, num_points - 8))
     gen_nerf = M.GenNeRF(gen_cfg, rng=rng)
     train(gen_nerf)
-    evaluate(gen_nerf, "+ Coarse-then-Focus", "coarse_focus")
+    rows = [evaluate(gen_nerf, "+ Coarse-then-Focus", "coarse_focus")]
 
     pruned = M.prune_gen_nerf(gen_nerf, sparsity=0.75)
     M.finetune(pruned, list(scene_data.values())[0].scene,
@@ -325,71 +436,144 @@ def run_table2(train_steps: int = 240, eval_step: int = 8,
                data=list(scene_data.values())[0])
     pruned.eval()
     for views in (10, 6, 4):
-        evaluate(pruned, f"+ channel pruning ({views} views)", "pruned",
-                 views=views)
+        rows.append(evaluate(pruned, f"+ channel pruning ({views} views)",
+                             "pruned", views=views))
     return rows
+
+
+def run_table2(train_steps: int = 240, eval_step: int = 8,
+               image_scale: float = 1 / 12, num_points: int = 20,
+               seed: int = 1, scenes: Sequence[str] = ("fern", "fortress",
+                                                       "horns", "trex"),
+               num_source_views: int = 10,
+               workers: Optional[int] = None) -> List[AblationRow]:
+    """Component ablation (paper Table 2) at numpy scale.
+
+    Trains each variant with an identical schedule on the four LLFF
+    scene analogues, then evaluates PSNR/LPIPS-proxy per scene.
+    MFLOPs/pixel columns come from the paper-scale workload model.
+
+    The four variant units (vanilla / no-transformer / mixer / the
+    Gen-NeRF-plus-pruning ladder) are independent and run through
+    :func:`run_variants`: ``workers=None`` autodetects (``REPRO_WORKERS``
+    env, then CPU count), 1 forces the single-process path.  Rows come
+    back in the fixed ladder order and are byte-identical either way.
+    """
+    params = dict(train_steps=train_steps, eval_step=eval_step,
+                  image_scale=image_scale, num_points=num_points,
+                  seed=seed, scenes=tuple(scenes),
+                  num_source_views=num_source_views)
+    count = detect_workers(len(TABLE2_VARIANTS), workers)
+    if count <= 1:
+        prep = _table2_prepare(**params)
+        units = [_table2_unit(kind, prep=prep, **params)
+                 for kind in TABLE2_VARIANTS]
+    else:
+        units = run_variants([(_table2_unit, dict(kind=kind, **params))
+                              for kind in TABLE2_VARIANTS], workers=count)
+    return [row for unit_rows in units for row in unit_rows]
+
+
+TABLE3_METHODS = ("IBRNet", "Gen-NeRF")
+
+
+def _table3_prepare(views: int, train_steps: int, eval_step: int,
+                    image_scale: float, num_points: int, seed: int):
+    """Deterministic shared inputs of a table-3 (view count) pair.
+
+    One dense reference per scene for this view count; both methods
+    (and all their finetuned variants) compare against it.
+    """
+    eval_scenes = llff_eval_scenes(image_scale, max(views, 6), seed=seed)
+    scene_data = {name: M.SceneData.prepare(sc, gt_points=128)
+                  for name, sc in eval_scenes.items()}
+    train_cfg = M.TrainConfig(steps=train_steps, rays_per_batch=40,
+                              num_points=num_points, seed=seed)
+    references = {name: M.render_target_reference(data.scene,
+                                                  num_points=192,
+                                                  step=eval_step)
+                  for name, data in scene_data.items()}
+    return scene_data, train_cfg, references
+
+
+def _table3_unit(method: str, views: int, train_steps: int,
+                 finetune_steps: int, eval_step: int, image_scale: float,
+                 num_points: int, seed: int, prep=None) -> AblationRow:
+    """Pretrain one method at one view count, finetune per scene,
+    evaluate — one independent, process-shippable table-3 unit."""
+    if prep is None:
+        prep = _table3_prepare(views, train_steps, eval_step, image_scale,
+                               num_points, seed)
+    scene_data, train_cfg, references = prep
+
+    rng = np.random.default_rng(seed)
+    if method == "IBRNet":
+        model = M.GeneralizableNeRF(
+            _small_model_config("transformer", num_points), rng=rng)
+        workload_row = "vanilla"
+    elif method == "Gen-NeRF":
+        gen_cfg = M.GenNerfConfig(
+            fine=_small_model_config("mixer", num_points), coarse_points=8,
+            focused_points=max(8, num_points - 8))
+        model = M.GenNeRF(gen_cfg, rng=rng)
+        workload_row = "pruned"
+    else:
+        raise KeyError(f"unknown table-3 method {method!r}")
+    M.Trainer(model, list(scene_data.values()), train_cfg).fit(train_steps)
+
+    per_scene = {}
+    for name, data in scene_data.items():
+        state = model.state_dict()
+        M.finetune(model, data.scene, steps=finetune_steps,
+                   config=M.TrainConfig(steps=finetune_steps,
+                                        rays_per_batch=40,
+                                        num_points=num_points,
+                                        seed=seed + 7,
+                                        learning_rate=2e-4),
+                   data=data)
+        model.eval()
+        per_scene[name] = _evaluate_model(
+            model, data.scene, data.source_images, num_points,
+            eval_step, reference=references[name])
+        model.load_state_dict(state)   # reset to the pretrained net
+    workload = table2_workload(workload_row, num_views=views)
+    return AblationRow(method=f"{method} ({views} views)",
+                       mflops_per_pixel=workload.flops_per_pixel() / 1e6,
+                       per_scene=per_scene)
 
 
 def run_table3(train_steps: int = 240, finetune_steps: int = 80,
                eval_step: int = 8, image_scale: float = 1 / 12,
                num_points: int = 20, seed: int = 1,
-               view_counts: Sequence[int] = (4, 10)) -> List[AblationRow]:
+               view_counts: Sequence[int] = (4, 10),
+               workers: Optional[int] = None) -> List[AblationRow]:
     """Per-scene finetuning comparison (paper Table 3).
 
     Pretrains an IBRNet baseline and a Gen-NeRF model, then finetunes a
-    copy on each scene before evaluation.
+    copy on each scene before evaluation.  The (view count, method)
+    units are independent and run through :func:`run_variants` —
+    ``workers=None`` autodetects, 1 forces single-process — with rows
+    returned in the fixed (views, method) order, byte-identical either
+    way.
     """
-    rows: List[AblationRow] = []
-    for views in view_counts:
-        eval_scenes = llff_eval_scenes(image_scale, max(views, 6), seed=seed)
-        scene_data = {name: M.SceneData.prepare(sc, gt_points=128)
-                      for name, sc in eval_scenes.items()}
-        train_cfg = M.TrainConfig(steps=train_steps, rays_per_batch=40,
-                                  num_points=num_points, seed=seed)
-
-        rng = np.random.default_rng(seed)
-        ibrnet = M.GeneralizableNeRF(
-            _small_model_config("transformer", num_points), rng=rng)
-        M.Trainer(ibrnet, list(scene_data.values()), train_cfg).fit(
-            train_steps)
-
-        rng = np.random.default_rng(seed)
-        gen_cfg = M.GenNerfConfig(
-            fine=_small_model_config("mixer", num_points), coarse_points=8,
-            focused_points=max(8, num_points - 8))
-        gen_nerf = M.GenNeRF(gen_cfg, rng=rng)
-        M.Trainer(gen_nerf, list(scene_data.values()), train_cfg).fit(
-            train_steps)
-
-        # One dense reference per scene for this view count; both
-        # methods (and all their finetuned variants) compare against it.
-        references = {name: M.render_target_reference(data.scene,
-                                                      num_points=192,
-                                                      step=eval_step)
-                      for name, data in scene_data.items()}
-        for method, model, row in (("IBRNet", ibrnet, "vanilla"),
-                                   ("Gen-NeRF", gen_nerf, "pruned")):
-            per_scene = {}
-            for name, data in scene_data.items():
-                state = model.state_dict()
-                M.finetune(model, data.scene, steps=finetune_steps,
-                           config=M.TrainConfig(steps=finetune_steps,
-                                                rays_per_batch=40,
-                                                num_points=num_points,
-                                                seed=seed + 7,
-                                                learning_rate=2e-4),
-                           data=data)
-                model.eval()
-                per_scene[name] = _evaluate_model(
-                    model, data.scene, data.source_images, num_points,
-                    eval_step, reference=references[name])
-                model.load_state_dict(state)   # reset to the pretrained net
-            workload = table2_workload(row, num_views=views)
-            rows.append(AblationRow(
-                method=f"{method} ({views} views)",
-                mflops_per_pixel=workload.flops_per_pixel() / 1e6,
-                per_scene=per_scene))
-    return rows
+    params = dict(train_steps=train_steps, finetune_steps=finetune_steps,
+                  eval_step=eval_step, image_scale=image_scale,
+                  num_points=num_points, seed=seed)
+    pairs = [(views, method) for views in view_counts
+             for method in TABLE3_METHODS]
+    count = detect_workers(len(pairs), workers)
+    if count <= 1:
+        rows = []
+        for views in view_counts:
+            prep = _table3_prepare(views, train_steps, eval_step,
+                                   image_scale, num_points, seed)
+            for method in TABLE3_METHODS:
+                rows.append(_table3_unit(method, views, prep=prep,
+                                         **params))
+        return rows
+    return list(run_variants(
+        [(_table3_unit, dict(method=method, views=views, **params))
+         for views, method in pairs], workers=count))
 
 
 # ----------------------------------------------------------------------

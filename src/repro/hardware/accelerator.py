@@ -16,6 +16,13 @@ SFU) — into a per-frame simulation:
 
 Results carry the latency breakdown (data vs compute), PE utilisation
 and energy — the quantities in Figs. 10-12 and Tables 1/4.
+
+Steps 2-3 run as one grouped array pass over *all* patches (batched
+bank loads -> batched DRAM service -> deduplicated batched engine
+compute) rather than a per-patch Python loop; the seed loop survives as
+:func:`repro.perf.reference.simulate_frame_loop` and
+``tests/hardware/test_accelerator_equivalence.py`` pins the two
+bit-identical.  See ``docs/performance.md`` for the conventions.
 """
 
 from __future__ import annotations
@@ -29,7 +36,8 @@ from ..geometry.camera import Camera
 from ..models.workload import RenderWorkload
 from .dram import DramConfig, DramModel
 from .engine import EngineConfig, RenderingEngine
-from .interleave import FeatureStore, balance_factor, bank_load_for_footprints
+from .interleave import (FeatureStore, balance_factors, batched_bank_load,
+                         regions_as_array)
 from .scheduler import (FramePlan, GreedyPatchScheduler, SchedulerConfig,
                         fixed_partition)
 from .sram import PrefetchDoubleBuffer, SramConfig
@@ -50,6 +58,9 @@ class AcceleratorConfig:
     energy: EnergyTable = DEFAULT_ENERGY
 
     def variant(self, **changes) -> "AcceleratorConfig":
+        """A copy of this config with ``changes`` applied — how the
+        Fig. 12 ablation variants are derived (see
+        :func:`variant_config`)."""
         return replace(self, **changes)
 
 
@@ -73,10 +84,12 @@ class FrameSimulation:
 
     @property
     def fps(self) -> float:
+        """Frames per second at this frame time (Figs. 10/11, Table 4)."""
         return 0.0 if self.total_time_s <= 0 else 1.0 / self.total_time_s
 
     @property
     def power_w(self) -> float:
+        """Average dynamic power over the frame (event-priced energy)."""
         return 0.0 if self.total_time_s <= 0 else \
             self.energy_j / self.total_time_s
 
@@ -94,6 +107,9 @@ class GenNerfAccelerator:
     # ------------------------------------------------------------------
     def _feature_store(self, workload: RenderWorkload,
                        sources: Sequence[Camera]) -> FeatureStore:
+        """The DRAM-resident scene-feature geometry for this workload:
+        S feature maps at the scheduler's feature scale, laid out under
+        the configured interleaving scheme (Sec. 4.4)."""
         scale = self.config.scheduler.feature_scale
         intr = sources[0].intrinsics
         return FeatureStore(
@@ -104,8 +120,15 @@ class GenNerfAccelerator:
             bytes_per_element=1,
             layout=self.config.feature_layout)
 
-    def _plan(self, novel: Camera, sources: Sequence[Camera], near: float,
-              far: float, workload: RenderWorkload) -> FramePlan:
+    def plan_frame(self, novel: Camera, sources: Sequence[Camera],
+                   near: float, far: float,
+                   workload: RenderWorkload) -> FramePlan:
+        """Partition the frame into point patches: the greedy scheduler
+        (Sec. 4.3) by default, Var-1's fixed slicing when configured.
+
+        Public so callers can schedule once and feed the resulting plan
+        to several ``simulate_frame(..., plan=...)`` calls (workload
+        sweeps over one camera rig)."""
         sched_cfg = replace(self.config.scheduler,
                             channels=workload.fine_dims.feature_dim)
         if self.config.use_greedy_partition:
@@ -116,52 +139,60 @@ class GenNerfAccelerator:
     # ------------------------------------------------------------------
     def simulate_frame(self, workload: RenderWorkload, novel: Camera,
                        sources: Sequence[Camera], near: float, far: float,
-                       keep_plan: bool = False) -> FrameSimulation:
-        """Simulate rendering one frame of ``workload`` from ``novel``."""
+                       keep_plan: bool = False,
+                       plan: Optional[FramePlan] = None) -> FrameSimulation:
+        """Simulate rendering one frame of ``workload`` from ``novel``.
+
+        The whole frame is evaluated as one grouped array pass — all
+        patches' DRAM footprints and SRAM residencies go through the
+        batched bank-load / DRAM-service / engine-compute models at
+        once instead of a per-patch Python loop (at 800x800 a plan
+        holds ~10^4 patches).  Outputs are **bit-identical** to the
+        preserved seed loop (:func:`repro.perf.reference.simulate_frame_loop`,
+        pinned by ``tests/hardware/test_accelerator_equivalence.py``);
+        ``benchmarks/harness.py``'s ``accel_frame_sim`` bench tracks the
+        speedup.
+
+        ``plan`` optionally injects a precomputed :class:`FramePlan`
+        (e.g. to amortise scheduling across workload sweeps over the
+        same camera rig); by default the configured scheduler plans the
+        frame first.
+        """
         if len(sources) != workload.num_views:
             raise ValueError(f"workload expects {workload.num_views} views, "
                              f"got {len(sources)} cameras")
         cfg = self.config
         freq = cfg.frequency_hz
-        plan = self._plan(novel, sources, near, far, workload)
+        if plan is None:
+            plan = self.plan_frame(novel, sources, near, far, workload)
         store = self._feature_store(workload, sources)
         # On-chip copy of the layout: the prefetch scratchpads use the
-        # same interleaving scheme over their own bank count (Sec. 4.5).
+        # same interleaving *scheme* over their own bank count
+        # (Sec. 4.5), so the scratchpad reuses the DRAM FeatureStore
+        # object — deliberately, not stale aliasing: FeatureStore
+        # carries geometry + layout only, while the bank count is a
+        # call-site parameter, and the Fig. 12 Var-2/3 ablation measures
+        # each storage scheme end to end (DRAM *and* scratchpad).
+        # ``tests/hardware/test_accelerator.py`` pins this behaviour.
         sram_banks = cfg.engine.prefetch_sram.num_banks
         sram_store = store
 
-        cube_cells = plan.image_height * plan.image_width * plan.depth_bins
         points_per_cell = workload.fine_points_per_ray / plan.depth_bins
+        num_patches = plan.num_patches
 
-        fetch_times = np.empty(plan.num_patches)
-        compute_times = np.empty(plan.num_patches)
-        pool_macs = 0.0
-        pool_busy_cycles = 0.0
-        dram_energy_pj = 0.0
-        sram_bytes = 0.0
-        sfu_ops = 0.0
-
-        for index, patch in enumerate(plan.patches):
-            bank_bytes, bank_acts = bank_load_for_footprints(
-                store, patch.footprints, cfg.dram.num_banks)
-            stats = self.dram.service(bank_bytes, bank_acts)
-            fetch_times[index] = stats.service_time_s
-            dram_energy_pj += stats.energy_pj
-
-            sram_bank_bytes, _ = bank_load_for_footprints(
-                sram_store, patch.resident_footprints, sram_banks)
-            balance = balance_factor(sram_bank_bytes)
-            cells = patch.num_pixels * patch.num_depth_bins
-            num_points = max(1, int(round(cells * points_per_cell)))
-            num_rays = patch.num_pixels
-            compute = self.engine.patch_compute(workload, num_points,
-                                                num_rays,
-                                                sram_balance=balance)
-            compute_times[index] = compute.cycles / freq
-            pool_macs += compute.pool_macs
-            pool_busy_cycles += compute.pool_cycles
-            sram_bytes += patch.prefetch_bytes * 2  # write then read
-            sfu_ops += self.engine.sfu.ops_for_points(num_points)
+        if num_patches:
+            (fetch_times, compute_times, pool_macs, pool_busy_cycles,
+             dram_energy_pj, sram_bytes, sfu_ops) = self._simulate_patches(
+                workload, plan, store, sram_store, sram_banks,
+                points_per_cell, freq)
+        else:
+            fetch_times = np.empty(0)
+            compute_times = np.empty(0)
+            pool_macs = 0.0
+            pool_busy_cycles = 0.0
+            dram_energy_pj = 0.0
+            sram_bytes = 0.0
+            sfu_ops = 0.0
 
         pipeline_s, engine_busy_s = PrefetchDoubleBuffer.pipeline_time(
             fetch_times, compute_times)
@@ -225,6 +256,87 @@ class GenNerfAccelerator:
             scheduler_hidden=scheduler_hidden,
             plan=plan if keep_plan else None,
         )
+
+    # ------------------------------------------------------------------
+    def _simulate_patches(self, workload: RenderWorkload, plan: FramePlan,
+                          store: FeatureStore, sram_store: FeatureStore,
+                          sram_banks: int, points_per_cell: float,
+                          freq: float):
+        """The per-patch portion of :meth:`simulate_frame`, batched.
+
+        One grouped array pass replaces the seed per-patch loop:
+
+        1. every patch's footprints are concatenated into one (N, 5)
+           region array with per-patch segment counts and pushed through
+           :func:`repro.hardware.interleave.batched_bank_load` (DRAM
+           delta fetches and SRAM residencies alike);
+        2. :meth:`repro.hardware.dram.DramModel.service_batch` prices
+           all prefetches at once;
+        3. patch compute runs through
+           :meth:`repro.hardware.engine.RenderingEngine.patch_compute_many`,
+           which reproduces the scalar path's memoisation semantics
+           exactly (first-occurrence representatives, cache persistence
+           across frames) around the array-valued compute formulas.
+
+        Scalar totals accumulate left-to-right (:func:`_ordered_sum`) so
+        every output bit matches the seed loop's ``+=`` chain.
+        """
+        cfg = self.config
+        patches = plan.patches
+
+        fetch_regions = regions_as_array(
+            [fp for patch in patches for fp in patch.footprints])
+        fetch_counts = np.fromiter(
+            (len(patch.footprints) for patch in patches),
+            dtype=np.int64, count=len(patches))
+        bank_bytes, bank_acts = batched_bank_load(
+            store, fetch_regions, fetch_counts, cfg.dram.num_banks)
+        dram_stats = self.dram.service_batch(bank_bytes, bank_acts)
+        fetch_times = dram_stats.service_time_s
+
+        resident_regions = regions_as_array(
+            [fp for patch in patches for fp in patch.resident_footprints])
+        resident_counts = np.fromiter(
+            (len(patch.resident_footprints) for patch in patches),
+            dtype=np.int64, count=len(patches))
+        sram_bank_bytes, _ = batched_bank_load(
+            sram_store, resident_regions, resident_counts, sram_banks)
+        balances = balance_factors(sram_bank_bytes)
+
+        geometry = np.array([(patch.num_pixels, patch.num_depth_bins,
+                              patch.prefetch_bytes) for patch in patches],
+                            dtype=np.float64).reshape(-1, 3)
+        num_rays = geometry[:, 0].astype(np.int64)
+        cells = num_rays * geometry[:, 1].astype(np.int64)
+        num_points = np.maximum(
+            1, np.rint(cells * points_per_cell).astype(np.int64))
+        prefetch_bytes = geometry[:, 2]
+
+        compute = self.engine.patch_compute_many(workload, num_points,
+                                                 num_rays, balances)
+        compute_times = compute.cycles / freq
+
+        pool_macs = _ordered_sum(compute.pool_macs)
+        pool_busy_cycles = _ordered_sum(compute.pool_cycles)
+        dram_energy_pj = _ordered_sum(dram_stats.energy_pj)
+        sram_bytes = _ordered_sum(prefetch_bytes * 2)  # write then read
+        sfu_ops = _ordered_sum(self.engine.sfu.ops_for_points(num_points))
+        return (fetch_times, compute_times, pool_macs, pool_busy_cycles,
+                dram_energy_pj, sram_bytes, sfu_ops)
+
+def _ordered_sum(values: np.ndarray) -> float:
+    """Left-to-right float accumulation, matching the seed loop's ``+=``.
+
+    ``np.sum`` reduces pairwise, which can differ from sequential
+    accumulation in the last bits; frame totals are pinned bit-identical
+    to :func:`repro.perf.reference.simulate_frame_loop`, so the handful
+    of scalar totals keep its order (~10^4 Python float adds, ~1 ms —
+    noise next to the array passes they summarise).
+    """
+    total = 0.0
+    for value in np.asarray(values).tolist():
+        total += value
+    return total
 
 
 # Fig. 12 ablation variants -------------------------------------------------

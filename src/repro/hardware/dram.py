@@ -58,6 +58,16 @@ class DramAccessStats:
         return self.bytes_transferred / self.service_time_s
 
 
+@dataclass
+class DramBatchStats:
+    """Array-valued :class:`DramAccessStats` for a batch sequence."""
+
+    bytes_transferred: np.ndarray   # (P,) float64
+    service_time_s: np.ndarray      # (P,) float64
+    row_activations: np.ndarray     # (P,) int64
+    energy_pj: np.ndarray           # (P,) float64
+
+
 class DramModel:
     """Bank-level service model for aggregated request batches."""
 
@@ -91,6 +101,41 @@ class DramModel:
                                service_time_s=service_time,
                                row_activations=int(per_bank_acts.sum()),
                                energy_pj=energy)
+
+    def service_batch(self, per_bank_bytes: np.ndarray,
+                      per_bank_row_activations: np.ndarray
+                      ) -> "DramBatchStats":
+        """:meth:`service` for a whole batch sequence in one array pass.
+
+        ``per_bank_bytes`` / ``per_bank_row_activations`` are (P, banks)
+        arrays — one row per aggregated access batch (one point-patch
+        prefetch each in the frame simulator).  Returns per-batch arrays
+        with element *p* equal to ``service(per_bank_bytes[p], ...)``
+        bit for bit: the per-element arithmetic is identical and the
+        per-bank reductions run over the same contiguous spans.
+        """
+        cfg = self.config
+        per_bank_bytes = np.asarray(per_bank_bytes, dtype=np.float64)
+        per_bank_acts = np.asarray(per_bank_row_activations,
+                                   dtype=np.float64)
+        if per_bank_bytes.shape != per_bank_acts.shape:
+            raise ValueError("per-bank arrays must align")
+
+        total_bytes = per_bank_bytes.sum(axis=-1)
+        bursts = np.ceil(per_bank_bytes / cfg.burst_bytes)
+        bank_time = bursts * cfg.t_burst_s + per_bank_acts * cfg.t_rc_s
+        slowest_bank = (bank_time.max(axis=-1) if bank_time.shape[-1]
+                        else np.zeros_like(total_bytes))
+        bus_time = total_bytes / cfg.peak_bandwidth_bytes
+        service_time = np.maximum(slowest_bank, bus_time)
+
+        acts_total = per_bank_acts.sum(axis=-1)
+        energy = (total_bytes * cfg.io_pj_per_byte
+                  + acts_total * cfg.activate_energy_pj)
+        return DramBatchStats(bytes_transferred=total_bytes,
+                              service_time_s=service_time,
+                              row_activations=acts_total.astype(np.int64),
+                              energy_pj=energy)
 
     def stream_time(self, total_bytes: float) -> float:
         """Best-case time: perfectly balanced, row-hit streaming."""

@@ -48,14 +48,17 @@ class FootprintRegion:
 
     @property
     def num_rows(self) -> int:
+        """Feature rows spanned (0 for a degenerate rectangle)."""
         return max(0, self.row1 - self.row0)
 
     @property
     def num_cols(self) -> int:
+        """Feature columns spanned (0 for a degenerate rectangle)."""
         return max(0, self.col1 - self.col0)
 
     @property
     def num_locations(self) -> int:
+        """(h, w) feature locations covered — the fetch granularity."""
         return self.num_rows * self.num_cols
 
 
@@ -103,6 +106,7 @@ class FeatureStore:
 
     @property
     def total_bytes(self) -> int:
+        """Whole stored feature volume: S * Hs * Ws * C * bytes/elem."""
         return self.num_views * self.height * self.width * self.location_bytes
 
     # ------------------------------------------------------------------
@@ -177,6 +181,126 @@ class FeatureStore:
         return loads, acts
 
 
+    # ------------------------------------------------------------------
+    def rectangle_bank_load_batched(self, regions: np.ndarray,
+                                    num_banks: int
+                                    ) -> Tuple[np.ndarray, np.ndarray]:
+        """:meth:`rectangle_bank_load` for N rectangles in one array pass.
+
+        ``regions`` is an (N, 5) int64 array of ``(view, row0, row1,
+        col0, col1)`` rows — one row per :class:`FootprintRegion`.
+        Returns ``(loads, acts)`` as (N, num_banks) int64 arrays whose
+        per-element arithmetic matches the scalar method exactly, so
+        row *i* equals ``rectangle_bank_load(regions[i], num_banks)``
+        bit for bit (everything here is integer math).
+
+        This is the frame simulator's hot path: an 800x800 frame plan
+        holds ~10^5 (patch, view) rectangles, and the former per-patch
+        Python loop over :func:`bank_load_for_footprints` dominated
+        ``simulate_frame`` (see ``docs/performance.md``).
+        """
+        regions = np.asarray(regions, dtype=np.int64).reshape(-1, 5)
+        n = regions.shape[0]
+        loads = np.zeros((n, num_banks), dtype=np.int64)
+        acts = np.zeros((n, num_banks), dtype=np.int64)
+        if n == 0:
+            return loads, acts
+        view = regions[:, 0]
+        row0, row1 = regions[:, 1], regions[:, 2]
+        col0, col1 = regions[:, 3], regions[:, 4]
+        rows = np.maximum(0, row1 - row0)
+        cols = np.maximum(0, col1 - col0)
+        valid = (rows > 0) & (cols > 0)
+        if not valid.any():
+            return loads, acts
+
+        if self.layout == "row_major":
+            rows_per_bank = max(1, (self.num_views * self.height)
+                                // num_banks)
+            flat0 = view * self.height + row0
+            flat1 = flat0 + rows
+            # Bank b < B-1 owns feature rows [b*rpb, (b+1)*rpb); the
+            # last bank absorbs the tail (the scalar path's min(.., B-1)
+            # clamp).  Row counts are interval overlaps.
+            starts = np.arange(num_banks, dtype=np.int64) * rows_per_bank
+            ends = starts + rows_per_bank
+            ends[-1] = np.iinfo(np.int64).max
+            row_counts = np.maximum(
+                0, np.minimum(flat1[:, None], ends[None, :])
+                - np.maximum(flat0[:, None], starts[None, :]))
+            row_counts[~valid] = 0
+            loads = row_counts * cols[:, None]
+            acts = row_counts
+            return loads, acts
+
+        if self.layout == "row_interleaved":
+            flat0 = view * self.height + row0
+            flat1 = flat0 + rows
+            # Closed-form residue counts: #x in [s, e) with x % B == b
+            # is ceil((e-b)/B) - ceil((s-b)/B); numerators stay >= 0
+            # here so plain floor division implements the ceilings.
+            bank = np.arange(num_banks, dtype=np.int64)
+            row_counts = ((flat1[:, None] - bank + num_banks - 1)
+                          // num_banks
+                          - (flat0[:, None] - bank + num_banks - 1)
+                          // num_banks)
+            row_counts[~valid] = 0
+            loads = row_counts * cols[:, None]
+            acts = row_counts
+            return loads, acts
+
+        if self.layout == "view_interleaved":
+            idx = np.flatnonzero(valid)
+            bank = view[idx] % num_banks
+            loads[idx, bank] = rows[idx] * cols[idx]
+            acts[idx, bank] = rows[idx]
+            return loads, acts
+
+        # spatial_interleaved — same three-pass structure as the scalar
+        # method: a full-sweep base load on every bank, then the
+        # remainder window counted by a bincount of per-row window
+        # starts and a doubled-cumsum circular windowed sum.  Rows are
+        # flattened across all remainder-carrying regions at once with
+        # the repeat/arange segment trick (as in trace.py's replay).
+        skew = spatial_skew(num_banks)
+        base = cols // num_banks
+        remainder = cols % num_banks
+        loads += np.where(valid, rows * base, 0)[:, None]
+        sel = np.flatnonzero(valid & (remainder > 0))
+        if sel.size:
+            sel_rows = rows[sel]
+            offsets = np.concatenate(
+                [[0], np.cumsum(sel_rows)]).astype(np.int64)
+            total = int(offsets[-1])
+            flat_rows = (np.arange(total, dtype=np.int64)
+                         - np.repeat(offsets[:-1], sel_rows)
+                         + np.repeat(row0[sel], sel_rows))
+            region_of = np.repeat(np.arange(sel.size, dtype=np.int64),
+                                  sel_rows)
+            starts = (skew * flat_rows
+                      + np.repeat(col0[sel], sel_rows)) % num_banks
+            start_hist = np.bincount(
+                region_of * num_banks + starts,
+                minlength=sel.size * num_banks).reshape(sel.size,
+                                                        num_banks)
+            csum = np.concatenate(
+                [np.zeros((sel.size, 1), dtype=np.int64),
+                 np.cumsum(np.concatenate([start_hist, start_hist],
+                                          axis=1), axis=1)], axis=1)
+            idx = np.arange(num_banks, dtype=np.int64) + num_banks
+            hi = csum[:, idx + 1]
+            lo = np.take_along_axis(
+                csum, idx[None, :] - remainder[sel, None] + 1, axis=1)
+            extra = hi - lo
+            loads[sel] += extra
+            acts[sel] = np.where(base[sel, None] > 0,
+                                 sel_rows[:, None], extra)
+        full_rows = np.flatnonzero(valid & (remainder == 0) & (base > 0))
+        if full_rows.size:
+            acts[full_rows] = rows[full_rows, None]
+        return loads, acts
+
+
 def bank_load_for_footprints(store: FeatureStore,
                              footprints: Sequence[FootprintRegion],
                              num_banks: int
@@ -191,6 +315,45 @@ def bank_load_for_footprints(store: FeatureStore,
     return bytes_per_bank, acts_per_bank
 
 
+def regions_as_array(footprints: Sequence[FootprintRegion]) -> np.ndarray:
+    """Pack footprint objects into the (N, 5) int64 array the batched
+    bank-load path consumes: ``(view, row0, row1, col0, col1)`` rows."""
+    if not footprints:
+        return np.zeros((0, 5), dtype=np.int64)
+    return np.array([(fp.view, fp.row0, fp.row1, fp.col0, fp.col1)
+                     for fp in footprints], dtype=np.int64)
+
+
+def batched_bank_load(store: FeatureStore, regions: np.ndarray,
+                      counts: np.ndarray, num_banks: int
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+    """:func:`bank_load_for_footprints` for many footprint groups at once.
+
+    ``regions`` is (N, 5) int64 with the groups stored contiguously:
+    group ``p`` owns ``counts[p]`` consecutive rows.  Returns
+    ``(bytes, acts)`` as (P, num_banks) float64/int64 arrays; row ``p``
+    equals ``bank_load_for_footprints`` over group ``p``'s regions —
+    exactly, not approximately: the per-region loads are integers, so
+    the float accumulation order of the scalar loop cannot change the
+    sums, and the activation counts are pure int64 math.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    num_groups = counts.shape[0]
+    loads, acts = store.rectangle_bank_load_batched(regions, num_banks)
+    group_loads = np.zeros((num_groups, num_banks), dtype=np.int64)
+    group_acts = np.zeros((num_groups, num_banks), dtype=np.int64)
+    if loads.shape[0] and num_groups:
+        offsets = np.zeros(num_groups, dtype=np.int64)
+        np.cumsum(counts[:-1], out=offsets[1:])
+        nonempty = np.flatnonzero(counts > 0)
+        if nonempty.size:
+            group_loads[nonempty] = np.add.reduceat(
+                loads, offsets[nonempty], axis=0)
+            group_acts[nonempty] = np.add.reduceat(
+                acts, offsets[nonempty], axis=0)
+    return group_loads * float(store.location_bytes), group_acts
+
+
 def balance_factor(bytes_per_bank: np.ndarray) -> float:
     """Mean/max bank load in (0, 1]; 1.0 means perfectly balanced."""
     loads = np.asarray(bytes_per_bank, dtype=np.float64)
@@ -198,3 +361,11 @@ def balance_factor(bytes_per_bank: np.ndarray) -> float:
     if peak <= 0:
         return 1.0
     return float(loads.mean() / peak)
+
+
+def balance_factors(bytes_per_bank: np.ndarray) -> np.ndarray:
+    """:func:`balance_factor` over the rows of a (P, banks) array."""
+    loads = np.asarray(bytes_per_bank, dtype=np.float64)
+    peak = loads.max(axis=-1)
+    mean = loads.mean(axis=-1)
+    return np.where(peak > 0, mean / np.maximum(peak, 1e-300), 1.0)

@@ -15,7 +15,8 @@ from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
-from .systolic import GemmShape, SystolicConfig, gemm_cycles
+from .systolic import (GemmShape, SystolicConfig, gemm_cycles,
+                       gemm_cycles_batch)
 
 
 @dataclass(frozen=True)
@@ -34,6 +35,14 @@ class PoolExecution:
 
     cycles: float
     macs: float
+
+
+@dataclass
+class PoolExecutionBatch:
+    """Array-valued :class:`PoolExecution` for batched GEMM lists."""
+
+    cycles: np.ndarray
+    macs: np.ndarray
 
 
 class PePool:
@@ -63,6 +72,40 @@ class PePool:
             total_cycles += single / parallel + self.config.array.fill_overhead
             total_macs += shape.macs
         return PoolExecution(cycles=total_cycles, macs=total_macs)
+
+    def run_batch(self, gemms: Sequence[GemmShape]) -> "PoolExecutionBatch":
+        """:meth:`run` for GEMM lists with array-valued ``m``/``count``.
+
+        Each :class:`GemmShape` may carry int64 arrays in its ``m`` and
+        ``count`` fields (see :func:`gemm_cycles_batch`); the arrays
+        must broadcast against each other across the list.  Element *i*
+        of the result equals ``run`` over the scalar GEMM list at index
+        *i* bit for bit — the accumulation runs in the same GEMM order
+        with the same per-element arithmetic, and GEMMs with zero MACs
+        contribute neither cycles nor the fill quantum (the scalar
+        path's ``continue``).
+        """
+        arrays = self.config.num_arrays
+        rows = self.config.array.rows
+        fill = self.config.array.fill_overhead
+        total_cycles: np.ndarray = np.float64(0.0)
+        total_macs: np.ndarray = np.float64(0.0)
+        for shape in gemms:
+            m = np.asarray(shape.m, dtype=np.int64)
+            count = np.asarray(shape.count, dtype=np.int64)
+            macs = m * int(shape.k) * int(shape.n) * count
+            work_units = count * np.maximum(
+                1, np.ceil(m / rows).astype(np.int64))
+            parallel = np.minimum(arrays, work_units)
+            single = gemm_cycles_batch(shape, self.config.array)
+            active = macs > 0
+            total_cycles = total_cycles + np.where(
+                active, single / np.maximum(parallel, 1) + fill, 0.0)
+            total_macs = total_macs + np.where(active, macs, 0)
+        return PoolExecutionBatch(cycles=np.asarray(total_cycles,
+                                                    dtype=np.float64),
+                                  macs=np.asarray(total_macs,
+                                                  dtype=np.float64))
 
     def utilization(self, execution: PoolExecution) -> float:
         """Useful MACs over provisioned MAC slots for the execution."""

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from .sram import SramBank, SramConfig
 
 
@@ -67,17 +69,22 @@ class PreprocessingUnit:
         read_bytes = (num_points * num_views
                       * self.config.corner_reads_per_point * channels)
         reads = self.buffer.read_cycles(read_bytes, balance=sram_balance)
-        return max(blends, reads)
+        return np.maximum(blends, reads)
 
     def cycles_for_patch(self, num_points: float, num_views: int,
                          channels: int, sram_balance: float = 1.0) -> float:
         """Total PPU cycles for a point patch (stages are pipelined, so
         the slowest stage bounds throughput; sampling is per point,
-        projection/interpolation per point-view)."""
+        projection/interpolation per point-view).
+
+        ``num_points``/``sram_balance`` may be per-patch arrays — every
+        stage formula is elementwise, so the batched result matches the
+        scalar one patch for patch.
+        """
         stages = (
             self.sampling_cycles(num_points),
             self.projection_cycles(num_points, num_views),
             self.interpolation_cycles(num_points, num_views, channels,
                                       sram_balance),
         )
-        return max(stages)
+        return np.maximum(np.maximum(stages[0], stages[1]), stages[2])

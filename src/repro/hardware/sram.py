@@ -40,8 +40,12 @@ class SramBank:
     def write_cycles(self, num_bytes: float,
                      balance: float = 1.0) -> float:
         """Cycles to write ``num_bytes`` given a bank balance factor in
-        (0, 1]; imbalance serialises onto the hottest bank."""
-        balance = min(max(balance, 1e-3), 1.0)
+        (0, 1]; imbalance serialises onto the hottest bank.
+
+        ``num_bytes``/``balance`` may be arrays (broadcast together);
+        the clamped-balance arithmetic is identical either way.
+        """
+        balance = np.minimum(np.maximum(balance, 1e-3), 1.0)
         return num_bytes / (self.config.peak_bytes_per_cycle * balance)
 
     def read_cycles(self, num_bytes: float, balance: float = 1.0) -> float:

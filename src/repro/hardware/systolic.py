@@ -91,6 +91,39 @@ def gemm_cycles(shape: GemmShape, config: SystolicConfig = SystolicConfig()
     return float(stream_cycles + reload)
 
 
+def gemm_cycles_batch(shape: GemmShape,
+                      config: SystolicConfig = SystolicConfig()
+                      ) -> np.ndarray:
+    """:func:`gemm_cycles` with array-valued ``m`` and/or ``count``.
+
+    The frame simulator's GEMM lists vary only in the batch dimension
+    (``m`` = points in the patch) and the instance count (``count`` =
+    rays / views), so a :class:`GemmShape` may carry int64 *arrays* in
+    those two fields while ``k``/``n`` stay scalar.  Element *i* equals
+    ``gemm_cycles`` at ``(m[i], count[i])`` bit for bit — the padding /
+    packing / fill arithmetic is scalar and the per-element ops match.
+    """
+    m = np.asarray(shape.m, dtype=np.int64)
+    count = np.asarray(shape.count, dtype=np.int64)
+    k, n = int(shape.k), int(shape.n)
+    granule = max(1, config.rows // 2)
+    k_pad = _padded(k, granule)
+    n_pad = _padded(n, granule)
+    packing = (k / k_pad) * (n / n_pad)
+    throughput = config.rows * config.cols * packing   # MACs per cycle
+
+    k_slabs = int(np.ceil(k / config.rows))
+    n_tiles = int(np.ceil(n / config.cols))
+    macs = m * k * n * count
+    stream_cycles = macs / throughput
+    if shape.shared_weights:
+        cycles = stream_cycles + config.fill_overhead * k_slabs * n_tiles
+    else:
+        cycles = stream_cycles + (config.fill_overhead + config.rows) \
+            * k_slabs * n_tiles * count
+    return np.where(np.minimum(m, min(k, n)) <= 0, 0.0, cycles)
+
+
 def gemm_utilization(shape: GemmShape,
                      config: SystolicConfig = SystolicConfig()) -> float:
     """Useful MACs / provisioned MAC slots for the GEMM."""

@@ -124,6 +124,7 @@ class FetchedFeatures:
 
     @property
     def num_views(self) -> int:
+        """S — the number of conditioning source views gathered from."""
         return self.features.shape[0]
 
 

@@ -45,7 +45,7 @@ __all__ = [
     "merge_critical_points_loop", "footprint_trace_loop",
     "replay_trace_loop", "encode_views_loop", "fetch_features_loop",
     "forward_fetched_loop", "render_rays_chunked_loop",
-    "evaluate_candidate_loop", "plan_frame_loop",
+    "evaluate_candidate_loop", "plan_frame_loop", "simulate_frame_loop",
 ]
 
 
@@ -504,3 +504,132 @@ def plan_frame_loop(scheduler, novel, sources, near: float, far: float):
     return FramePlan(patches=patches, total_prefetch_bytes=total_bytes,
                      candidate_histogram=histogram, image_height=height,
                      image_width=width, depth_bins=cfg.depth_bins)
+
+
+# ----------------------------------------------------------------------
+# Seed accelerator frame simulation (per-patch Python loop)
+# ----------------------------------------------------------------------
+
+def simulate_frame_loop(accelerator, workload, novel, sources, near: float,
+                        far: float, keep_plan: bool = False, plan=None):
+    """Seed ``GenNerfAccelerator.simulate_frame``: one Python iteration
+    per point patch, each calling ``bank_load_for_footprints`` twice
+    (DRAM delta fetch + SRAM residency), ``dram.service``, and the
+    memoised ``engine.patch_compute``.
+
+    ``accelerator`` is a :class:`repro.hardware.GenNerfAccelerator`;
+    ``plan`` optionally injects a precomputed
+    :class:`repro.hardware.FramePlan` (both paths plan identically, so
+    sharing one plan lets the equivalence suite and the bench isolate
+    the frame-simulation arithmetic).
+    """
+    from ..hardware.interleave import (balance_factor,
+                                       bank_load_for_footprints)
+    from ..hardware.scheduler import GreedyPatchScheduler
+    from ..hardware.sram import PrefetchDoubleBuffer
+
+    self = accelerator
+    if len(sources) != workload.num_views:
+        raise ValueError(f"workload expects {workload.num_views} views, "
+                         f"got {len(sources)} cameras")
+    cfg = self.config
+    freq = cfg.frequency_hz
+    if plan is None:
+        plan = self.plan_frame(novel, sources, near, far, workload)
+    store = self._feature_store(workload, sources)
+    # On-chip copy of the layout: the prefetch scratchpads use the
+    # same interleaving scheme over their own bank count (Sec. 4.5).
+    sram_banks = cfg.engine.prefetch_sram.num_banks
+    sram_store = store
+
+    points_per_cell = workload.fine_points_per_ray / plan.depth_bins
+
+    fetch_times = np.empty(plan.num_patches)
+    compute_times = np.empty(plan.num_patches)
+    pool_macs = 0.0
+    pool_busy_cycles = 0.0
+    dram_energy_pj = 0.0
+    sram_bytes = 0.0
+    sfu_ops = 0.0
+
+    for index, patch in enumerate(plan.patches):
+        bank_bytes, bank_acts = bank_load_for_footprints(
+            store, patch.footprints, cfg.dram.num_banks)
+        stats = self.dram.service(bank_bytes, bank_acts)
+        fetch_times[index] = stats.service_time_s
+        dram_energy_pj += stats.energy_pj
+
+        sram_bank_bytes, _ = bank_load_for_footprints(
+            sram_store, patch.resident_footprints, sram_banks)
+        balance = balance_factor(sram_bank_bytes)
+        cells = patch.num_pixels * patch.num_depth_bins
+        num_points = max(1, int(round(cells * points_per_cell)))
+        num_rays = patch.num_pixels
+        compute = self.engine.patch_compute(workload, num_points,
+                                            num_rays,
+                                            sram_balance=balance)
+        compute_times[index] = compute.cycles / freq
+        pool_macs += compute.pool_macs
+        pool_busy_cycles += compute.pool_cycles
+        sram_bytes += patch.prefetch_bytes * 2  # write then read
+        sfu_ops += self.engine.sfu.ops_for_points(num_points)
+
+    pipeline_s, engine_busy_s = PrefetchDoubleBuffer.pipeline_time(
+        fetch_times, compute_times)
+
+    # Stage 1: the lightweight coarse pass (Sec. 4.5).
+    coarse_time_s = 0.0
+    if workload.coarse_points > 0:
+        coarse_points_total = (plan.image_height * plan.image_width
+                               * workload.coarse_points)
+        avg_points = max(1, int(round(coarse_points_total
+                                      / max(plan.num_patches, 1))))
+        compute = self.engine.patch_compute(
+            workload, avg_points, num_rays=0, coarse_stage=True)
+        coarse_compute_s = compute.cycles * plan.num_patches / freq
+        traffic_scale = ((workload.coarse_dims.feature_dim
+                          / workload.fine_dims.feature_dim)
+                         * (workload.coarse_views
+                            / max(workload.num_views, 1)))
+        coarse_bytes = plan.total_prefetch_bytes * traffic_scale
+        coarse_fetch_s = coarse_bytes / cfg.dram.peak_bandwidth_bytes
+        coarse_time_s = max(coarse_compute_s, coarse_fetch_s)
+        pool_macs += compute.pool_macs * plan.num_patches
+        pool_busy_cycles += compute.cycles * plan.num_patches
+        dram_energy_pj += coarse_bytes * cfg.dram.io_pj_per_byte
+        sram_bytes += coarse_bytes * 2
+
+    total_time_s = pipeline_s + coarse_time_s
+    exposed_data_s = max(0.0, pipeline_s - engine_busy_s)
+
+    sched = GreedyPatchScheduler(cfg.scheduler)
+    sched_cycles = sched.scheduling_cycles(len(sources),
+                                           plan.image_height,
+                                           plan.image_width)
+    scheduler_hidden = (sched_cycles / freq) <= total_time_s
+
+    peak_macs_per_s = cfg.engine.pool.macs_per_cycle * freq
+    pe_utilization = pool_macs / max(peak_macs_per_s * total_time_s, 1e-12)
+
+    energy_j = (pool_macs * cfg.energy.mac_int8_pj
+                + sram_bytes * (cfg.energy.sram_read_pj_per_byte
+                                + cfg.energy.sram_write_pj_per_byte) / 2
+                + sfu_ops * cfg.energy.special_func_pj
+                + dram_energy_pj) * 1e-12
+
+    from ..hardware.accelerator import FrameSimulation
+    return FrameSimulation(
+        config_name=cfg.name,
+        total_time_s=total_time_s,
+        data_time_s=exposed_data_s,
+        fetch_time_s=float(fetch_times.sum()),
+        compute_time_s=engine_busy_s,
+        coarse_time_s=coarse_time_s,
+        prefetch_bytes=plan.total_prefetch_bytes,
+        pool_macs=pool_macs,
+        pe_utilization=pe_utilization,
+        num_patches=plan.num_patches,
+        energy_j=energy_j,
+        scheduler_hidden=scheduler_hidden,
+        plan=plan if keep_plan else None,
+    )

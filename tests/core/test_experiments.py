@@ -78,3 +78,117 @@ class TestTrainingRunners:
                                num_points=10, view_counts=(4,))
         assert len(rows) == 2
         assert all(row.per_scene for row in rows)
+
+
+# ----------------------------------------------------------------------
+# Multi-process variant runner
+# ----------------------------------------------------------------------
+def _square(value):          # module-level so process pools can pickle it
+    return value * value
+
+
+def _slow_identity(value, delay):
+    import time
+
+    time.sleep(delay)
+    return value
+
+
+def _touch_marker(path):
+    with open(path, "a") as handle:
+        handle.write("ran\n")
+
+
+def _raise_oserror():
+    raise FileNotFoundError("missing scene file")
+
+
+class TestVariantRunner:
+    def test_sequential_and_parallel_agree(self):
+        tasks = [(_square, {"value": v}) for v in range(5)]
+        sequential = core.run_variants(tasks, workers=1)
+        parallel = core.run_variants(tasks, workers=3)
+        assert sequential == [0, 1, 4, 9, 16]
+        assert parallel == sequential
+
+    def test_result_order_is_task_order_not_completion_order(self):
+        # The first task finishes last; results must still come back in
+        # submission order.
+        tasks = [(_slow_identity, {"value": 0, "delay": 0.4}),
+                 (_slow_identity, {"value": 1, "delay": 0.0}),
+                 (_slow_identity, {"value": 2, "delay": 0.0})]
+        assert core.run_variants(tasks, workers=3) == [0, 1, 2]
+
+    def test_unit_exceptions_propagate(self):
+        def boom():
+            raise RuntimeError("unit failure")
+
+        with pytest.raises(RuntimeError, match="unit failure"):
+            core.run_variants([(boom, {})], workers=1)
+
+    def test_unit_oserror_propagates_without_sequential_rerun(self,
+                                                              tmp_path):
+        # A unit raising an OSError subclass is a *unit* failure, not a
+        # pool failure: it must propagate from the parallel path and
+        # must not trigger the sequential fallback (which would quietly
+        # re-run every — potentially hours-long — unit).  The marker
+        # file counts how often the healthy unit executed.
+        marker = str(tmp_path / "ran")
+        with pytest.raises(FileNotFoundError, match="missing scene"):
+            core.run_variants([(_touch_marker, {"path": marker}),
+                               (_raise_oserror, {})], workers=2)
+        with open(marker) as handle:
+            assert len(handle.readlines()) == 1
+
+    def test_blocked_process_spawning_falls_back_sequentially(
+            self, monkeypatch):
+        # Worker processes spawn lazily inside ``submit``; a sandbox
+        # that blocks process creation surfaces a PermissionError there
+        # and the runner must fall back to the sequential path instead
+        # of crashing the harness.
+        import concurrent.futures
+
+        def blocked_submit(self, fn, *args, **kwargs):
+            raise PermissionError("process spawning blocked")
+
+        monkeypatch.setattr(
+            concurrent.futures.ProcessPoolExecutor, "submit",
+            blocked_submit)
+        tasks = [(_square, {"value": v}) for v in range(3)]
+        assert core.run_variants(tasks, workers=2) == [0, 1, 4]
+
+    def test_detect_workers_precedence(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "6")
+        assert core.detect_workers(10) == 6          # env wins over cpu
+        assert core.detect_workers(3) == 3           # clamped to tasks
+        assert core.detect_workers(10, workers=2) == 2   # arg wins over env
+        monkeypatch.setenv("REPRO_WORKERS", "not-a-number")
+        assert core.detect_workers(1) == 1           # bad env ignored
+        monkeypatch.delenv("REPRO_WORKERS")
+        assert core.detect_workers(0) == 1           # never below one
+
+
+@pytest.mark.slow
+class TestParallelFigureHarness:
+    """The acceptance property: table2/table3 rows are byte-identical
+    whether the variant units run in one process or a pool."""
+
+    @staticmethod
+    def _as_tuples(rows):
+        return [(row.method, row.mflops_per_pixel,
+                 sorted(row.per_scene.items())) for row in rows]
+
+    def test_table2_rows_identical_across_runners(self):
+        kwargs = dict(train_steps=6, eval_step=16, image_scale=1 / 16,
+                      num_points=10, scenes=("fortress",),
+                      num_source_views=4)
+        sequential = core.run_table2(workers=1, **kwargs)
+        parallel = core.run_table2(workers=3, **kwargs)
+        assert self._as_tuples(sequential) == self._as_tuples(parallel)
+
+    def test_table3_rows_identical_across_runners(self):
+        kwargs = dict(train_steps=5, finetune_steps=3, eval_step=16,
+                      image_scale=1 / 16, num_points=10, view_counts=(4,))
+        sequential = core.run_table3(workers=1, **kwargs)
+        parallel = core.run_table3(workers=2, **kwargs)
+        assert self._as_tuples(sequential) == self._as_tuples(parallel)

@@ -47,3 +47,5 @@ def test_accelerator_simulation_example():
     out = run_example("accelerator_simulation.py", timeout=900)
     assert "Fig. 10" in out
     assert "Fig. 12" in out
+    assert "batched frame simulation" in out
+    assert "outputs bit-identical" in out
