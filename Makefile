@@ -4,7 +4,7 @@
 PYTEST := PYTHONPATH=src python -m pytest
 HARNESS := PYTHONPATH=src python -m benchmarks.harness
 
-.PHONY: test test-all bench bench-e2e bench-smoke perf docs-check check
+.PHONY: test test-all bench bench-e2e bench-train bench-smoke perf docs-check check
 
 test:      ## fast inner loop: unit/property tests, no figure harnesses
 	$(PYTEST) -q -m "not slow"
@@ -17,6 +17,9 @@ bench:     ## hot-path perf harness -> BENCH_hotpaths.json (fails on >25% regres
 
 bench-e2e: ## end-to-end benches only (render_rays + scheduler slab sweep)
 	$(HARNESS) --only render_rays_e2e_r1024 scheduler_slab_sweep
+
+bench-train: ## training benches only (fused-Adam/GT-cache fast path vs seed loop)
+	$(HARNESS) --only training_step_e2e_gen_nerf training_step_e2e_ibrnet autograd_training_step_mlp
 
 bench-smoke: ## one quick round of every bench body, no JSON write
 	$(HARNESS) --smoke

@@ -8,7 +8,8 @@ paper; :mod:`repro.core.reporting` renders them as text.
 from .figures import (ascii_bar_chart, ascii_line_chart,
                       stacked_latency_chart)
 from .experiments import (AblationRow, FIG9_PAIRS, Fig9Point,
-                          detect_workers, run_coarse_budget_ablation,
+                          clear_scene_memos, detect_workers, llff_scene_data,
+                          run_coarse_budget_ablation,
                           run_fig2, run_fig9, run_fig10, run_fig11,
                           run_fig12, run_patch_candidate_ablation,
                           run_table1, run_table2, run_table3, run_table4,
@@ -23,7 +24,8 @@ __all__ = [
     "run_table1", "run_fig2", "run_fig9", "run_table2", "run_table3",
     "run_fig10", "run_fig11", "run_table4", "run_fig12",
     "run_coarse_budget_ablation", "run_patch_candidate_ablation",
-    "run_variants", "detect_workers",
+    "run_variants", "detect_workers", "llff_scene_data",
+    "clear_scene_memos",
     "Fig9Point", "AblationRow", "FIG9_PAIRS",
     "ascii_line_chart", "ascii_bar_chart", "stacked_latency_chart",
 ]

@@ -30,7 +30,8 @@ from .interleave import (FeatureStore, FootprintRegion, LAYOUTS,
 from .pe_pool import PePool, PePoolConfig, PoolExecution, PoolExecutionBatch
 from .preprocessing import PreprocessingConfig, PreprocessingUnit
 from .scheduler import (DEFAULT_CANDIDATES, FramePlan, GreedyPatchScheduler,
-                        Patch, PatchShape, SchedulerConfig, fixed_partition)
+                        Patch, PatchShape, PlanArrays, SchedulerConfig,
+                        fixed_partition)
 from .special_function import SfuConfig, SpecialFunctionUnit
 from .sram import PrefetchDoubleBuffer, SramBank, SramConfig
 from .systolic import (GemmShape, SystolicConfig, gemm_cycles,
@@ -59,7 +60,7 @@ __all__ = [
     "PePool", "PePoolConfig", "PoolExecution", "PoolExecutionBatch",
     "PreprocessingConfig", "PreprocessingUnit",
     "GreedyPatchScheduler", "SchedulerConfig", "PatchShape", "Patch",
-    "FramePlan", "fixed_partition", "DEFAULT_CANDIDATES",
+    "FramePlan", "PlanArrays", "fixed_partition", "DEFAULT_CANDIDATES",
     "SfuConfig", "SpecialFunctionUnit",
     "PrefetchDoubleBuffer", "SramBank", "SramConfig",
     "GemmShape", "SystolicConfig", "gemm_cycles", "gemm_cycles_batch",

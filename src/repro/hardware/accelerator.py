@@ -36,8 +36,7 @@ from ..geometry.camera import Camera
 from ..models.workload import RenderWorkload
 from .dram import DramConfig, DramModel
 from .engine import EngineConfig, RenderingEngine
-from .interleave import (FeatureStore, balance_factors, batched_bank_load,
-                         regions_as_array)
+from .interleave import FeatureStore, balance_factors, batched_bank_load
 from .scheduler import (FramePlan, GreedyPatchScheduler, SchedulerConfig,
                         fixed_partition)
 from .sram import PrefetchDoubleBuffer, SramConfig
@@ -282,35 +281,30 @@ class GenNerfAccelerator:
         every output bit matches the seed loop's ``+=`` chain.
         """
         cfg = self.config
-        patches = plan.patches
+        # Struct-of-arrays plans (the scheduler's native output since
+        # the flat-assembly rewrite) feed the batched bank loads with
+        # no per-patch object walk at all; object-built plans (seed
+        # loop, fixed_partition) pack lazily through ``plan.arrays``.
+        arrays = plan.arrays
 
-        fetch_regions = regions_as_array(
-            [fp for patch in patches for fp in patch.footprints])
-        fetch_counts = np.fromiter(
-            (len(patch.footprints) for patch in patches),
-            dtype=np.int64, count=len(patches))
         bank_bytes, bank_acts = batched_bank_load(
-            store, fetch_regions, fetch_counts, cfg.dram.num_banks)
+            store, arrays.fetch_regions, arrays.fetch_counts,
+            cfg.dram.num_banks)
         dram_stats = self.dram.service_batch(bank_bytes, bank_acts)
         fetch_times = dram_stats.service_time_s
 
-        resident_regions = regions_as_array(
-            [fp for patch in patches for fp in patch.resident_footprints])
-        resident_counts = np.fromiter(
-            (len(patch.resident_footprints) for patch in patches),
-            dtype=np.int64, count=len(patches))
         sram_bank_bytes, _ = batched_bank_load(
-            sram_store, resident_regions, resident_counts, sram_banks)
+            sram_store, arrays.resident_regions, arrays.resident_counts,
+            sram_banks)
         balances = balance_factors(sram_bank_bytes)
 
-        geometry = np.array([(patch.num_pixels, patch.num_depth_bins,
-                              patch.prefetch_bytes) for patch in patches],
-                            dtype=np.float64).reshape(-1, 3)
-        num_rays = geometry[:, 0].astype(np.int64)
-        cells = num_rays * geometry[:, 1].astype(np.int64)
+        bounds = arrays.bounds
+        num_rays = (bounds[:, 1] - bounds[:, 0]) \
+            * (bounds[:, 3] - bounds[:, 2])
+        cells = num_rays * (bounds[:, 5] - bounds[:, 4])
         num_points = np.maximum(
             1, np.rint(cells * points_per_cell).astype(np.int64))
-        prefetch_bytes = geometry[:, 2]
+        prefetch_bytes = arrays.prefetch_bytes
 
         compute = self.engine.patch_compute_many(workload, num_points,
                                                  num_rays, balances)

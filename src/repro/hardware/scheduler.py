@@ -31,7 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..geometry.camera import Camera
-from .interleave import FeatureStore, FootprintRegion
+from .interleave import FeatureStore, FootprintRegion, regions_as_array
 from .units import KB
 
 
@@ -117,23 +117,135 @@ class Patch:
 
 
 @dataclass
-class FramePlan:
-    """Output of scheduling one frame."""
+class PlanArrays:
+    """Struct-of-arrays view of a frame plan.
 
-    patches: List[Patch]
-    total_prefetch_bytes: float
-    candidate_histogram: Dict[PatchShape, int]
-    image_height: int
-    image_width: int
-    depth_bins: int
+    This is the representation the batched frame simulator consumes
+    directly (``GenNerfAccelerator._simulate_patches``): patch bounds
+    and prefetch bytes as flat arrays, and the per-view footprints as
+    the concatenated (N, 5) ``(view, row0, row1, col0, col1)`` region
+    rows with per-patch segment counts that
+    :func:`repro.hardware.interleave.batched_bank_load` takes.
+    """
+
+    bounds: np.ndarray            # (P, 6) int64: h0, h1, w0, w1, d0, d1
+    prefetch_bytes: np.ndarray    # (P,) float64
+    fetch_regions: np.ndarray     # (N, 5) int64 delta-fetch regions
+    fetch_counts: np.ndarray      # (P,) int64 regions per patch
+    resident_regions: np.ndarray  # (M, 5) int64 resident regions
+    resident_counts: np.ndarray   # (P,) int64
 
     @property
     def num_patches(self) -> int:
-        return len(self.patches)
+        return self.bounds.shape[0]
+
+
+class FramePlan:
+    """Output of scheduling one frame.
+
+    Struct-of-arrays first: :meth:`GreedyPatchScheduler.plan_frame`
+    builds the flat :class:`PlanArrays` directly and the batched frame
+    simulation consumes them without ever constructing Python objects;
+    the ``patches`` list of :class:`Patch`/:class:`FootprintRegion`
+    objects is materialised **on demand** (and cached) for object
+    consumers — the seed simulation loop, tests, diagnostics.  Plans
+    can equally be built *from* an object list (``patches=``, used by
+    the seed planner and ``fixed_partition``), in which case the array
+    view is derived lazily; both representations describe the same
+    plan bit for bit (``tests/hardware/test_scheduler_equivalence.py``).
+    """
+
+    def __init__(self, patches: Optional[List[Patch]] = None,
+                 total_prefetch_bytes: float = 0.0,
+                 candidate_histogram: Optional[Dict[PatchShape, int]] = None,
+                 image_height: int = 0, image_width: int = 0,
+                 depth_bins: int = 0,
+                 arrays: Optional[PlanArrays] = None):
+        if patches is None and arrays is None:
+            raise ValueError("FramePlan needs patches or arrays")
+        self._patches = patches
+        self._arrays = arrays
+        self.total_prefetch_bytes = total_prefetch_bytes
+        self.candidate_histogram = candidate_histogram or {}
+        self.image_height = image_height
+        self.image_width = image_width
+        self.depth_bins = depth_bins
+
+    # ------------------------------------------------------------------
+    @property
+    def num_patches(self) -> int:
+        if self._arrays is not None:
+            return self._arrays.num_patches
+        return len(self._patches)
+
+    @property
+    def patches(self) -> List[Patch]:
+        """Patch objects, materialised from the arrays on first use."""
+        if self._patches is None:
+            self._patches = self._materialise_patches()
+        return self._patches
+
+    @property
+    def arrays(self) -> PlanArrays:
+        """Flat arrays, derived from the object list on first use."""
+        if self._arrays is None:
+            self._arrays = self._pack_arrays()
+        return self._arrays
 
     def bytes_per_cube_cell(self) -> float:
         cells = self.image_height * self.image_width * self.depth_bins
         return self.total_prefetch_bytes / max(cells, 1)
+
+    # ------------------------------------------------------------------
+    def _materialise_patches(self) -> List[Patch]:
+        arr = self._arrays
+        bounds = arr.bounds.tolist()
+        bytes_list = arr.prefetch_bytes.tolist()
+        fetch = arr.fetch_regions.tolist()
+        resident = arr.resident_regions.tolist()
+        fetch_offsets = np.concatenate(
+            [[0], np.cumsum(arr.fetch_counts)]).tolist()
+        res_offsets = np.concatenate(
+            [[0], np.cumsum(arr.resident_counts)]).tolist()
+        patches = []
+        for index, (h0, h1, w0, w1, d0, d1) in enumerate(bounds):
+            footprints = [
+                FootprintRegion(view=v, row0=r0, row1=r1, col0=c0, col1=c1)
+                for v, r0, r1, c0, c1 in
+                fetch[fetch_offsets[index]:fetch_offsets[index + 1]]]
+            res = [
+                FootprintRegion(view=v, row0=r0, row1=r1, col0=c0, col1=c1)
+                for v, r0, r1, c0, c1 in
+                resident[res_offsets[index]:res_offsets[index + 1]]]
+            patches.append(Patch(h0=h0, h1=h1, w0=w0, w1=w1, d0=d0, d1=d1,
+                                 prefetch_bytes=bytes_list[index],
+                                 footprints=footprints,
+                                 resident_footprints=res))
+        return patches
+
+    def _pack_arrays(self) -> PlanArrays:
+        patches = self._patches
+        bounds = np.array([(p.h0, p.h1, p.w0, p.w1, p.d0, p.d1)
+                           for p in patches],
+                          dtype=np.int64).reshape(-1, 6)
+        prefetch = np.array([p.prefetch_bytes for p in patches],
+                            dtype=np.float64)
+        fetch_regions = regions_as_array(
+            [fp for p in patches for fp in p.footprints])
+        fetch_counts = np.fromiter((len(p.footprints) for p in patches),
+                                   dtype=np.int64, count=len(patches))
+        resident_regions = regions_as_array(
+            [fp for p in patches for fp in p.resident_footprints])
+        resident_counts = np.fromiter(
+            (len(p.resident_footprints) for p in patches),
+            dtype=np.int64, count=len(patches))
+        return PlanArrays(bounds=bounds, prefetch_bytes=prefetch,
+                          fetch_regions=fetch_regions,
+                          fetch_counts=fetch_counts,
+                          resident_regions=resident_regions,
+                          resident_counts=resident_counts)
+
+
 
 
 def _polygon_areas(points: np.ndarray) -> np.ndarray:
@@ -342,9 +454,18 @@ class GreedyPatchScheduler:
         no_fit = np.isinf(macro_cost.min(axis=0))
         chosen[no_fit] = fallback
 
-        patches: List[Patch] = []
+        # Struct-of-arrays patch assembly: no Python object is built
+        # here at all.  Per candidate, the selected tiles' bounds,
+        # prefetch bytes, and per-view footprint regions come out as
+        # flat arrays in exactly the object path's (tile, slab, view)
+        # order; Patch/FootprintRegion objects materialise on demand
+        # from FramePlan.patches.
         histogram: Dict[PatchShape, int] = {c: 0 for c in cfg.candidates}
-        total_bytes = 0.0
+        bounds_parts: List[np.ndarray] = []
+        bytes_parts: List[np.ndarray] = []
+        fetch_parts: List[np.ndarray] = []
+        resident_parts: List[np.ndarray] = []
+        num_views = len(sources)
         for c_index, shape in enumerate(cfg.candidates):
             h0, w0, h1, w1, full_bytes, delta_bytes, delta_locs, bboxes = \
                 per_candidate[c_index]
@@ -352,42 +473,61 @@ class GreedyPatchScheduler:
             selected_tiles = np.where(chosen[macro_index] == c_index)[0]
             if selected_tiles.size == 0:
                 continue
+            n_sel = selected_tiles.size
             n_slabs = delta_bytes.shape[1]
-            histogram[shape] += selected_tiles.size * n_slabs
-            # The numeric part of patch assembly is batched: delta
-            # column spans for every (tile, slab, view) in one pass,
-            # then ``tolist`` hands plain ints to the object builders.
+            histogram[shape] += n_sel * n_slabs
             sel_bbox = bboxes[selected_tiles]       # (n_sel, n_slabs, S, 4)
             sel_cols = _delta_column_spans(sel_bbox,
                                            delta_locs[selected_tiles])
-            bbox_list = sel_bbox.tolist()
-            cols_list = sel_cols.tolist()
-            bytes_list = delta_bytes[selected_tiles].tolist()
-            bounds = np.stack([h0[selected_tiles], h1[selected_tiles],
-                               w0[selected_tiles], w1[selected_tiles]],
-                              axis=-1).tolist()
-            for t_index, (th0, th1, tw0, tw1) in enumerate(bounds):
-                for slab in range(n_slabs):
-                    d0 = slab * shape.dd
-                    tile_bbox = bbox_list[t_index][slab]
-                    footprints = [
-                        FootprintRegion(view=v, row0=bb[0], row1=bb[1],
-                                        col0=bb[2],
-                                        col1=bb[2]
-                                        + cols_list[t_index][slab][v])
-                        for v, bb in enumerate(tile_bbox)]
-                    resident = [
-                        FootprintRegion(view=v, row0=bb[0], row1=bb[1],
-                                        col0=bb[2], col1=bb[3])
-                        for v, bb in enumerate(tile_bbox)]
-                    patch = Patch(h0=th0, h1=th1, w0=tw0, w1=tw1,
-                                  d0=d0, d1=d0 + shape.dd,
-                                  prefetch_bytes=bytes_list[t_index][slab],
-                                  footprints=footprints,
-                                  resident_footprints=resident)
-                    patches.append(patch)
-                    total_bytes += patch.prefetch_bytes
-        return FramePlan(patches=patches, total_prefetch_bytes=total_bytes,
+
+            # (n_sel, n_slabs, 6) tile bounds with per-slab depth spans.
+            tile_hw = np.stack([h0[selected_tiles], h1[selected_tiles],
+                                w0[selected_tiles], w1[selected_tiles]],
+                               axis=-1).astype(np.int64)
+            d0 = (np.arange(n_slabs, dtype=np.int64) * shape.dd)
+            cand_bounds = np.empty((n_sel, n_slabs, 6), dtype=np.int64)
+            cand_bounds[:, :, :4] = tile_hw[:, None, :]
+            cand_bounds[:, :, 4] = d0[None, :]
+            cand_bounds[:, :, 5] = d0[None, :] + shape.dd
+            bounds_parts.append(cand_bounds.reshape(-1, 6))
+            bytes_parts.append(delta_bytes[selected_tiles].reshape(-1))
+
+            # (n_sel, n_slabs, S, 5) region rows; fetch regions carry
+            # the delta column span, resident regions the full bbox.
+            views = np.arange(num_views, dtype=np.int64)
+            regions = np.empty((n_sel, n_slabs, num_views, 5),
+                               dtype=np.int64)
+            regions[..., 0] = views
+            regions[..., 1] = sel_bbox[..., 0]
+            regions[..., 2] = sel_bbox[..., 1]
+            regions[..., 3] = sel_bbox[..., 2]
+            regions[..., 4] = sel_bbox[..., 3]
+            resident_parts.append(regions.reshape(-1, 5).copy())
+            regions[..., 4] = sel_bbox[..., 2] + sel_cols
+            fetch_parts.append(regions.reshape(-1, 5))
+
+        if bounds_parts:
+            bounds = np.concatenate(bounds_parts, axis=0)
+            prefetch = np.concatenate(bytes_parts, axis=0)
+            fetch_regions = np.concatenate(fetch_parts, axis=0)
+            resident_regions = np.concatenate(resident_parts, axis=0)
+        else:
+            bounds = np.zeros((0, 6), dtype=np.int64)
+            prefetch = np.zeros(0, dtype=np.float64)
+            fetch_regions = np.zeros((0, 5), dtype=np.int64)
+            resident_regions = np.zeros((0, 5), dtype=np.int64)
+        counts = np.full(bounds.shape[0], num_views, dtype=np.int64)
+        arrays = PlanArrays(bounds=bounds, prefetch_bytes=prefetch,
+                            fetch_regions=fetch_regions, fetch_counts=counts,
+                            resident_regions=resident_regions,
+                            resident_counts=counts.copy())
+        # The seed loop accumulated the frame total patch by patch with
+        # ``+=``; keep its float addition order so totals stay
+        # bit-identical.
+        total_bytes = 0.0
+        for value in prefetch.tolist():
+            total_bytes += value
+        return FramePlan(arrays=arrays, total_prefetch_bytes=total_bytes,
                          candidate_histogram=histogram, image_height=height,
                          image_width=width, depth_bins=cfg.depth_bins)
 

@@ -8,7 +8,7 @@ substrate exists.
 from . import functional
 from .attention import MultiHeadSelfAttention, TransformerBlock
 from .layers import (MLP, AvgPool2d, Conv2d, ELU, LayerNorm, Linear, Module,
-                     Parameter, ReLU, Sequential, Sigmoid)
+                     Parameter, ReLU, Sequential, Sigmoid, conv_patch_cache)
 from .optim import (Adam, ConstantLR, ExponentialDecayLR, LRSchedule, SGD,
                     clip_grad_norm)
 from .serialize import load_module, save_module
@@ -21,7 +21,7 @@ __all__ = [
     "Tensor", "as_tensor", "concatenate", "stack", "where", "zeros", "ones",
     "no_grad", "inference_mode", "grad_enabled", "unbroadcast",
     "Module", "Parameter", "Linear", "Conv2d", "AvgPool2d", "Sequential",
-    "MLP", "LayerNorm", "ReLU", "ELU", "Sigmoid",
+    "MLP", "LayerNorm", "ReLU", "ELU", "Sigmoid", "conv_patch_cache",
     "MultiHeadSelfAttention", "TransformerBlock",
     "Adam", "SGD", "ConstantLR", "ExponentialDecayLR", "LRSchedule",
     "clip_grad_norm", "save_module", "load_module",

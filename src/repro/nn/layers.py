@@ -19,10 +19,23 @@ from .tensor import (Tensor, _node, _plain, as_tensor, grad_enabled,
 
 
 class Parameter(Tensor):
-    """A tensor registered as trainable state of a :class:`Module`."""
+    """A tensor registered as trainable state of a :class:`Module`.
+
+    ``version`` counts value updates: optimisers bump it for every
+    parameter they actually change (a parameter whose gradient was
+    ``None`` keeps its version), and :meth:`Module.load_state_dict`
+    bumps every loaded parameter.  Caches over derived quantities
+    (e.g. the scene-level encoded-feature cache in
+    :mod:`repro.models.training`) compare version tuples to decide
+    staleness instead of re-hashing array contents.
+    """
 
     def __init__(self, data):
         super().__init__(data, requires_grad=True)
+        self.version = 0
+
+    def bump_version(self) -> None:
+        self.version += 1
 
 
 class Module:
@@ -106,6 +119,7 @@ class Module:
                 raise ValueError(f"shape mismatch for {name}: "
                                  f"{param.data.shape} vs {state[name].shape}")
             param.data[...] = state[name]
+            param.bump_version()
 
     def __call__(self, *args, **kwargs):
         if getattr(self, "_inference", False) and grad_enabled():
@@ -224,6 +238,40 @@ class MLP(Module):
         return sum(m.flops(batch) for m in self.net if isinstance(m, Linear))
 
 
+_SHARED_COLS_CACHE: List[Optional[Dict]] = [None]
+
+
+class conv_patch_cache:
+    """Scene-level im2col cache shared across :class:`Conv2d` instances.
+
+    Inside the context, every cache-eligible conv (grad-free input under
+    grad mode — the training loop's per-step re-encode of fixed source
+    images) keys its im2col result by ``(input array, kernel, stride,
+    padding)`` in the *caller's* dict instead of the per-layer cache.
+    Two encoders whose first layer shares a geometry (the Gen-NeRF
+    coarse/fine pair both run 3x3/s1/p1 over the same images) then pay
+    the patch rearrangement once per scene — per process, not per layer
+    instance — which is the ROADMAP's "training-side im2col reuse".
+
+    The dict is owned by the caller (``SceneData.conv_cache`` in the
+    trainer), so its lifetime tracks the scene, and entries carry the
+    same identity + fingerprint staleness checks as the per-layer
+    cache.  Contexts nest; the innermost cache wins.
+    """
+
+    def __init__(self, cache: Dict):
+        self.cache = cache
+
+    def __enter__(self):
+        self._prev = _SHARED_COLS_CACHE[0]
+        _SHARED_COLS_CACHE[0] = self.cache
+        return self.cache
+
+    def __exit__(self, *exc):
+        _SHARED_COLS_CACHE[0] = self._prev
+        return False
+
+
 def _array_fingerprint(arr: np.ndarray) -> tuple:
     """Cheap content fingerprint for cache-staleness detection.
 
@@ -283,7 +331,17 @@ class Conv2d(Module):
         # training loop's per-step re-encode of fixed source images);
         # inference callers cache whole encoded maps a level up.
         cacheable = grad_enabled() and not x.requires_grad
-        cached = self._cols_cache.get(id(x.data)) if cacheable else None
+        shared = _SHARED_COLS_CACHE[0]
+        if cacheable and shared is not None:
+            # Scene-level cache: keyed by geometry too, so different
+            # layers with the same (kernel, stride, padding) share one
+            # entry per input array.
+            key = (id(x.data), self.kernel, self.stride, self.padding)
+            cache, limit = shared, 4 * self._cols_cache_limit
+        else:
+            key = id(x.data)
+            cache, limit = self._cols_cache, self._cols_cache_limit
+        cached = cache.get(key) if cacheable else None
         if cached is not None and cached[0] is x.data \
                 and cached[1] == _array_fingerprint(x.data):
             _, _, cols, out_h, out_w = cached
@@ -291,9 +349,9 @@ class Conv2d(Module):
             cols, out_h, out_w = F.im2col(x.data, self.kernel, self.stride,
                                           self.padding)
             if cacheable:
-                if len(self._cols_cache) >= self._cols_cache_limit:
-                    self._cols_cache.clear()
-                self._cols_cache[id(x.data)] = (
+                if len(cache) >= limit:
+                    cache.clear()
+                cache[key] = (
                     x.data, _array_fingerprint(x.data), cols, out_h, out_w)
         image_shape = x.shape
         kernel, stride, padding = self.kernel, self.stride, self.padding

@@ -2,11 +2,28 @@
 
 The paper trains with Adam at an initial LR of 5e-4 with exponential
 decay (Sec. 5.1); both are provided here, plus plain SGD for tests.
+
+Fused flat-buffer Adam
+----------------------
+:class:`Adam` is the training-loop hot path: models here have dozens of
+small parameters, and the original per-``Parameter`` Python loop paid
+~10 numpy dispatches per parameter per step.  The fused implementation
+concatenates every parameter (and its Adam moments) into one contiguous
+buffer per dtype at construction time and *rebinds* each
+``Parameter.data`` to a view of that buffer, so ``step()`` is a handful
+of whole-buffer array ops: gather grads, optional global-norm clip
+(``grad_clip=``), decay/update moments, apply the bias-corrected
+update in place.  Every elementwise operation matches the seed
+per-parameter loop (preserved as
+:func:`repro.perf.reference.adam_step_loop`) exactly, so trajectories
+are bit-identical — ``tests/nn/test_optim_equivalence.py`` pins losses
+and final weights over multi-step runs, including grad-clip edge cases
+and parameters whose gradient is ``None``.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -84,19 +101,133 @@ class SGD(Optimizer):
                 param.data += velocity
             else:
                 param.data -= lr * param.grad
+            param.bump_version()
         self.step_count += 1
 
 
+class _FlatGroup:
+    """One dtype's parameters fused into contiguous buffers.
+
+    ``data`` holds the live parameter values — each member
+    ``Parameter.data`` is rebound to a reshaped view of it, so model
+    forwards read, and in-place loads write, the same memory the fused
+    update touches.  ``m``/``v`` are the Adam moments, ``grad`` a
+    scratch buffer refilled from the per-parameter ``.grad`` arrays at
+    each step.
+    """
+
+    def __init__(self, params: List[Parameter]):
+        self.params = params
+        sizes = [p.data.size for p in params]
+        offsets = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+        dtype = params[0].data.dtype
+        total = int(offsets[-1])
+        self.data = np.empty(total, dtype=dtype)
+        self.slices: List[slice] = []
+        for param, start, stop in zip(params, offsets[:-1], offsets[1:]):
+            sl = slice(int(start), int(stop))
+            self.slices.append(sl)
+            self.data[sl] = param.data.ravel()
+            # Rebind to a view: a contiguous slice reshaped keeps
+            # sharing the flat buffer, so parameter and buffer can
+            # never diverge.
+            param.data = self.data[sl].reshape(param.data.shape)
+        self.m = np.zeros(total, dtype=dtype)
+        self.v = np.zeros(total, dtype=dtype)
+        self.grad = np.zeros(total, dtype=dtype)
+
+    def gather_grads(self) -> Tuple[bool, Optional[np.ndarray]]:
+        """Copy per-parameter grads into the flat scratch buffer.
+
+        Returns ``(any_grad, active)`` where ``active`` is an
+        elementwise bool mask, or ``None`` when every parameter has a
+        gradient (the common training case — no masking needed).
+        """
+        missing = [param.grad is None for param in self.params]
+        if not any(missing):
+            for param, sl in zip(self.params, self.slices):
+                self.grad[sl] = param.grad.ravel()
+            return True, None
+        if all(missing):
+            return False, None
+        active = np.zeros(self.data.shape[0], dtype=bool)
+        for param, sl, absent in zip(self.params, self.slices, missing):
+            if absent:
+                self.grad[sl] = 0.0
+            else:
+                self.grad[sl] = param.grad.ravel()
+                active[sl] = True
+        return True, active
+
+
 class Adam(Optimizer):
-    """Adam (Kingma & Ba) with bias correction."""
+    """Adam (Kingma & Ba) with bias correction — fused flat buffers.
+
+    ``grad_clip`` folds the global-norm gradient clip of
+    :func:`clip_grad_norm` into ``step()`` (applied to the gathered
+    flat gradients, per-parameter norms accumulated in parameter order
+    so the total matches the unfused helper bit for bit).  The LR
+    schedule is evaluated once per step, exactly as the seed loop did.
+
+    .. warning:: Construction **rebinds** every ``Parameter.data`` to a
+       view of this optimiser's flat buffer.  Constructing a second
+       ``Adam`` over the same parameters re-rebinds them to the *new*
+       buffer — the normal replace-the-optimizer pattern (a fresh
+       ``Trainer`` per run) — but it detaches any **earlier** optimiser:
+       its buffer no longer aliases the live parameters, so stepping it
+       would update nothing.  Likewise, references to ``param.data``
+       captured *before* construction stop tracking the parameter.  Use
+       one live optimiser per parameter set.
+    """
 
     def __init__(self, parameters, lr: float = 5e-4, betas=(0.9, 0.999),
-                 eps: float = 1e-8, schedule: Optional[LRSchedule] = None):
+                 eps: float = 1e-8, schedule: Optional[LRSchedule] = None,
+                 grad_clip: Optional[float] = None):
         super().__init__(parameters, lr=lr, schedule=schedule)
         self.beta1, self.beta2 = betas
         self.eps = eps
-        self._m = [np.zeros_like(p.data) for p in self.parameters]
-        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self.grad_clip = grad_clip
+        groups: dict = {}
+        seen: set = set()
+        for param in self.parameters:
+            # A parameter reachable through two module paths must own
+            # exactly one flat segment — the rebound ``.data`` view
+            # would otherwise detach from the buffer updated last.
+            if id(param) in seen:
+                continue
+            seen.add(id(param))
+            groups.setdefault(np.dtype(param.data.dtype), []).append(param)
+        self._groups = [_FlatGroup(params) for params in groups.values()]
+        # (group, slice) per parameter in the *original* list order, so
+        # the folded grad-clip accumulates per-parameter norms exactly
+        # as the unfused helper iterates them.
+        located = {}
+        for group in self._groups:
+            for param, sl in zip(group.params, group.slices):
+                located[id(param)] = (group, sl)
+        self._param_slots = [(param, *located[id(param)])
+                             for param in self.parameters]
+
+    # ------------------------------------------------------------------
+    def _clip_gathered(self, gathered) -> None:
+        """Global-norm clip over the flat grad buffers.
+
+        Mirrors :func:`clip_grad_norm`: per-parameter squared norms
+        (numpy's pairwise reduction over each contiguous segment is
+        bit-identical to ``(p.grad ** 2).sum()``), summed sequentially
+        in parameter order, then one elementwise scale.
+        """
+        max_norm = self.grad_clip
+        total = 0.0
+        for param, group, sl in self._param_slots:
+            if param.grad is not None:
+                total += float(np.sum(group.grad[sl] ** 2))
+        total = float(np.sqrt(total))
+        if total > max_norm and total > 0:
+            scale = max_norm / total
+            for group, (any_grad, _active) in zip(self._groups, gathered):
+                if any_grad:
+                    group.grad *= scale
 
     def step(self) -> None:
         self.step_count += 1
@@ -104,17 +235,38 @@ class Adam(Optimizer):
         t = self.step_count
         bias1 = 1.0 - self.beta1 ** t
         bias2 = 1.0 - self.beta2 ** t
-        for param, m, v in zip(self.parameters, self._m, self._v):
-            if param.grad is None:
+        gathered = [group.gather_grads() for group in self._groups]
+        if self.grad_clip is not None:
+            self._clip_gathered(gathered)
+        for group, (any_grad, active) in zip(self._groups, gathered):
+            if not any_grad:
                 continue
-            grad = param.grad
-            m *= self.beta1
-            m += (1.0 - self.beta1) * grad
-            v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            param.data -= lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            grad, m, v = group.grad, group.m, group.v
+            if active is None:
+                m *= self.beta1
+                m += (1.0 - self.beta1) * grad
+                v *= self.beta2
+                v += (1.0 - self.beta2) * grad * grad
+                m_hat = m / bias1
+                v_hat = v / bias2
+                group.data -= lr * m_hat / (np.sqrt(v_hat) + self.eps)
+                for param in group.params:
+                    param.bump_version()
+            else:
+                # Some parameters took no gradient this step: the seed
+                # loop skips them entirely, so moments and data must
+                # stay untouched outside ``active``.  ``where=`` keeps
+                # the arithmetic one fused pass.
+                np.multiply(m, self.beta1, out=m, where=active)
+                np.add(m, (1.0 - self.beta1) * grad, out=m, where=active)
+                np.multiply(v, self.beta2, out=v, where=active)
+                np.add(v, (1.0 - self.beta2) * grad * grad, out=v,
+                       where=active)
+                update = lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+                np.subtract(group.data, update, out=group.data, where=active)
+                for param in group.params:
+                    if param.grad is not None:
+                        param.bump_version()
 
 
 def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:

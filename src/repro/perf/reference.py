@@ -46,6 +46,7 @@ __all__ = [
     "replay_trace_loop", "encode_views_loop", "fetch_features_loop",
     "forward_fetched_loop", "render_rays_chunked_loop",
     "evaluate_candidate_loop", "plan_frame_loop", "simulate_frame_loop",
+    "AdamLoop", "clip_grad_norm_loop", "TrainerLoop", "trainer_fit_loop",
 ]
 
 
@@ -633,3 +634,168 @@ def simulate_frame_loop(accelerator, workload, novel, sources, near: float,
         scheduler_hidden=scheduler_hidden,
         plan=plan if keep_plan else None,
     )
+
+
+# ----------------------------------------------------------------------
+# Seed training step (per-parameter Adam loop, per-step GT rendering)
+# ----------------------------------------------------------------------
+
+class AdamLoop:
+    """Seed :class:`repro.nn.Adam`: one Python iteration per
+    ``Parameter``, separate moment arrays, ~10 numpy dispatches each —
+    the loop the fused flat-buffer optimiser replaced."""
+
+    def __init__(self, parameters, lr: float = 5e-4, betas=(0.9, 0.999),
+                 eps: float = 1e-8, schedule=None):
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        self.schedule = schedule or nn.ConstantLR(lr)
+        self.step_count = 0
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    @property
+    def lr(self) -> float:
+        return self.schedule(self.step_count)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        self.step_count += 1
+        lr = self.lr
+        t = self.step_count
+        bias1 = 1.0 - self.beta1 ** t
+        bias2 = 1.0 - self.beta2 ** t
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def clip_grad_norm_loop(parameters, max_norm: float) -> float:
+    """Seed ``clip_grad_norm``: the standalone out-of-place helper the
+    fused optimiser folded into ``step()``."""
+    params = [p for p in parameters if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for param in params:
+            param.grad = param.grad * scale
+    return total
+
+
+class TrainerLoop:
+    """Seed :class:`repro.models.Trainer`: identical pixel-stream
+    protocol, but every amortisation unwound — ground truth rendered
+    per step (no blocked quadrature, no ``SceneData.gt_cache``), no
+    scene-level im2col sharing, unfused :class:`AdamLoop` plus the
+    standalone gradient clip.  ``tests/models/test_training_equivalence``
+    pins losses and final weights of the fast trainer bit-identical to
+    this loop; ``benchmarks/harness.py`` times both as
+    ``training_step_e2e``."""
+
+    def __init__(self, model, scenes, config):
+        from ..models.training import draw_pixel_block
+        from ..models.gen_nerf import GenNeRF as _GenNeRF
+
+        self._draw_pixel_block = draw_pixel_block
+        self._gen_nerf_cls = _GenNeRF
+        self.model = model
+        self.scenes = list(scenes)
+        self.config = config
+        schedule = nn.ExponentialDecayLR(config.learning_rate,
+                                         config.lr_decay_rate,
+                                         config.lr_decay_steps)
+        self.optimizer = AdamLoop(model.parameters(), schedule=schedule)
+        self.rng = np.random.default_rng(config.seed)
+        self.pixel_rng = np.random.default_rng((config.seed, 0x5EED))
+        self.history = []
+        self._step_index = 0
+        self._block = []
+
+    def _ground_truth(self, scene_data, bundle) -> np.ndarray:
+        from ..scenes.render_gt import render_rays as render_gt_rays
+        return render_gt_rays(
+            scene_data.scene.field, bundle, self.config.gt_points,
+            white_background=scene_data.scene.spec.white_background)
+
+    def _loss(self, scene_data, bundle, target):
+        from ..geometry.rays import stratified_depths
+        from ..nn import functional as F
+
+        model = self.model
+        if isinstance(model, self._gen_nerf_cls):
+            coarse_maps, fine_maps = model.encode_scene(
+                scene_data.source_images)
+            coarse_depths, coarse_weights, coarse_out = model.coarse_pass(
+                bundle, scene_data.scene.source_cameras, coarse_maps,
+                scene_data.source_images, rng=self.rng)
+            samples = model.plan_samples(coarse_depths, coarse_weights,
+                                         bundle, rng=self.rng, min_points=2)
+            pixel, _, _ = model.fine_pass(bundle, samples,
+                                          scene_data.scene.source_cameras,
+                                          fine_maps,
+                                          scene_data.source_images)
+            loss = F.mse_loss(pixel, target.astype(np.float32))
+            coarse_pixel, _ = composite(coarse_out.sigma, coarse_out.rgb,
+                                        coarse_depths, bundle.far)
+            coarse_loss = F.mse_loss(coarse_pixel,
+                                     target.astype(np.float32))
+            return loss + self.config.coarse_loss_weight * coarse_loss
+        feature_maps = model.encode_scene(scene_data.source_images)
+        depths = stratified_depths(self.rng, len(bundle),
+                                   self.config.num_points, bundle.near,
+                                   bundle.far, jitter=True)
+        points = bundle.points_at(depths)
+        output = model(points, bundle.directions,
+                       scene_data.scene.source_cameras, feature_maps,
+                       scene_data.source_images)
+        pixel, _ = composite(output.sigma, output.rgb, depths, bundle.far)
+        return F.mse_loss(pixel, target.astype(np.float32))
+
+    def step(self) -> float:
+        from ..geometry.rays import rays_for_pixels
+
+        cfg = self.config
+        offset = self._step_index % cfg.pixel_block_steps
+        if offset == 0:
+            self._block = self._draw_pixel_block(self.scenes, cfg,
+                                                 self.pixel_rng)
+        scene_pos, pixels = self._block[offset]
+        scene_data = self.scenes[scene_pos]
+        bundle = rays_for_pixels(scene_data.scene.target_camera, pixels,
+                                 scene_data.scene.near,
+                                 scene_data.scene.far)
+        target = self._ground_truth(scene_data, bundle)
+
+        self.optimizer.zero_grad()
+        loss = self._loss(scene_data, bundle, target)
+        loss.backward()
+        clip_grad_norm_loop(self.optimizer.parameters, cfg.grad_clip)
+        self.optimizer.step()
+        self._step_index += 1
+        value = loss.item()
+        self.history.append(value)
+        return value
+
+    def fit(self, steps: int):
+        for _ in range(steps):
+            self.step()
+        return self.history
+
+
+def trainer_fit_loop(model, scenes, config, steps: int):
+    """Run ``steps`` seed training steps; returns the loss history."""
+    return TrainerLoop(model, scenes, config).fit(steps)

@@ -192,3 +192,28 @@ class TestParallelFigureHarness:
         sequential = core.run_table3(workers=1, **kwargs)
         parallel = core.run_table3(workers=2, **kwargs)
         assert self._as_tuples(sequential) == self._as_tuples(parallel)
+
+    def test_fig9_curves_identical_across_runners(self):
+        kwargs = dict(datasets=["nerf_synthetic", "llff"], step=16,
+                      image_scale=1 / 16, pairs=((4, 8),),
+                      uniform_points=(12,), reference_points=64)
+        sequential = core.run_fig9(workers=1, **kwargs)
+        parallel = core.run_fig9(workers=2, **kwargs)
+        assert list(sequential) == list(parallel)
+        for dataset in sequential:
+            for curve in ("gen_nerf", "ibrnet"):
+                seq_pts = sequential[dataset][curve]
+                par_pts = parallel[dataset][curve]
+                assert [(p.label, p.avg_points, p.mflops_per_pixel, p.psnr)
+                        for p in seq_pts] \
+                    == [(p.label, p.avg_points, p.mflops_per_pixel, p.psnr)
+                        for p in par_pts]
+
+    def test_fig11_rows_identical_across_runners(self):
+        kwargs = dict(view_counts=(6, 2), point_counts=(96,))
+        sequential = core.run_fig11(workers=1, **kwargs)
+        parallel = core.run_fig11(workers=3, **kwargs)
+        assert sequential == parallel
+        assert [row["num_views"] for row in sequential["views"]] == [6, 2]
+        assert [row["points_per_ray"]
+                for row in sequential["points"]] == [96]

@@ -111,3 +111,86 @@ def test_plan_frame_matches_seed_loop(rig):
     assert fast.candidate_histogram == loop.candidate_histogram
     for fast_patch, loop_patch in zip(fast.patches, loop.patches):
         assert fast_patch == loop_patch
+
+
+# ----------------------------------------------------------------------
+# Struct-of-arrays FramePlan: flat assembly vs the object path
+# ----------------------------------------------------------------------
+
+def test_plan_arrays_match_object_packing(rig):
+    """``plan_frame`` builds the flat arrays directly; packing the
+    *materialised* objects back into arrays must give the same bits —
+    the two representations describe one plan."""
+    from repro.hardware.scheduler import FramePlan
+
+    plan = GreedyPatchScheduler(SchedulerConfig()).plan_frame(
+        rig.novel, rig.sources, rig.near, rig.far)
+    direct = plan.arrays
+    repacked = FramePlan(
+        patches=list(plan.patches),
+        total_prefetch_bytes=plan.total_prefetch_bytes,
+        candidate_histogram=plan.candidate_histogram,
+        image_height=plan.image_height, image_width=plan.image_width,
+        depth_bins=plan.depth_bins).arrays
+    for name in ("bounds", "prefetch_bytes", "fetch_regions",
+                 "fetch_counts", "resident_regions", "resident_counts"):
+        assert np.array_equal(getattr(direct, name),
+                              getattr(repacked, name)), name
+
+
+def test_seed_plan_arrays_match_fast_plan_arrays(rig):
+    """An object-built seed plan derives the same array view the
+    struct-of-arrays planner emits directly."""
+    scheduler = GreedyPatchScheduler(SchedulerConfig())
+    fast = scheduler.plan_frame(rig.novel, rig.sources, rig.near, rig.far)
+    loop = reference.plan_frame_loop(scheduler, rig.novel, rig.sources,
+                                     rig.near, rig.far)
+    for name in ("bounds", "prefetch_bytes", "fetch_regions",
+                 "fetch_counts", "resident_regions", "resident_counts"):
+        assert np.array_equal(getattr(fast.arrays, name),
+                              getattr(loop.arrays, name)), name
+
+
+def test_materialised_patches_are_cached_and_plain_ints(rig):
+    plan = GreedyPatchScheduler(SchedulerConfig()).plan_frame(
+        rig.novel, rig.sources, rig.near, rig.far)
+    patches = plan.patches
+    assert plan.patches is patches            # materialised once
+    sample = patches[0]
+    for value in (sample.h0, sample.h1, sample.w0, sample.w1,
+                  sample.d0, sample.d1):
+        assert type(value) is int
+    assert type(sample.prefetch_bytes) is float
+    region = sample.footprints[0]
+    for value in (region.view, region.row0, region.row1, region.col0,
+                  region.col1):
+        assert type(value) is int
+
+
+def test_simulation_identical_from_arrays_and_objects(rig):
+    """The batched frame simulation consumes ``plan.arrays``; feeding it
+    an object-built plan of the same patches must give bit-identical
+    frame results."""
+    from repro.hardware import GenNerfAccelerator
+    from repro.hardware.scheduler import FramePlan
+    from repro.models.workload import typical_workload
+
+    workload = typical_workload(height=96, width=128, num_views=4)
+    accelerator = GenNerfAccelerator()
+    plan = accelerator.plan_frame(rig.novel, rig.sources, rig.near,
+                                  rig.far, workload)
+    object_plan = FramePlan(
+        patches=list(plan.patches),
+        total_prefetch_bytes=plan.total_prefetch_bytes,
+        candidate_histogram=plan.candidate_histogram,
+        image_height=plan.image_height, image_width=plan.image_width,
+        depth_bins=plan.depth_bins)
+    sim_arrays = accelerator.simulate_frame(
+        workload, rig.novel, rig.sources, rig.near, rig.far, plan=plan)
+    sim_objects = GenNerfAccelerator().simulate_frame(
+        workload, rig.novel, rig.sources, rig.near, rig.far,
+        plan=object_plan)
+    assert sim_arrays.total_time_s == sim_objects.total_time_s
+    assert sim_arrays.energy_j == sim_objects.energy_j
+    assert sim_arrays.pool_macs == sim_objects.pool_macs
+    assert sim_arrays.prefetch_bytes == sim_objects.prefetch_bytes

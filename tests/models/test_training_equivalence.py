@@ -1,0 +1,239 @@
+"""Training fast path vs the seed per-step loop.
+
+:class:`repro.models.Trainer` amortises supervision (blocked pixel
+pre-generation + GT quadrature cached on the ``SceneData``), shares
+im2col columns at scene level, and updates through the fused
+flat-buffer Adam with the gradient clip folded in.
+:class:`repro.perf.reference.TrainerLoop` unwinds all of it — per-step
+ground truth, per-layer caches only, per-parameter Adam plus the
+standalone clip — while following the same pixel-stream protocol.
+These tests pin the two **bit-identical**: every per-step loss and
+every final weight, for the IBRNet baseline and the Gen-NeRF pair,
+single- and multi-scene, cold and warm caches.
+"""
+
+import numpy as np
+import pytest
+
+from repro import models as M
+from repro import nn
+from repro.perf import reference
+from repro.scenes.datasets import make_scene
+
+
+def _model_config():
+    return M.ModelConfig(feature_dim=8, view_hidden=8, score_hidden=4,
+                         density_hidden=12, density_feature_dim=6,
+                         ray_module="mixer", n_max=10, encoder_hidden=4)
+
+
+def _gen_nerf(seed=7):
+    return M.GenNeRF(M.GenNerfConfig(fine=_model_config(), coarse_points=4,
+                                     focused_points=6),
+                     rng=np.random.default_rng(seed))
+
+
+def _ibrnet(seed=9):
+    return M.GeneralizableNeRF(_model_config(),
+                               rng=np.random.default_rng(seed))
+
+
+def _config(**overrides):
+    base = dict(steps=12, rays_per_batch=16, num_points=10, gt_points=48,
+                seed=2, pixel_block_steps=4)
+    base.update(overrides)
+    return M.TrainConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def fern_scene():
+    return make_scene("llff", seed=3, scene_name="fern",
+                      num_source_views=4, image_scale=1 / 24)
+
+
+@pytest.fixture(scope="module")
+def trex_scene():
+    return make_scene("llff", seed=3, scene_name="trex",
+                      num_source_views=4, image_scale=1 / 24)
+
+
+def _prepare(scene):
+    return M.SceneData.prepare(scene, gt_points=48)
+
+
+def _assert_same_run(fast_model, seed_model, fast_losses, seed_losses):
+    assert fast_losses == seed_losses
+    fast_state = fast_model.state_dict()
+    seed_state = seed_model.state_dict()
+    for name in fast_state:
+        assert fast_state[name].tobytes() == seed_state[name].tobytes(), name
+
+
+class TestFastVsSeedTrainer:
+    def test_gen_nerf_losses_and_weights_bit_identical(self, fern_scene):
+        cfg = _config()
+        fast_model, seed_model = _gen_nerf(), _gen_nerf()
+        fast_losses = M.Trainer(fast_model, [_prepare(fern_scene)],
+                                cfg).fit(cfg.steps)
+        seed_losses = reference.trainer_fit_loop(
+            seed_model, [_prepare(fern_scene)], cfg, cfg.steps)
+        _assert_same_run(fast_model, seed_model, fast_losses, seed_losses)
+
+    def test_ibrnet_losses_and_weights_bit_identical(self, fern_scene):
+        cfg = _config()
+        fast_model, seed_model = _ibrnet(), _ibrnet()
+        fast_losses = M.Trainer(fast_model, [_prepare(fern_scene)],
+                                cfg).fit(cfg.steps)
+        seed_losses = reference.trainer_fit_loop(
+            seed_model, [_prepare(fern_scene)], cfg, cfg.steps)
+        _assert_same_run(fast_model, seed_model, fast_losses, seed_losses)
+
+    def test_multi_scene_rotation_bit_identical(self, fern_scene,
+                                                trex_scene):
+        # Two scenes: the block protocol interleaves them, and the GT
+        # cache keys must respect scene positions.
+        cfg = _config(steps=10, pixel_block_steps=3)
+        fast_model, seed_model = _gen_nerf(), _gen_nerf()
+        fast_losses = M.Trainer(
+            fast_model, [_prepare(fern_scene), _prepare(trex_scene)],
+            cfg).fit(cfg.steps)
+        seed_losses = reference.trainer_fit_loop(
+            seed_model, [_prepare(fern_scene), _prepare(trex_scene)],
+            cfg, cfg.steps)
+        _assert_same_run(fast_model, seed_model, fast_losses, seed_losses)
+
+    def test_partial_block_fit_bit_identical(self, fern_scene):
+        # fit() lengths that do not divide the block size must not
+        # change the trajectory (blocks advance lazily but in order).
+        cfg = _config(steps=7, pixel_block_steps=4)
+        fast_model, seed_model = _gen_nerf(), _gen_nerf()
+        trainer = M.Trainer(fast_model, [_prepare(fern_scene)], cfg)
+        trainer.fit(3)
+        fast_losses = trainer.fit(4)
+        seed_losses = reference.trainer_fit_loop(
+            seed_model, [_prepare(fern_scene)], cfg, 7)
+        _assert_same_run(fast_model, seed_model, fast_losses, seed_losses)
+
+
+class TestSupervisionReuse:
+    def test_shared_scene_data_reuses_gt_and_stays_identical(self,
+                                                             fern_scene):
+        # Variant-ladder shape: two models, same schedule, same
+        # SceneData.  The second trainer must hit the GT cache (no new
+        # entries) and still produce the exact trajectory a cold-cache
+        # run produces.
+        cfg = _config()
+        shared = _prepare(fern_scene)
+        model_a, model_b, model_cold = _gen_nerf(1), _gen_nerf(2), \
+            _gen_nerf(2)
+        M.Trainer(model_a, [shared], cfg).fit(cfg.steps)
+        entries_after_first = len(shared.gt_cache)
+        assert entries_after_first > 0
+        losses_warm = M.Trainer(model_b, [shared], cfg).fit(cfg.steps)
+        assert len(shared.gt_cache) == entries_after_first   # pure reuse
+        losses_cold = M.Trainer(model_cold, [_prepare(fern_scene)],
+                                cfg).fit(cfg.steps)
+        assert losses_warm == losses_cold
+
+    def test_different_schedule_does_not_hit_stale_gt(self, fern_scene):
+        shared = _prepare(fern_scene)
+        cfg_a = _config(seed=2)
+        cfg_b = _config(seed=5)
+        M.Trainer(_gen_nerf(1), [shared], cfg_a).fit(4)
+        before = len(shared.gt_cache)
+        M.Trainer(_gen_nerf(1), [shared], cfg_b).fit(4)
+        assert len(shared.gt_cache) > before     # new keys, no aliasing
+
+    def test_partial_runs_render_only_needed_supervision(self, fern_scene):
+        # A fit() that ends mid-block must not pay GT quadrature for
+        # the unreached steps; a longer identically scheduled run later
+        # extends the same cache entries instead of re-rendering.
+        data = _prepare(fern_scene)
+        cfg = _config(steps=6, pixel_block_steps=4)
+        M.Trainer(_gen_nerf(1), [data], cfg).fit(6)
+        rendered = sum(len(entry) for entry in data.gt_cache.values())
+        assert rendered == 6                      # not 8 (two full blocks)
+        losses_ext = M.Trainer(_gen_nerf(2), [data], cfg).fit(8)
+        rendered = sum(len(entry) for entry in data.gt_cache.values())
+        assert rendered == 8                      # extended, not redone
+        losses_cold = M.Trainer(_gen_nerf(2), [_prepare(fern_scene)],
+                                cfg).fit(8)
+        assert losses_ext == losses_cold
+
+    def test_gt_cache_blocks_match_per_step_quadrature(self, fern_scene):
+        # The blocked GT render must slice back to exactly what a
+        # per-step render of the same pixels produces.
+        from repro.geometry.rays import rays_for_pixels
+        from repro.models.training import draw_pixel_block
+        from repro.scenes.render_gt import render_rays as render_gt_rays
+
+        data = _prepare(fern_scene)
+        cfg = _config()
+        trainer = M.Trainer(_gen_nerf(), [data], cfg)
+        trainer.fit(cfg.pixel_block_steps)
+        protocol_rng = np.random.default_rng((cfg.seed, 0x5EED))
+        entries = draw_pixel_block([data], cfg, protocol_rng)
+        key = trainer._gt_block_key(0, 0)
+        cached = data.gt_cache[key]
+        for j, (_, pixels) in enumerate(entries):
+            bundle = rays_for_pixels(fern_scene.target_camera, pixels,
+                                     fern_scene.near, fern_scene.far)
+            direct = render_gt_rays(
+                fern_scene.field, bundle, cfg.gt_points,
+                white_background=fern_scene.spec.white_background)
+            assert direct.tobytes() == cached[j].tobytes()
+
+
+class TestEncoderCaches:
+    def test_conv_cache_is_shared_across_models(self, fern_scene):
+        data = _prepare(fern_scene)
+        cfg = _config(steps=2, pixel_block_steps=2)
+        M.Trainer(_gen_nerf(1), [data], cfg).fit(2)
+        assert data.conv_cache            # populated by the first model
+        keys_after_first = set(data.conv_cache)
+        M.Trainer(_gen_nerf(2), [data], cfg).fit(2)
+        # Same images, same conv geometries -> no new im2col entries.
+        assert set(data.conv_cache) == keys_after_first
+
+    def test_coarse_and_fine_first_layers_share_one_entry(self, fern_scene):
+        # Both encoders' first convs are 3x3/s1/p1 over the same source
+        # images: exactly one shared-cache entry for that geometry.
+        data = _prepare(fern_scene)
+        cfg = _config(steps=1, pixel_block_steps=1)
+        M.Trainer(_gen_nerf(), [data], cfg).fit(1)
+        # Exactly one 3x3/s1/p1 entry holds the raw source images: the
+        # coarse encoder's conv1 and the fine encoder's conv1 hit it
+        # together instead of keeping one each.
+        source_entries = [key for key, value in data.conv_cache.items()
+                          if key[1:] == (3, 1, 1)
+                          and value[0] is data.source_images]
+        assert len(source_entries) == 1
+
+    def test_encoded_maps_cache_invalidates_on_encoder_update(self,
+                                                              fern_scene):
+        data = _prepare(fern_scene)
+        model = _gen_nerf()
+        model.eval()
+        maps_a = data.encoded_maps(model)
+        maps_b = data.encoded_maps(model)
+        assert maps_a is maps_b                       # warm hit
+        # Train one step: encoder parameters update -> re-encode.
+        model.train()
+        cfg = _config(steps=1, pixel_block_steps=1)
+        M.Trainer(model, [data], cfg).fit(1)
+        model.eval()
+        maps_c = data.encoded_maps(model)
+        assert maps_c is not maps_b
+        # No update since -> warm hit again.
+        assert data.encoded_maps(model) is maps_c
+
+    def test_encoded_maps_values_match_direct_encode(self, fern_scene):
+        data = _prepare(fern_scene)
+        model = _gen_nerf()
+        model.eval()
+        cached_coarse, cached_fine = data.encoded_maps(model)
+        with nn.inference_mode():
+            direct_coarse, direct_fine = model.encode_scene(
+                data.source_images)
+        assert cached_coarse.data.tobytes() == direct_coarse.data.tobytes()
+        assert cached_fine.data.tobytes() == direct_fine.data.tobytes()

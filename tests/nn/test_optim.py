@@ -88,6 +88,62 @@ class TestSchedules:
         assert np.isclose(opt.lr, 0.001)
 
 
+class TestSchedulesExtended:
+    def test_constant_ignores_negative_and_huge_steps(self):
+        sched = nn.ConstantLR(3e-4)
+        assert sched(-5) == sched(10**9) == 3e-4
+
+    def test_exponential_decay_is_smooth_between_anchors(self):
+        sched = nn.ExponentialDecayLR(initial=1.0, decay_rate=0.1,
+                                      decay_steps=100)
+        # Geometric in the step: each step multiplies by the same ratio.
+        ratios = [sched(k + 1) / sched(k) for k in range(5)]
+        assert np.allclose(ratios, ratios[0])
+        assert np.isclose(sched(50), np.sqrt(0.1))
+
+    def test_exponential_decay_monotone_nonincreasing(self):
+        sched = nn.ExponentialDecayLR(initial=5e-4, decay_rate=0.5,
+                                      decay_steps=10)
+        values = [sched(k) for k in range(50)]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+        assert values[-1] > 0
+
+    def test_paper_defaults(self):
+        sched = nn.ExponentialDecayLR()
+        assert np.isclose(sched(0), 5e-4)
+        assert np.isclose(sched(250_000), 5e-5)
+
+    def test_adam_evaluates_schedule_after_increment(self):
+        # The seed Adam read the LR *after* bumping step_count (first
+        # step uses schedule(1)); the fused Adam must keep that.
+        seen = []
+
+        class Probe(nn.LRSchedule):
+            def __call__(self, step):
+                seen.append(step)
+                return 1e-3
+
+        p = Parameter(np.zeros(3))
+        opt = nn.Adam([p], schedule=Probe())
+        p.grad = np.ones(3)
+        opt.step()
+        assert seen == [1]
+
+    def test_sgd_evaluates_schedule_before_increment(self):
+        seen = []
+
+        class Probe(nn.LRSchedule):
+            def __call__(self, step):
+                seen.append(step)
+                return 1e-3
+
+        p = Parameter(np.zeros(3))
+        opt = nn.SGD([p], schedule=Probe())
+        p.grad = np.ones(3)
+        opt.step()
+        assert seen == [0]
+
+
 class TestClipGradNorm:
     def test_clips_when_above(self):
         p = Parameter(np.zeros(3))

@@ -1,0 +1,171 @@
+"""Fused flat-buffer Adam vs the per-parameter seed loop.
+
+The fused optimiser concatenates every parameter into contiguous
+buffers and rebinds ``Parameter.data`` to views of them; these tests
+pin that the rebinding is transparent (same arrays the model computes
+with), that multi-step trajectories — losses and final weights — are
+bit-identical to :class:`repro.perf.reference.AdamLoop` plus the
+standalone gradient clip, and that the seed loop's edge-case semantics
+survive fusion: parameters with ``grad is None`` are skipped entirely
+(moments untouched), the folded clip reproduces
+:func:`repro.nn.clip_grad_norm` exactly, and mixed-dtype parameter
+lists fuse per dtype.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.layers import Parameter
+from repro.perf import reference
+
+
+def _twin_mlps(seed=5):
+    return (nn.MLP(8, [16, 16], 3, rng=np.random.default_rng(seed)),
+            nn.MLP(8, [16, 16], 3, rng=np.random.default_rng(seed)))
+
+
+def _batch(rng, n=32):
+    return (rng.standard_normal((n, 8)).astype(np.float32),
+            rng.standard_normal((n, 3)).astype(np.float32))
+
+
+class TestFlatBufferPlumbing:
+    def test_parameter_data_shares_flat_buffer(self):
+        model, _ = _twin_mlps()
+        opt = nn.Adam(model.parameters(), lr=1e-3)
+        for group in opt._groups:
+            for param, sl in zip(group.params, group.slices):
+                assert param.data.base is group.data
+                assert np.shares_memory(param.data, group.data[sl])
+
+    def test_load_state_dict_writes_through_views(self):
+        model, _ = _twin_mlps()
+        opt = nn.Adam(model.parameters(), lr=1e-3)
+        state = {name: np.full_like(p.data, 0.5)
+                 for name, p in model.named_parameters()}
+        model.load_state_dict(state)
+        for group in opt._groups:
+            assert np.all(group.data == 0.5)
+
+    def test_duplicate_parameter_gets_one_segment(self):
+        shared = Parameter(np.ones(4, dtype=np.float32))
+        opt = nn.Adam([shared, shared], lr=0.1)
+        assert sum(len(g.params) for g in opt._groups) == 1
+        shared.grad = np.ones(4, dtype=np.float32)
+        opt.step()
+        assert np.all(shared.data < 1.0)
+
+    def test_mixed_dtypes_fuse_per_dtype(self):
+        p32 = Parameter(np.ones(3, dtype=np.float32))
+        p64 = Parameter(np.ones(5, dtype=np.float64))
+        opt = nn.Adam([p32, p64], lr=0.1)
+        assert len(opt._groups) == 2
+        assert p32.data.dtype == np.float32
+        assert p64.data.dtype == np.float64
+
+
+class TestTrajectoryEquivalence:
+    @pytest.mark.parametrize("grad_clip", [None, 0.5, 1e9])
+    def test_losses_and_weights_bit_identical(self, grad_clip):
+        fast_model, seed_model = _twin_mlps()
+        schedule = nn.ExponentialDecayLR(1e-3, 0.5, 50)
+        fast_opt = nn.Adam(fast_model.parameters(), schedule=schedule,
+                           grad_clip=grad_clip)
+        seed_opt = reference.AdamLoop(
+            seed_model.parameters(),
+            schedule=nn.ExponentialDecayLR(1e-3, 0.5, 50))
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            x, y = _batch(rng)
+            fast_opt.zero_grad()
+            fast_loss = nn.functional.mse_loss(fast_model(nn.Tensor(x)), y)
+            fast_loss.backward()
+            fast_opt.step()
+
+            seed_opt.zero_grad()
+            seed_loss = nn.functional.mse_loss(seed_model(nn.Tensor(x)), y)
+            seed_loss.backward()
+            if grad_clip is not None:
+                reference.clip_grad_norm_loop(seed_opt.parameters, grad_clip)
+            seed_opt.step()
+            assert fast_loss.item() == seed_loss.item()
+        fast_state = fast_model.state_dict()
+        seed_state = seed_model.state_dict()
+        for name in fast_state:
+            assert fast_state[name].tobytes() == seed_state[name].tobytes()
+
+    def test_zero_grad_params_skipped_bitwise(self):
+        # Two parameters, only one receives gradients: the other's data
+        # AND moments must stay untouched, exactly like the seed loop.
+        fast = [Parameter(np.linspace(0, 1, 6)),
+                Parameter(np.linspace(1, 2, 4))]
+        seed = [Parameter(np.linspace(0, 1, 6)),
+                Parameter(np.linspace(1, 2, 4))]
+        fast_opt = nn.Adam(fast, lr=0.05)
+        seed_opt = reference.AdamLoop(seed, lr=0.05)
+        rng = np.random.default_rng(3)
+        for step in range(12):
+            g = rng.standard_normal(6)
+            fast[0].grad = g.copy()
+            seed[0].grad = g.copy()
+            fast[1].grad = None
+            seed[1].grad = None
+            if step % 3 == 0:        # occasionally give the second one
+                g2 = rng.standard_normal(4)
+                fast[1].grad = g2.copy()
+                seed[1].grad = g2.copy()
+            fast_opt.step()
+            seed_opt.step()
+        for f, s in zip(fast, seed):
+            assert f.data.tobytes() == s.data.tobytes()
+
+    def test_all_grads_missing_is_a_noop(self):
+        param = Parameter(np.ones(4))
+        opt = nn.Adam([param], lr=0.5)
+        opt.step()
+        assert np.all(param.data == 1.0)
+        assert param.version == 0
+
+    def test_folded_clip_matches_unfused_helper(self):
+        fast = [Parameter(np.zeros(3)), Parameter(np.zeros(2))]
+        seed = [Parameter(np.zeros(3)), Parameter(np.zeros(2))]
+        fast_opt = nn.Adam(fast, lr=0.1, grad_clip=1.0)
+        seed_opt = reference.AdamLoop(seed, lr=0.1)
+        fast[0].grad = np.array([3.0, 4.0, 0.0])
+        fast[1].grad = np.array([1.0, -1.0])
+        seed[0].grad = np.array([3.0, 4.0, 0.0])
+        seed[1].grad = np.array([1.0, -1.0])
+        fast_opt.step()
+        total = reference.clip_grad_norm_loop(seed, 1.0)
+        seed_opt.step()
+        assert total == pytest.approx(np.sqrt(27.0))
+        for f, s in zip(fast, seed):
+            assert f.data.tobytes() == s.data.tobytes()
+
+
+class TestVersionBumps:
+    def test_versions_track_actual_updates(self):
+        p1, p2 = Parameter(np.ones(2)), Parameter(np.ones(2))
+        opt = nn.Adam([p1, p2], lr=0.1)
+        p1.grad = np.ones(2)
+        opt.step()
+        assert (p1.version, p2.version) == (1, 0)
+        p2.grad = np.ones(2)
+        opt.step()
+        assert (p1.version, p2.version) == (2, 1)
+
+    def test_sgd_bumps_versions(self):
+        p = Parameter(np.ones(2))
+        opt = nn.SGD([p], lr=0.1)
+        p.grad = np.ones(2)
+        opt.step()
+        assert p.version == 1
+
+    def test_load_state_dict_bumps_versions(self):
+        model, _ = _twin_mlps()
+        state = model.state_dict()
+        before = [p.version for p in model.parameters()]
+        model.load_state_dict(state)
+        after = [p.version for p in model.parameters()]
+        assert all(b + 1 == a for b, a in zip(before, after))

@@ -44,6 +44,52 @@ class TestCompareToPrevious:
             == pytest.approx(-50.0)
 
 
+class TestTimeIsMedianOfRounds:
+    """``_time`` must discard a warmup round and report the median —
+    not the best — of the measured rounds, so one lucky (or stalled)
+    round cannot move ``regression_pct``."""
+
+    def _scripted_time(self, monkeypatch, durations):
+        # Each func() call advances the fake clock by the next scripted
+        # duration; perf_counter() reads it.
+        state = {"now": 0.0, "queue": list(durations)}
+
+        def fake_perf_counter():
+            return state["now"]
+
+        calls = {"n": 0}
+
+        def func():
+            calls["n"] += 1
+            if state["queue"]:
+                state["now"] += state["queue"].pop(0)
+            else:
+                state["now"] += durations[-1]
+
+        monkeypatch.setattr(harness.time, "perf_counter", fake_perf_counter)
+        return func, calls
+
+    def test_median_not_best(self, monkeypatch):
+        # Calls: 1 cache warmup, 1 calibration, then 1 warmup round +
+        # 5 measured rounds (min_total_s=0 -> one call per round).
+        # Measured rounds: [5, 9, 1, 9, 9] -> median 9, best 1.
+        durations = [1.0, 1.0, 7.0, 5.0, 9.0, 1.0, 9.0, 9.0]
+        func, _ = self._scripted_time(monkeypatch, durations)
+        assert harness._time(func, rounds=5, min_total_s=0.0) == 9.0
+
+    def test_warmup_round_is_discarded(self, monkeypatch):
+        # The slow 100s round lands in the warmup slot and must not
+        # contaminate the median of [2, 2, 2].
+        durations = [1.0, 1.0, 100.0, 2.0, 2.0, 2.0]
+        func, _ = self._scripted_time(monkeypatch, durations)
+        assert harness._time(func, rounds=3, min_total_s=0.0) == 2.0
+
+    def test_even_round_count_averages_middle_pair(self, monkeypatch):
+        durations = [1.0, 1.0, 1.0, 2.0, 4.0]
+        func, _ = self._scripted_time(monkeypatch, durations)
+        assert harness._time(func, rounds=2, min_total_s=0.0) == 3.0
+
+
 class TestRunComparison:
     def test_first_run_has_no_previous(self, fake_benches, tmp_path):
         result = tmp_path / "bench.json"
