@@ -3,8 +3,9 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 HARNESS := PYTHONPATH=src python -m benchmarks.harness
+REPRO := PYTHONPATH=src python -m repro
 
-.PHONY: test test-all bench bench-e2e bench-train bench-smoke perf docs-check check
+.PHONY: test test-all bench bench-e2e bench-train bench-smoke perf docs-check sweep-smoke check
 
 test:      ## fast inner loop: unit/property tests, no figure harnesses
 	$(PYTEST) -q -m "not slow"
@@ -30,4 +31,7 @@ perf:      ## pytest-benchmark microbenches (statistical timings)
 docs-check: ## README/docs links and code references resolve
 	$(PYTEST) -q tests/test_docs.py
 
-check: test docs-check bench-smoke  ## one command gates a PR: fast tests + docs links + bench smoke
+sweep-smoke: ## tiny registry-driven sweep through the CLI (seconds)
+	$(REPRO) sweep dataset=deepvoxels views=2 points=16 variant=ours,var1 --workers 1
+
+check: test docs-check sweep-smoke bench-smoke  ## one command gates a PR: fast tests + docs links + sweep smoke + bench smoke

@@ -1,6 +1,7 @@
 """Benchmark harness support.
 
-Each benchmark regenerates one paper table/figure, prints it, and saves
+Each benchmark regenerates one paper table/figure through the
+experiment registry (``repro.core.registry``), prints it, and saves
 the text to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can be
 assembled from the artefacts.  ``benchmark.pedantic(..., rounds=1)`` is
 used throughout: the interesting output is the experiment's *result*;
@@ -10,6 +11,8 @@ wall-clock is reported once, not statistically sampled.
 import os
 
 import pytest
+
+from repro.core.reporting import write_artifact
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -28,12 +31,10 @@ def pytest_collection_modifyitems(items):
 
 
 def emit(name: str, text: str) -> None:
-    """Print a regenerated table/figure and persist it."""
+    """Print a regenerated table/figure and persist it atomically."""
     banner = f"\n{'#' * 72}\n# {name}\n{'#' * 72}\n"
     print(banner + text)
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
-        handle.write(text + "\n")
+    write_artifact(os.path.join(RESULTS_DIR, f"{name}.txt"), text + "\n")
 
 
 @pytest.fixture()

@@ -1,21 +1,19 @@
 """Extension ablation (DESIGN.md): sensitivity of rendering quality to
-the coarse-pass budget N_c and the critical-point threshold tau.
+the coarse-pass budget N_c and the critical-point threshold tau —
+through the experiment registry.
 
 Not a paper table — it probes the design choice behind Sec. 3.2's
 "lightweight" coarse pass: how small can N_c get before the sampling
 PDF degrades?"""
 
-from repro.core import format_table, run_coarse_budget_ablation
+from repro.core.registry import get_experiment
 
 
 def test_ablation_coarse_budget(benchmark, report):
-    rows = benchmark.pedantic(run_coarse_budget_ablation, rounds=1,
-                              iterations=1)
-    table = [[row["coarse_points"], row["tau"], row["avg_points"],
-              row["psnr"]] for row in rows]
-    text = format_table(["N_c", "tau", "avg points", "PSNR"],
-                        table, title="Ablation — coarse budget vs quality")
-    report("ablation_coarse_budget", text)
+    experiment = get_experiment("ablation_coarse_budget")
+    result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    report(experiment.artefact, result.text)
+    rows = result.rows
 
     by_nc = {}
     for row in rows:

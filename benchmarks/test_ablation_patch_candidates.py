@@ -1,21 +1,19 @@
 """Extension ablation (DESIGN.md): effect of the candidate-shape menu
-size M on the greedy partition's traffic and throughput.
+size M on the greedy partition's traffic and throughput — through the
+experiment registry.
 
 Probes Sec. 4.3's design choice of a small predefined candidate set:
 how much does the greedy chooser gain from more shape options, and does
 the run-time scheduling stay hidden?"""
 
-from repro.core import format_table, run_patch_candidate_ablation
+from repro.core.registry import get_experiment
 
 
 def test_ablation_patch_candidates(benchmark, report):
-    rows = benchmark.pedantic(run_patch_candidate_ablation, rounds=1,
-                              iterations=1)
-    table = [[row["num_candidates"], row["fps"], row["prefetch_mb"],
-              row["utilization"]] for row in rows]
-    text = format_table(["M", "FPS", "Prefetch MB", "PE util"],
-                        table, title="Ablation — candidate-set size")
-    report("ablation_patch_candidates", text)
+    experiment = get_experiment("ablation_patch_candidates")
+    result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    report(experiment.artefact, result.text)
+    rows = result.rows
 
     first = rows[0]
     last = rows[-1]

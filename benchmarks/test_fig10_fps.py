@@ -1,32 +1,17 @@
 """Regenerate paper Fig. 10: throughput of the Gen-NeRF accelerator vs
 RTX 2080Ti and Jetson TX2 on the three datasets (delivered model:
-pruned, Ray-Mixer, 16 coarse + 64 focused points, 6 source views)."""
+pruned, Ray-Mixer, 16 coarse + 64 focused points, 6 source views) —
+through the experiment registry (the paper-speedup ratio notes are part
+of the registry's rendered artefact)."""
 
-from repro.core import format_table, ratio_note, run_fig10
-
-PAPER_SPEEDUP_2080TI = {"deepvoxels": 239.3, "nerf_synthetic": 246.0,
-                        "llff": 255.8}
-PAPER_SPEEDUP_TX2_LLFF = 7448.9
+from repro.core.registry import get_experiment
 
 
 def test_fig10_fps(benchmark, report):
-    results = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
-
-    rows = []
-    for dataset, r in results.items():
-        rows.append([dataset, r["gen_nerf_fps"], r["rtx2080ti_fps"],
-                     r["tx2_fps"], r["speedup_vs_2080ti"],
-                     r["speedup_vs_tx2"]])
-    text = format_table(
-        ["Dataset", "Gen-NeRF FPS", "2080Ti FPS", "TX2 FPS",
-         "Speedup vs 2080Ti", "vs TX2"],
-        rows, title="Fig. 10 — throughput comparison")
-    notes = [ratio_note(results[d]["speedup_vs_2080ti"],
-                        PAPER_SPEEDUP_2080TI[d], f"{d} speedup vs 2080Ti")
-             for d in results]
-    notes.append(ratio_note(results["llff"]["speedup_vs_tx2"],
-                            PAPER_SPEEDUP_TX2_LLFF, "llff speedup vs TX2"))
-    report("fig10_fps", text + "\n\n" + "\n".join(notes))
+    experiment = get_experiment("fig10")
+    result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    report(experiment.artefact, result.text)
+    results = result.rows
 
     for dataset, r in results.items():
         # Shape: accelerator >> desktop GPU >> edge GPU on every dataset.

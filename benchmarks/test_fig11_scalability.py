@@ -1,37 +1,16 @@
 """Regenerate paper Fig. 11: scalability of the throughput advantage
 with the number of source views {10, 6, 4, 2, 1} and sampled points
-{128, 112, 96, 80, 64} on NeRF-Synthetic 800x800."""
+{128, 112, 96, 80, 64} on NeRF-Synthetic 800x800 — through the
+experiment registry."""
 
-from repro.core import ascii_line_chart, format_table, run_fig11
-
-PAPER_MIN_SPEEDUP = 208.8   # "consistently outperforms ... >= 208.8x"
+from repro.core.registry import get_experiment
 
 
 def test_fig11_scalability(benchmark, report):
-    results = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
-
-    view_rows = [[r["num_views"], r["gen_nerf_fps"], r["rtx2080ti_fps"],
-                  r["tx2_fps"], r["speedup_vs_2080ti"]]
-                 for r in results["views"]]
-    point_rows = [[r["points_per_ray"], r["gen_nerf_fps"],
-                   r["rtx2080ti_fps"], r["tx2_fps"],
-                   r["speedup_vs_2080ti"]]
-                  for r in results["points"]]
-    text = format_table(
-        ["#Views", "Gen-NeRF FPS", "2080Ti FPS", "TX2 FPS", "Speedup"],
-        view_rows, title="Fig. 11 (left) — FPS vs #source views")
-    text += "\n\n" + format_table(
-        ["#Points", "Gen-NeRF FPS", "2080Ti FPS", "TX2 FPS", "Speedup"],
-        point_rows, title="Fig. 11 (right) — FPS vs #sampled points")
-    text += "\n\n" + ascii_line_chart(
-        {"gen_nerf": ([r["num_views"] for r in results["views"]],
-                      [r["gen_nerf_fps"] for r in results["views"]]),
-         "2080Ti x100": ([r["num_views"] for r in results["views"]],
-                         [100 * r["rtx2080ti_fps"]
-                          for r in results["views"]])},
-        title="Fig. 11 (left) — FPS vs #views (GPU scaled x100)",
-        x_label="#source views", y_label="FPS")
-    report("fig11_scalability", text)
+    experiment = get_experiment("fig11")
+    result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    report(experiment.artefact, result.text)
+    results = result.rows
 
     # Shape: the accelerator wins by a large factor at EVERY setting
     # (paper: >= 208.8x; we accept the same order of magnitude).

@@ -1,34 +1,17 @@
 """Regenerate paper Fig. 12: latency breakdown (data movement vs compute)
 and PE utilisation for the dataflow/storage ablation — ours vs Var-1
 (fixed slicing), Var-2 (row-major storage), Var-3 (view-wise storage) —
-at {10, 6, 2} source views on NeRF-Synthetic 800x800."""
+at {10, 6, 2} source views on NeRF-Synthetic 800x800, through the
+experiment registry."""
 
-from repro.core import format_table, run_fig12, stacked_latency_chart
+from repro.core.registry import get_experiment
 
 
 def test_fig12_dataflow_ablation(benchmark, report):
-    results = benchmark.pedantic(run_fig12, rounds=1, iterations=1)
-
-    rows = []
-    for views, variants in results.items():
-        for name, values in variants.items():
-            rows.append([views, name, values["data_s"] * 1e3,
-                         values["compute_s"] * 1e3,
-                         values["total_s"] * 1e3,
-                         values["exposed_data_s"] * 1e3,
-                         values["utilization"], values["prefetch_mb"]])
-    text = format_table(
-        ["#Views", "Variant", "Data ms", "Compute ms", "Total ms",
-         "Exposed-data ms", "PE util", "Prefetch MB"],
-        rows, title="Fig. 12 — dataflow & storage-format ablation")
-    for views, variants in results.items():
-        chart = stacked_latency_chart(
-            {name: {"data(exposed)": v["exposed_data_s"],
-                    "compute": v["compute_s"]}
-             for name, v in variants.items()},
-            title=f"Fig. 12 — latency breakdown at {views} views")
-        text += "\n\n" + chart
-    report("fig12_dataflow_ablation", text)
+    experiment = get_experiment("fig12")
+    result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    report(experiment.artefact, result.text)
+    results = result.rows
 
     for views, variants in results.items():
         ours = variants["ours"]

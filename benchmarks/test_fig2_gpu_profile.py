@@ -1,36 +1,21 @@
 """Regenerate paper Fig. 2: GPU latency breakdown of the profiling
 workload (10 views, 196 points/ray, ray-transformer model) on an RTX
-2080Ti and a Jetson TX2 across the three dataset resolutions."""
+2080Ti and a Jetson TX2 across the three dataset resolutions — through
+the experiment registry (the paper-vs-measured ratio notes are part of
+the registry's rendered artefact)."""
 
-from repro.core import format_table, ratio_note, run_fig2
-
-PAPER_BEST_FPS_2080TI = 0.249        # Sec. 2.3: "<= 0.249 FPS"
-PAPER_ATTENTION_TIME_SHARE = 0.441   # Sec. 2.3, on LLFF
+from repro.core.registry import get_experiment
 
 
 def test_fig2_gpu_profile(benchmark, report):
-    results = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
-
-    rows = []
-    for device, per_dataset in results.items():
-        for dataset, phases in per_dataset.items():
-            rows.append([device, dataset,
-                         phases["acquire_features"], phases["mlp"],
-                         phases["ray_transformer"], phases["others"],
-                         phases["total"], phases["fps"]])
-    text = format_table(
-        ["Device", "Dataset", "Acquire s", "MLP s", "RayTrans s",
-         "Others s", "Total s", "FPS"],
-        rows, title="Fig. 2 — GPU latency breakdown (vanilla model)")
+    experiment = get_experiment("fig2")
+    result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    report(experiment.artefact, result.text)
+    results = result.rows
 
     best_fps = max(phases["fps"]
                    for phases in results["rtx2080ti"].values())
     attention = results["rtx2080ti"]["llff"]["attention_dnn_fraction"]
-    text += "\n\n" + ratio_note(best_fps, PAPER_BEST_FPS_2080TI,
-                                "best 2080Ti FPS")
-    text += "\n" + ratio_note(attention, PAPER_ATTENTION_TIME_SHARE,
-                              "ray-transformer share of DNN time (LLFF)")
-    report("fig2_gpu_profile", text)
 
     # Shape assertions: the paper's three observations.
     assert best_fps < 1.0                                   # (1) not real-time

@@ -1,33 +1,16 @@
 """Regenerate paper Fig. 9: PSNR vs sampled points (top row) and vs
 MFLOPs/pixel (bottom row), Gen-NeRF's coarse-then-focus sampling against
-IBRNet's hierarchical sampling, on the three dataset families."""
+IBRNet's hierarchical sampling, on the three dataset families — through
+the experiment registry."""
 
-import numpy as np
-
-from repro.core import ascii_line_chart, format_table, run_fig9
+from repro.core.registry import get_experiment
 
 
 def test_fig9_psnr_vs_points(benchmark, report):
-    results = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
-
-    rows = []
-    for dataset, curves in results.items():
-        for curve_name, points in curves.items():
-            for point in points:
-                rows.append([dataset, curve_name, point.label,
-                             point.avg_points, point.mflops_per_pixel,
-                             point.psnr])
-    text = format_table(
-        ["Dataset", "Curve", "Config", "Avg points", "MFLOPs/px", "PSNR"],
-        rows, title="Fig. 9 — rendering quality vs sampling budget")
-    for dataset, curves in results.items():
-        chart = ascii_line_chart(
-            {name: ([p.avg_points for p in pts], [p.psnr for p in pts])
-             for name, pts in curves.items()},
-            title=f"Fig. 9 (top) — {dataset}", x_label="avg points/ray",
-            y_label="PSNR dB")
-        text += "\n\n" + chart
-    report("fig9_psnr_vs_points", text)
+    experiment = get_experiment("fig9")
+    result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    report(experiment.artefact, result.text)
+    results = result.rows
 
     for dataset, curves in results.items():
         gen = curves["gen_nerf"]

@@ -1,15 +1,14 @@
-"""Regenerate paper Table 1: per-module area and power (28 nm @ 1 GHz)."""
+"""Regenerate paper Table 1: per-module area and power (28 nm @ 1 GHz),
+through the experiment registry."""
 
-from repro.core import format_table, run_table1
+from repro.core.registry import get_experiment
 
 
 def test_table1_area_power(benchmark, report):
-    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
-    text = format_table(
-        ["Module", "Area mm^2", "Paper", "Power mW", "Paper"],
-        rows, title="Table 1 — Gen-NeRF hardware module area/power")
-    report("table1_area_power", text)
+    experiment = get_experiment("table1")
+    result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    report(experiment.artefact, result.text)
 
-    for name, area, paper_area, power, paper_power in rows:
+    for name, area, paper_area, power, paper_power in result.rows:
         assert abs(area - paper_area) <= 0.10 * paper_area
         assert abs(power - paper_power) <= 0.10 * paper_power

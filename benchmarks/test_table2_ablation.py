@@ -1,6 +1,8 @@
 """Regenerate paper Table 2: component ablation — rendering quality
 (PSNR up / LPIPS-proxy down) and efficiency (MFLOPs/pixel, paper scale)
-for the technique ladder on the four LLFF scene analogues.
+for the technique ladder on the four LLFF scene analogues — through the
+experiment registry (the registry's ``table2`` defaults are this
+committed artefact's configuration).
 
 Quality numbers come from short numpy training runs (minutes, not the
 paper's 250K GPU steps).  Two of the paper's orderings reproduce and
@@ -19,13 +21,7 @@ ray transformer resolves).  See EXPERIMENTS.md.
 
 import numpy as np
 
-from repro.core import format_table, run_table2
-
-PAPER_MFLOPS = {"vanilla IBRNet": 13.94, "- ray transformer": 13.25,
-                "+ Ray-Mixer": 13.88, "+ Coarse-then-Focus": 4.27,
-                "+ channel pruning (10 views)": 0.80,
-                "+ channel pruning (6 views)": 0.51,
-                "+ channel pruning (4 views)": 0.37}
+from repro.core.registry import PAPER_TABLE2_MFLOPS, get_experiment
 
 
 def _mean_psnr(row):
@@ -33,24 +29,10 @@ def _mean_psnr(row):
 
 
 def test_table2_ablation(benchmark, report):
-    rows = benchmark.pedantic(
-        run_table2, kwargs=dict(train_steps=300, eval_step=6,
-                                image_scale=1 / 10, num_points=20),
-        rounds=1, iterations=1)
-
-    table = []
-    for row in rows:
-        cells = [row.method, row.mflops_per_pixel]
-        for scene in ("fern", "fortress", "horns", "trex"):
-            psnr, lpips = row.per_scene[scene]
-            cells.append(f"{psnr:.2f}/{lpips:.3f}")
-        cells.append(PAPER_MFLOPS.get(row.method, float("nan")))
-        table.append(cells)
-    text = format_table(
-        ["Method", "MFLOPs/px", "fern", "fortress", "horns", "trex",
-         "paper MFLOPs/px"],
-        table, title="Table 2 — component ablation (PSNR/LPIPS-proxy)")
-    report("table2_ablation", text)
+    experiment = get_experiment("table2")
+    result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    report(experiment.artefact, result.text)
+    rows = result.rows
 
     by_method = {row.method: row for row in rows}
     vanilla = _mean_psnr(by_method["vanilla IBRNet"])
@@ -79,5 +61,5 @@ def test_table2_ablation(benchmark, report):
     assert min(vanilla, no_transformer, mixer, ctf) > 20
     # FLOPs ladder matches the paper's within the calibration tolerance.
     for row in rows:
-        paper = PAPER_MFLOPS[row.method]
+        paper = PAPER_TABLE2_MFLOPS[row.method]
         assert abs(row.mflops_per_pixel - paper) <= 0.16 * paper

@@ -1,5 +1,7 @@
 """Regenerate paper Table 3: per-scene finetuning — IBRNet vs Gen-NeRF
-at 4 and 10 source views on the four LLFF scene analogues.
+at 4 and 10 source views on the four LLFF scene analogues — through the
+experiment registry (the registry's ``table3`` defaults are this
+committed artefact's configuration).
 
 The paper's claim: Gen-NeRF trims IBRNet's complexity by >17x while
 staying within ~0.4-0.9 dB after finetuning.  Absolute PSNRs here come
@@ -9,30 +11,14 @@ gap are the asserted shape.
 
 import numpy as np
 
-from repro.core import format_table, run_table3
-
-PAPER_MFLOPS = {("IBRNet", 4): 6.31, ("Gen-NeRF", 4): 0.368,
-                ("IBRNet", 10): 13.94, ("Gen-NeRF", 10): 0.803}
+from repro.core.registry import PAPER_TABLE3_MFLOPS, get_experiment
 
 
 def test_table3_finetune(benchmark, report):
-    rows = benchmark.pedantic(
-        run_table3, kwargs=dict(train_steps=260, finetune_steps=60,
-                                eval_step=6, image_scale=1 / 10,
-                                num_points=20),
-        rounds=1, iterations=1)
-
-    table = []
-    for row in rows:
-        cells = [row.method, row.mflops_per_pixel]
-        for scene in ("fern", "fortress", "horns", "trex"):
-            psnr, lpips = row.per_scene[scene]
-            cells.append(f"{psnr:.2f}/{lpips:.3f}")
-        table.append(cells)
-    text = format_table(
-        ["Method", "MFLOPs/px", "fern", "fortress", "horns", "trex"],
-        table, title="Table 3 — per-scene finetuning (PSNR/LPIPS-proxy)")
-    report("table3_finetune", text)
+    experiment = get_experiment("table3")
+    result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    report(experiment.artefact, result.text)
+    rows = result.rows
 
     def mean_psnr(row):
         return float(np.mean([p for p, _ in row.per_scene.values()]))
@@ -52,6 +38,6 @@ def test_table3_finetune(benchmark, report):
         assert mean_psnr(gen) > mean_psnr(ibrnet) - 2.5
         # FLOPs columns match the paper's Table 3 values.
         for name in ("IBRNet", "Gen-NeRF"):
-            paper = PAPER_MFLOPS[(name, views)]
+            paper = PAPER_TABLE3_MFLOPS[(name, views)]
             measured = by_key[(name, views)].mflops_per_pixel
             assert abs(measured - paper) <= 0.16 * paper

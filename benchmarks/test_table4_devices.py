@@ -1,27 +1,20 @@
 """Regenerate paper Table 4: device specification and typical-throughput
-comparison (Gen-NeRF vs ICARUS vs Jetson TX2 vs RTX 2080Ti)."""
+comparison (Gen-NeRF vs ICARUS vs Jetson TX2 vs RTX 2080Ti) — through
+the experiment registry (the simulated-vs-paper ratio note is part of
+the registry's rendered artefact)."""
 
-from repro.core import format_table, ratio_note, run_table4
+from repro.core.registry import get_experiment
 
 
 def test_table4_devices(benchmark, report):
-    rows = benchmark.pedantic(run_table4, rounds=1, iterations=1)
-
-    table = [[r["device"], r["sram_mb"], r["area_mm2"], r["frequency_ghz"],
-              r["dram"], r["bandwidth_gb_s"], r["technology_nm"],
-              r["typical_power_w"], r["typical_fps"]] for r in rows]
-    text = format_table(
-        ["Device", "SRAM MB", "Area mm^2", "GHz", "DRAM", "GB/s", "nm",
-         "Power W", "Typical FPS"],
-        table, title="Table 4 — accelerator and device comparison")
+    experiment = get_experiment("table4")
+    result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    report(experiment.artefact, result.text)
+    rows = result.rows
 
     simulated = rows[0]
     paper_gen_nerf = next(r for r in rows if r["device"] == "Gen-NeRF (paper)")
     icarus = next(r for r in rows if "ICARUS" in r["device"])
-    text += "\n\n" + ratio_note(simulated["typical_fps"],
-                                paper_gen_nerf["typical_fps"],
-                                "simulated vs paper typical FPS")
-    report("table4_devices", text)
 
     # Our simulated row reproduces the paper's headline comparisons:
     assert abs(simulated["typical_fps"] - paper_gen_nerf["typical_fps"]) \

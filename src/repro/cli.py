@@ -1,0 +1,153 @@
+"""``python -m repro`` — the experiment-registry command line.
+
+Three subcommands drive :mod:`repro.core.registry`:
+
+* ``list`` — every registered experiment (name, kind, artefact,
+  one-line description);
+* ``run <name>`` — execute one experiment (``--seed`` / ``--scale`` /
+  ``--workers`` overrides; ``--write`` atomically regenerates the
+  committed artefact, ``--results-dir`` redirects it);
+* ``sweep [axis=v1,v2 ...]`` — a dataset x views x points x
+  hardware-variant grid through the co-design pipeline
+  (``variant=`` names map to :func:`repro.hardware.variant_config`),
+  fanned out over the multi-process variant runner.
+
+Examples::
+
+    python -m repro list
+    python -m repro run table1
+    python -m repro run fig9 --scale 0.25 --workers 4
+    python -m repro sweep dataset=llff,nerf_synthetic views=2,6 \
+        variant=ours,var1 --workers 4 --out sweep_dataflow
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.context import RunContext
+from .core.registry import (all_experiments, get_experiment,
+                            parse_sweep_grid, run_sweep)
+from .core.scene_cache import ENV_KNOB
+
+
+def _add_common_options(parser: argparse.ArgumentParser,
+                        scale: bool = True) -> None:
+    parser.add_argument("--workers", type=int, default=None,
+                        help="variant fan-out width (default: "
+                             "REPRO_WORKERS env, then CPU count; "
+                             "<= 0 forces the sequential path)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the experiment's seed parameter")
+    if scale:
+        parser.add_argument("--scale", type=float, default=1.0,
+                            help="work multiplier applied through the "
+                                 "experiment's scale rules (1.0 = the "
+                                 "committed-artefact configuration)")
+    parser.add_argument("--cache-dir", default=None,
+                        help=f"disk scene-cache directory (default: the "
+                             f"{ENV_KNOB} env knob)")
+    parser.add_argument("--results-dir", default=None,
+                        help="artefact output directory (default: the "
+                             "committed benchmarks/results)")
+
+
+def _context(args: argparse.Namespace) -> RunContext:
+    kwargs = dict(seed=args.seed, scale=getattr(args, "scale", 1.0),
+                  workers=args.workers, cache_dir=args.cache_dir)
+    if args.results_dir is not None:
+        kwargs["results_dir"] = args.results_dir
+    return RunContext(**kwargs)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Declarative experiment registry for the Gen-NeRF "
+                    "(ISCA 2023) reproduction.")
+    commands = parser.add_subparsers(dest="command")
+
+    commands.add_parser(
+        "list", help="list every registered experiment")
+
+    run_parser = commands.add_parser(
+        "run", help="run one experiment and print its artefact text")
+    run_parser.add_argument("name", help="registered experiment name")
+    run_parser.add_argument("--write", action="store_true",
+                            help="also (re)write the artefact file "
+                                 "atomically")
+    _add_common_options(run_parser)
+
+    sweep_parser = commands.add_parser(
+        "sweep", help="run a dataset x views x points x variant grid")
+    sweep_parser.add_argument("grid", nargs="*", metavar="axis=v1,v2",
+                              help="grid axes: dataset=, views=, "
+                                   "points=, variant= (unset axes use "
+                                   "single-point defaults)")
+    sweep_parser.add_argument("--out", default=None, metavar="NAME",
+                              help="also write the sweep table as "
+                                   "artefact NAME.txt")
+    # No --scale: a sweep's cost is its grid, there are no scale rules.
+    _add_common_options(sweep_parser, scale=False)
+    return parser
+
+
+def _cmd_list() -> int:
+    experiments = all_experiments()
+    width = max(len(e.name) for e in experiments)
+    kind_width = max(len(e.kind) for e in experiments)
+    print(f"{len(experiments)} registered experiments "
+          f"(artefacts under benchmarks/results/):\n")
+    for experiment in experiments:
+        print(f"  {experiment.name.ljust(width)}  "
+              f"[{experiment.kind.ljust(kind_width)}]  "
+              f"{experiment.artefact}.txt  —  {experiment.description}")
+    print("\nrun one with: python -m repro run <name> "
+          "[--scale F] [--seed N] [--workers N]")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        experiment = get_experiment(args.name)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    ctx = _context(args)
+    if args.write:
+        result, path = experiment.regenerate(ctx)
+        print(result.text)
+        print(f"\n[wrote {path}]", file=sys.stderr)
+    else:
+        print(experiment.run(ctx).text)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        grid = parse_sweep_grid(args.grid)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    ctx = _context(args)
+    rows, text = run_sweep(grid, ctx)
+    print(text)
+    if args.out:
+        path = ctx.write_artifact(args.out, text)
+        print(f"\n[wrote {path}]", file=sys.stderr)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_sweep(args)

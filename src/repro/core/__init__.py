@@ -1,31 +1,43 @@
 """``repro.core`` — co-design glue and the experiment registry.
 
 :mod:`repro.core.pipeline` runs paper-scale workloads on device models;
-:mod:`repro.core.experiments` regenerates every table and figure of the
-paper; :mod:`repro.core.reporting` renders them as text.
+:mod:`repro.core.registry` holds one declarative :class:`Experiment`
+per paper table/figure (prepare → units → reduce → render) driven by a
+:class:`repro.core.context.RunContext`; :mod:`repro.core.experiments`
+holds the picklable unit bodies plus the legacy ``run_*`` wrappers;
+:mod:`repro.core.reporting` renders artefact text.  ``python -m repro``
+(:mod:`repro.cli`) lists, runs, and sweeps everything registered.
 """
 
 from .figures import (ascii_bar_chart, ascii_line_chart,
                       stacked_latency_chart)
+from .context import (LLFF_EVAL_SCENES, RunContext, clear_scene_memos,
+                      llff_references, llff_scene_data)
+from .runner import detect_workers, run_variants
+from .scene_cache import SceneCache
 from .experiments import (AblationRow, FIG9_PAIRS, Fig9Point,
-                          clear_scene_memos, detect_workers, llff_scene_data,
                           run_coarse_budget_ablation,
                           run_fig2, run_fig9, run_fig10, run_fig11,
                           run_fig12, run_patch_candidate_ablation,
-                          run_table1, run_table2, run_table3, run_table4,
-                          run_variants)
+                          run_table1, run_table2, run_table3, run_table4)
+from .registry import (Experiment, ExperimentResult, all_experiments,
+                       experiment_names, get_experiment, run_sweep)
 from .pipeline import (CoDesignPipeline, HardwareRig, dataflow_ablation,
                        hardware_rig)
-from .reporting import format_series, format_table, ratio_note
+from .reporting import (format_series, format_table, ratio_note,
+                        write_artifact)
 
 __all__ = [
     "CoDesignPipeline", "HardwareRig", "hardware_rig", "dataflow_ablation",
-    "format_table", "format_series", "ratio_note",
+    "format_table", "format_series", "ratio_note", "write_artifact",
     "run_table1", "run_fig2", "run_fig9", "run_table2", "run_table3",
     "run_fig10", "run_fig11", "run_table4", "run_fig12",
     "run_coarse_budget_ablation", "run_patch_candidate_ablation",
     "run_variants", "detect_workers", "llff_scene_data",
-    "clear_scene_memos",
+    "llff_references", "clear_scene_memos", "LLFF_EVAL_SCENES",
+    "RunContext", "SceneCache",
+    "Experiment", "ExperimentResult", "get_experiment",
+    "experiment_names", "all_experiments", "run_sweep",
     "Fig9Point", "AblationRow", "FIG9_PAIRS",
     "ascii_line_chart", "ascii_bar_chart", "stacked_latency_chart",
 ]

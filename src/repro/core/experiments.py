@@ -1,21 +1,23 @@
-"""Experiment registry: one runnable per paper table/figure.
+"""Experiment unit functions and the legacy ``run_*`` entry points.
 
-Each ``run_*`` function regenerates the data behind one table or figure
-of the paper (see DESIGN.md's experiment index) and returns plain
-Python structures; the ``benchmarks/`` suite calls these and formats
-them with :mod:`repro.core.reporting`.  Hardware experiments execute at
-the paper's full resolutions (the simulator does not march rays);
+This module holds the *bodies* of every paper experiment as
+module-level, argument-pure, picklable unit functions — the task list
+that :class:`repro.core.registry.Experiment` objects fan out over
+:func:`repro.core.run_variants`.  Hardware experiments execute at the
+paper's full resolutions (the simulator does not march rays);
 algorithm experiments take scale knobs so the numpy training stays
 tractable, with defaults chosen to finish in minutes.
+
+The historical ``run_<name>`` functions remain as thin wrappers that
+delegate to the registry (``repro.core.registry``) so existing callers
+keep working; the orchestration — prepare → units → reduce → render —
+lives entirely in the registry layer.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
-import os
-import sys
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,8 +29,11 @@ from ..hardware.icarus import TABLE4_PAPER_ROWS
 from ..models.oracle import OracleStrategy, oracle_render_image
 from ..models.workload import (RenderWorkload, profiling_workload,
                                table2_workload, typical_workload)
-from ..scenes.datasets import DATASETS, Scene, llff_eval_scenes, make_scene
+from ..scenes.datasets import DATASETS, Scene, make_scene
+from .context import (LLFF_EVAL_SCENES, RunContext, clear_scene_memos,
+                      llff_references, llff_scene_data)
 from .pipeline import CoDesignPipeline, dataflow_ablation
+from .runner import detect_workers, run_variants
 
 PROFILE_DATASETS = ("deepvoxels", "nerf_synthetic", "llff")
 
@@ -37,10 +42,18 @@ FIG9_PAIRS = ((8, 8), (8, 16), (16, 32), (32, 64))
 FIG9_UNIFORM_POINTS = (16, 24, 48, 96, 192)
 
 
+def _experiment(name: str):
+    """The registered experiment (imported lazily: the registry module
+    imports this one for the unit functions)."""
+    from .registry import get_experiment
+
+    return get_experiment(name)
+
+
 # ----------------------------------------------------------------------
 # Table 1 — area / power
 # ----------------------------------------------------------------------
-def run_table1() -> List[Tuple[str, float, float, float, float]]:
+def _table1_unit() -> List[Tuple[str, float, float, float, float]]:
     """Rows: (module, area, paper area, power, paper power)."""
     budget = full_chip_budget()
     rows = []
@@ -52,10 +65,15 @@ def run_table1() -> List[Tuple[str, float, float, float, float]]:
     return rows
 
 
+def run_table1() -> List[Tuple[str, float, float, float, float]]:
+    """Legacy entry point: Table 1 rows through the registry."""
+    return _experiment("table1").run().rows
+
+
 # ----------------------------------------------------------------------
 # Fig. 2 — GPU latency breakdown of the profiling workload
 # ----------------------------------------------------------------------
-def run_fig2() -> Dict[str, Dict[str, Dict[str, float]]]:
+def _fig2_unit() -> Dict[str, Dict[str, Dict[str, float]]]:
     """{device: {dataset: {phase: seconds, 'total': s, 'fps': f}}}.
 
     Profiling setup of Sec. 2.3: 10 source views, 196 points per ray,
@@ -84,73 +102,9 @@ def run_fig2() -> Dict[str, Dict[str, Dict[str, float]]]:
     return results
 
 
-# ----------------------------------------------------------------------
-# Shared scene preparation (memoised per process)
-# ----------------------------------------------------------------------
-# Scene generation is crc32-deterministic, the source-view renders of
-# ``SceneData.prepare`` depend only on (scene, gt_points), and the
-# dense target reference only on (scene, step) — so one process-wide
-# memo serves every harness: Table 2 and Table 3 at matching view
-# counts share the same minutes-scale ground-truth renders instead of
-# re-rendering them per runner.  The shared ``SceneData`` objects also
-# carry the scene-level caches of the training fast path
-# (``gt_cache`` / ``conv_cache``), which is what lets identically
-# scheduled variant ladders reuse supervision across models.
-
-_SCENE_DATA_MEMO: Dict[tuple, "M.SceneData"] = {}
-_REFERENCE_MEMO: Dict[tuple, np.ndarray] = {}
-
-LLFF_EVAL_SCENES = ("fern", "fortress", "horns", "trex")
-
-
-def clear_scene_memos() -> None:
-    """Drop the process-wide prepared-scene and reference memos.
-
-    Long-lived processes that sweep many configurations (each pinning
-    its rendered ``SceneData`` — including the per-scene GT and
-    feature caches — forever) can call this between sweeps to release
-    the memory; the next harness run simply re-renders."""
-    _SCENE_DATA_MEMO.clear()
-    _REFERENCE_MEMO.clear()
-
-
-def llff_scene_data(image_scale: float, num_source_views: int = 10,
-                    seed: int = 1, gt_points: int = 128,
-                    names: Sequence[str] = LLFF_EVAL_SCENES
-                    ) -> Dict[str, "M.SceneData"]:
-    """Prepared :class:`repro.models.SceneData` for LLFF analogues,
-    memoised per process **per scene**, so a harness that asks for a
-    subset (tiny test configs) only ever pays for that subset."""
-    base = (float(image_scale), int(num_source_views), int(seed),
-            int(gt_points))
-    prepared: Dict[str, "M.SceneData"] = {}
-    missing = [name for name in names
-               if (base + (name,)) not in _SCENE_DATA_MEMO]
-    if missing:
-        eval_scenes = llff_eval_scenes(image_scale, num_source_views,
-                                       seed=seed)
-        for name in missing:
-            _SCENE_DATA_MEMO[base + (name,)] = M.SceneData.prepare(
-                eval_scenes[name], gt_points=gt_points)
-    for name in names:
-        prepared[name] = _SCENE_DATA_MEMO[base + (name,)]
-    return prepared
-
-
-def _llff_references(scene_data: Dict[str, "M.SceneData"], key: tuple,
-                     eval_step: int) -> Dict[str, np.ndarray]:
-    """Dense target references for a prepared scene dict, memoised
-    per (configuration, scene, step)."""
-    references: Dict[str, np.ndarray] = {}
-    for name, data in scene_data.items():
-        memo_key = (key, name, int(eval_step))
-        cached = _REFERENCE_MEMO.get(memo_key)
-        if cached is None:
-            cached = M.render_target_reference(data.scene, num_points=192,
-                                               step=eval_step)
-            _REFERENCE_MEMO[memo_key] = cached
-        references[name] = cached
-    return references
+def run_fig2() -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Legacy entry point: Fig. 2 breakdown through the registry."""
+    return _experiment("fig2").run().rows
 
 
 # ----------------------------------------------------------------------
@@ -231,7 +185,8 @@ def run_fig9(datasets: Sequence[str] = PROFILE_DATASETS, seed: int = 3,
              image_scale: float = 1 / 8,
              workers: Optional[int] = None
              ) -> Dict[str, Dict[str, List[Fig9Point]]]:
-    """{dataset: {"gen_nerf": [...], "ibrnet": [...]}} curves.
+    """Legacy entry point: {dataset: {"gen_nerf": [...], "ibrnet": [...]}}
+    curves through the registry.
 
     Oracle-field evaluation isolates the sampling strategies (see
     ``repro.models.oracle``); IBRNet's curve uses its hierarchical
@@ -240,91 +195,12 @@ def run_fig9(datasets: Sequence[str] = PROFILE_DATASETS, seed: int = 3,
     autodetects, 1 forces single-process); results come back in dataset
     order and are byte-identical either way.
     """
-    params = dict(seed=seed, step=step, reference_points=reference_points,
-                  pairs=tuple(tuple(pair) for pair in pairs),
-                  uniform_points=tuple(uniform_points),
-                  image_scale=image_scale)
-    units = run_variants([(_fig9_unit, dict(dataset=dataset, **params))
-                          for dataset in datasets], workers=workers)
-    return dict(zip(datasets, units))
-
-
-# ----------------------------------------------------------------------
-# Multi-process variant runner
-# ----------------------------------------------------------------------
-# The table2/table3 harnesses train several *independent* model
-# variants (identical schedules, per-variant RNG seeds, deterministic
-# scene generation), which makes them embarrassingly parallel on
-# multi-core hosts.  ``run_variants`` fans the variant units out over a
-# ``concurrent.futures`` process pool; results always come back in task
-# order and each unit is a pure function of its arguments, so the rows
-# — and therefore the committed figure/table artefacts — are
-# byte-identical whether the units run in one process or many.
-
-def detect_workers(num_tasks: int, workers: Optional[int] = None) -> int:
-    """Resolve the worker count for :func:`run_variants`.
-
-    Priority: explicit ``workers`` argument, then the ``REPRO_WORKERS``
-    environment variable, then ``os.cpu_count()``; always clamped to
-    ``[1, num_tasks]``.  On a single-core host this returns 1 and the
-    runner stays in-process.
-    """
-    if workers is None:
-        env = os.environ.get("REPRO_WORKERS", "").strip()
-        if env:
-            try:
-                workers = int(env)
-            except ValueError:
-                print(f"warning: ignoring non-integer REPRO_WORKERS={env!r}",
-                      file=sys.stderr)
-    if workers is None:
-        workers = os.cpu_count() or 1
-    return max(1, min(int(workers), max(int(num_tasks), 1)))
-
-
-def run_variants(tasks: Sequence[Tuple[Callable, Dict]],
-                 workers: Optional[int] = None) -> List:
-    """Run ``(function, kwargs)`` units, results in task order.
-
-    With more than one worker the units execute on a
-    ``ProcessPoolExecutor`` (functions must be module-level so they
-    pickle); with one worker — or if the pool cannot start, e.g. in a
-    sandbox without process spawning — they run sequentially in this
-    process.  Exceptions raised *by a unit* propagate unchanged in
-    either mode; only pool-infrastructure failures trigger the
-    sequential fallback.
-    """
-    tasks = list(tasks)
-    count = detect_workers(len(tasks), workers)
-    if count <= 1 or len(tasks) <= 1:
-        return [function(**kwargs) for function, kwargs in tasks]
-    # Only pool-infrastructure failures fall back to sequential:
-    # OSError during pool construction or task submission (worker
-    # processes spawn lazily inside ``submit``, so a sandbox that
-    # blocks process creation surfaces there, not in the constructor)
-    # and BrokenProcessPool (a worker died without delivering a
-    # result).  An exception *raised by a unit* is re-raised by
-    # ``future.result()`` as itself — including OSError subclasses —
-    # and must propagate, not trigger a silent sequential re-run of
-    # every unit; ``futures`` being bound marks that submission
-    # finished and any later OSError is the unit's own.
-    futures = None
-    try:
-        with concurrent.futures.ProcessPoolExecutor(
-                max_workers=count) as pool:
-            futures = [pool.submit(function, **kwargs)
-                       for function, kwargs in tasks]
-            return [future.result() for future in futures]
-    except OSError as error:
-        if futures is not None:
-            raise
-        print(f"warning: process pool unavailable ({error}); "
-              f"running variants sequentially", file=sys.stderr)
-        return [function(**kwargs) for function, kwargs in tasks]
-    except concurrent.futures.process.BrokenProcessPool as error:
-        print(f"warning: process pool broke ({error}); "
-              f"running variants sequentially", file=sys.stderr)
-        return [function(**kwargs) for function, kwargs in tasks]
+    return _experiment("fig9").run(
+        RunContext(workers=workers), datasets=tuple(datasets), seed=seed,
+        step=step, reference_points=reference_points,
+        pairs=tuple(tuple(pair) for pair in pairs),
+        uniform_points=tuple(uniform_points),
+        image_scale=image_scale).rows
 
 
 # ----------------------------------------------------------------------
@@ -415,8 +291,10 @@ def _table2_prepare(train_steps: int, eval_step: int, image_scale: float,
     depends only on (scene, step), so rebuilding this in a worker
     process yields exactly the values the sequential path shares.
     The scene/reference renders come from the process-wide memo
-    (:func:`llff_scene_data`), so Table 3 runs at the same view count
-    — and repeated harness invocations — pay for them once.
+    (:func:`repro.core.context.llff_scene_data`) — optionally backed by
+    the ``REPRO_CACHE_DIR`` disk cache — so Table 3 runs at the same
+    view count, repeated harness invocations, and pool workers pay for
+    them once.
     """
     memo_key = (float(image_scale), int(num_source_views), int(seed), 128)
     names = [name for name in LLFF_EVAL_SCENES if name in scenes]
@@ -424,7 +302,7 @@ def _table2_prepare(train_steps: int, eval_step: int, image_scale: float,
                                  names=names)
     train_cfg = M.TrainConfig(steps=train_steps, rays_per_batch=40,
                               num_points=num_points, seed=seed)
-    references = _llff_references(scene_data, memo_key, eval_step)
+    references = llff_references(scene_data, memo_key, eval_step)
     return scene_data, train_cfg, references
 
 
@@ -531,7 +409,8 @@ def run_table2(train_steps: int = 240, eval_step: int = 8,
                                                        "horns", "trex"),
                num_source_views: int = 10,
                workers: Optional[int] = None) -> List[AblationRow]:
-    """Component ablation (paper Table 2) at numpy scale.
+    """Legacy entry point: component ablation (paper Table 2) through
+    the registry.
 
     Trains each variant with an identical schedule on the four LLFF
     scene analogues, then evaluates PSNR/LPIPS-proxy per scene.
@@ -543,19 +422,11 @@ def run_table2(train_steps: int = 240, eval_step: int = 8,
     env, then CPU count), 1 forces the single-process path.  Rows come
     back in the fixed ladder order and are byte-identical either way.
     """
-    params = dict(train_steps=train_steps, eval_step=eval_step,
-                  image_scale=image_scale, num_points=num_points,
-                  seed=seed, scenes=tuple(scenes),
-                  num_source_views=num_source_views)
-    count = detect_workers(len(TABLE2_VARIANTS), workers)
-    if count <= 1:
-        prep = _table2_prepare(**params)
-        units = [_table2_unit(kind, prep=prep, **params)
-                 for kind in TABLE2_VARIANTS]
-    else:
-        units = run_variants([(_table2_unit, dict(kind=kind, **params))
-                              for kind in TABLE2_VARIANTS], workers=count)
-    return [row for unit_rows in units for row in unit_rows]
+    return _experiment("table2").run(
+        RunContext(workers=workers), train_steps=train_steps,
+        eval_step=eval_step, image_scale=image_scale,
+        num_points=num_points, seed=seed, scenes=tuple(scenes),
+        num_source_views=num_source_views).rows
 
 
 TABLE3_METHODS = ("IBRNet", "Gen-NeRF")
@@ -575,7 +446,7 @@ def _table3_prepare(views: int, train_steps: int, eval_step: int,
     scene_data = llff_scene_data(image_scale, num_source_views, seed=seed)
     train_cfg = M.TrainConfig(steps=train_steps, rays_per_batch=40,
                               num_points=num_points, seed=seed)
-    references = _llff_references(scene_data, memo_key, eval_step)
+    references = llff_references(scene_data, memo_key, eval_step)
     return scene_data, train_cfg, references
 
 
@@ -631,7 +502,8 @@ def run_table3(train_steps: int = 240, finetune_steps: int = 80,
                num_points: int = 20, seed: int = 1,
                view_counts: Sequence[int] = (4, 10),
                workers: Optional[int] = None) -> List[AblationRow]:
-    """Per-scene finetuning comparison (paper Table 3).
+    """Legacy entry point: per-scene finetuning comparison (paper
+    Table 3) through the registry.
 
     Pretrains an IBRNet baseline and a Gen-NeRF model, then finetunes a
     copy on each scene before evaluation.  The (view count, method)
@@ -640,34 +512,26 @@ def run_table3(train_steps: int = 240, finetune_steps: int = 80,
     returned in the fixed (views, method) order, byte-identical either
     way.
     """
-    params = dict(train_steps=train_steps, finetune_steps=finetune_steps,
-                  eval_step=eval_step, image_scale=image_scale,
-                  num_points=num_points, seed=seed)
-    pairs = [(views, method) for views in view_counts
-             for method in TABLE3_METHODS]
-    count = detect_workers(len(pairs), workers)
-    if count <= 1:
-        rows = []
-        for views in view_counts:
-            prep = _table3_prepare(views, train_steps, eval_step,
-                                   image_scale, num_points, seed)
-            for method in TABLE3_METHODS:
-                rows.append(_table3_unit(method, views, prep=prep,
-                                         **params))
-        return rows
-    return list(run_variants(
-        [(_table3_unit, dict(method=method, views=views, **params))
-         for views, method in pairs], workers=count))
+    return _experiment("table3").run(
+        RunContext(workers=workers), train_steps=train_steps,
+        finetune_steps=finetune_steps, eval_step=eval_step,
+        image_scale=image_scale, num_points=num_points, seed=seed,
+        view_counts=tuple(view_counts)).rows
 
 
 # ----------------------------------------------------------------------
 # Fig. 10 / Fig. 11 / Table 4 — accelerator vs devices
 # ----------------------------------------------------------------------
-def run_fig10(seed: int = 0) -> Dict[str, Dict[str, float]]:
+def _fig10_unit(seed: int) -> Dict[str, Dict[str, float]]:
     """FPS of Gen-NeRF accelerator vs RTX 2080Ti vs TX2 on 3 datasets."""
     pipeline = CoDesignPipeline()
     return {dataset: pipeline.fps_comparison(dataset, seed=seed)
             for dataset in PROFILE_DATASETS}
+
+
+def run_fig10(seed: int = 0) -> Dict[str, Dict[str, float]]:
+    """Legacy entry point: Fig. 10 comparison through the registry."""
+    return _experiment("fig10").run(seed=seed).rows
 
 
 def _fig11_unit(axis: str, value: int, seed: int) -> Dict[str, float]:
@@ -697,24 +561,20 @@ def run_fig11(view_counts: Sequence[int] = (10, 6, 4, 2, 1),
               seed: int = 0,
               workers: Optional[int] = None
               ) -> Dict[str, List[Dict[str, float]]]:
-    """Scalability sweeps on NeRF-Synthetic 800x800 (paper Fig. 11).
+    """Legacy entry point: scalability sweeps on NeRF-Synthetic 800x800
+    (paper Fig. 11) through the registry.
 
     Every sweep point is an independent simulator run; they fan out
     over :func:`run_variants` (``workers=None`` autodetects, 1 forces
     single-process) and come back in sweep order, byte-identical
     either way.
     """
-    tasks = [(_fig11_unit, dict(axis="views", value=int(views), seed=seed))
-             for views in view_counts]
-    tasks += [(_fig11_unit, dict(axis="points", value=int(points),
-                                 seed=seed))
-              for points in point_counts]
-    rows = run_variants(tasks, workers=workers)
-    return {"views": rows[:len(view_counts)],
-            "points": rows[len(view_counts):]}
+    return _experiment("fig11").run(
+        RunContext(workers=workers), view_counts=tuple(view_counts),
+        point_counts=tuple(point_counts), seed=seed).rows
 
 
-def run_table4(seed: int = 0) -> List[Dict[str, object]]:
+def _table4_unit(seed: int) -> List[Dict[str, object]]:
     """Device spec table with our measured Gen-NeRF row alongside the
     paper's reported rows."""
     pipeline = CoDesignPipeline()
@@ -745,37 +605,47 @@ def run_table4(seed: int = 0) -> List[Dict[str, object]]:
     return rows
 
 
+def run_table4(seed: int = 0) -> List[Dict[str, object]]:
+    """Legacy entry point: Table 4 device rows through the registry."""
+    return _experiment("table4").run(seed=seed).rows
+
+
 # ----------------------------------------------------------------------
 # Fig. 12 — dataflow / storage ablation
 # ----------------------------------------------------------------------
+def _fig12_unit(views: int, seed: int) -> Dict[str, Dict[str, float]]:
+    """One view count's {variant: latency/traffic row} — independent
+    per view count, so the registry fans the sweep out."""
+    per_variant = {}
+    for name, sim in dataflow_ablation("nerf_synthetic", views,
+                                       seed=seed).items():
+        per_variant[name] = {
+            "data_s": sim.fetch_time_s,
+            "compute_s": sim.compute_time_s,
+            "total_s": sim.total_time_s,
+            "exposed_data_s": sim.data_time_s,
+            "utilization": sim.pe_utilization,
+            "prefetch_mb": sim.prefetch_bytes / 1e6,
+        }
+    return per_variant
+
+
 def run_fig12(view_counts: Sequence[int] = (10, 6, 2), seed: int = 0
               ) -> Dict[int, Dict[str, Dict[str, float]]]:
-    """{views: {variant: {data_s, compute_s, total_s, utilization}}}."""
-    results: Dict[int, Dict[str, Dict[str, float]]] = {}
-    for views in view_counts:
-        per_variant = {}
-        for name, sim in dataflow_ablation("nerf_synthetic", views,
-                                           seed=seed).items():
-            per_variant[name] = {
-                "data_s": sim.fetch_time_s,
-                "compute_s": sim.compute_time_s,
-                "total_s": sim.total_time_s,
-                "exposed_data_s": sim.data_time_s,
-                "utilization": sim.pe_utilization,
-                "prefetch_mb": sim.prefetch_bytes / 1e6,
-            }
-        results[views] = per_variant
-    return results
+    """Legacy entry point: {views: {variant: {data_s, compute_s,
+    total_s, utilization}}} through the registry."""
+    return _experiment("fig12").run(
+        view_counts=tuple(view_counts), seed=seed).rows
 
 
 # ----------------------------------------------------------------------
 # Extensions beyond the paper (DESIGN.md "ablation" bullets)
 # ----------------------------------------------------------------------
-def run_coarse_budget_ablation(dataset: str = "nerf_synthetic", seed: int = 3,
-                               step: int = 8, image_scale: float = 1 / 8,
-                               coarse_counts: Sequence[int] = (4, 8, 16, 32),
-                               taus: Sequence[float] = (1e-4, 1e-3, 1e-2),
-                               focused: int = 32) -> List[Dict[str, float]]:
+def _coarse_budget_unit(dataset: str, seed: int, step: int,
+                        image_scale: float,
+                        coarse_counts: Sequence[int],
+                        taus: Sequence[float],
+                        focused: int) -> List[Dict[str, float]]:
     """PSNR sensitivity to the coarse-pass budget N_c and threshold tau."""
     scene = make_scene(dataset, seed=seed, image_scale=image_scale)
     reference = M.render_target_reference(scene, 384, step)
@@ -795,7 +665,20 @@ def run_coarse_budget_ablation(dataset: str = "nerf_synthetic", seed: int = 3,
     return rows
 
 
-def run_patch_candidate_ablation(seed: int = 0) -> List[Dict[str, float]]:
+def run_coarse_budget_ablation(dataset: str = "nerf_synthetic", seed: int = 3,
+                               step: int = 8, image_scale: float = 1 / 8,
+                               coarse_counts: Sequence[int] = (4, 8, 16, 32),
+                               taus: Sequence[float] = (1e-4, 1e-3, 1e-2),
+                               focused: int = 32) -> List[Dict[str, float]]:
+    """Legacy entry point: coarse-budget sensitivity through the
+    registry."""
+    return _experiment("ablation_coarse_budget").run(
+        dataset=dataset, seed=seed, step=step, image_scale=image_scale,
+        coarse_counts=tuple(coarse_counts), taus=tuple(taus),
+        focused=focused).rows
+
+
+def _patch_candidate_unit(seed: int) -> List[Dict[str, float]]:
     """Prefetch traffic and FPS vs the candidate-set size M."""
     from ..hardware.accelerator import AcceleratorConfig, GenNerfAccelerator
     from ..hardware.scheduler import DEFAULT_CANDIDATES, SchedulerConfig
@@ -815,3 +698,9 @@ def run_patch_candidate_ablation(seed: int = 0) -> List[Dict[str, float]]:
                      "prefetch_mb": sim.prefetch_bytes / 1e6,
                      "utilization": sim.pe_utilization})
     return rows
+
+
+def run_patch_candidate_ablation(seed: int = 0) -> List[Dict[str, float]]:
+    """Legacy entry point: candidate-set ablation through the
+    registry."""
+    return _experiment("ablation_patch_candidates").run(seed=seed).rows

@@ -8,9 +8,49 @@ assembled straight from bench logs.
 
 from __future__ import annotations
 
+import os
+import tempfile
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 Cell = Union[str, float, int]
+
+
+def atomic_write(path: str, writer, mode: str = "w") -> str:
+    """Write a file atomically: temp file + ``os.replace``.
+
+    ``writer(handle)`` produces the content.  A crashed or concurrent
+    run can therefore never leave a truncated file on disk — readers
+    see either the old complete file or the new complete one.  The
+    temp file lives in the destination directory so the rename stays
+    on one filesystem; on any failure it is removed and the previous
+    file survives intact.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=f".{os.path.basename(path)}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, mode) as handle:
+            writer(handle)
+        # mkstemp creates 0600 files; restore the umask-derived mode a
+        # plain open() would have used, so committed artefacts and
+        # shared cache directories stay group/other readable.
+        umask = os.umask(0)
+        os.umask(umask)
+        os.chmod(tmp, 0o666 & ~umask)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return path
+
+
+def write_artifact(path: str, text: str) -> str:
+    """Write artefact text atomically (see :func:`atomic_write`), so a
+    crashed or parallel run can never leave a truncated
+    ``benchmarks/results/*.txt`` on disk."""
+    return atomic_write(path, lambda handle: handle.write(text))
 
 
 def _format_cell(value: Cell, precision: int) -> str:

@@ -1,0 +1,99 @@
+"""Multi-process variant runner shared by every experiment.
+
+The table2/table3 harnesses train several *independent* model variants
+(identical schedules, per-variant RNG seeds, deterministic scene
+generation), which makes them embarrassingly parallel on multi-core
+hosts.  :func:`run_variants` fans the variant units out over a
+``concurrent.futures`` process pool; results always come back in task
+order and each unit is a pure function of its arguments, so the rows —
+and therefore the committed figure/table artefacts — are byte-identical
+whether the units run in one process or many.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import sys
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+def _parse_worker_count(value, source: str) -> Optional[int]:
+    """Best-effort integer parse; ``None`` (with a warning) on
+    non-numeric input, so a typo'd knob degrades to autodetection
+    instead of crashing an hours-long harness run."""
+    try:
+        return int(str(value).strip())
+    except (TypeError, ValueError):
+        print(f"warning: ignoring non-integer {source}={value!r}",
+              file=sys.stderr)
+        return None
+
+
+def detect_workers(num_tasks: int, workers: Optional[int] = None) -> int:
+    """Resolve the worker count for :func:`run_variants`.
+
+    Priority: explicit ``workers`` argument, then the ``REPRO_WORKERS``
+    environment variable, then ``os.cpu_count()``; always clamped to
+    ``[1, num_tasks]``.  On a single-core host this returns 1 and the
+    runner stays in-process.  Malformed values fall back cleanly
+    instead of raising: empty/whitespace values are skipped, a
+    non-numeric argument or env value degrades to the next source with
+    a warning, and any non-positive numeric value — argument or env —
+    clamps to 1, forcing the sequential path (never a silent upgrade
+    to full parallelism).
+    """
+    if workers is not None:
+        workers = _parse_worker_count(workers, "workers")
+    if workers is None:
+        env = os.environ.get("REPRO_WORKERS")
+        if env is not None and env.strip():
+            workers = _parse_worker_count(env, "REPRO_WORKERS")
+    if workers is None:
+        workers = os.cpu_count() or 1
+    return max(1, min(workers, max(int(num_tasks), 1)))
+
+
+def run_variants(tasks: Sequence[Tuple[Callable, Dict]],
+                 workers: Optional[int] = None) -> List:
+    """Run ``(function, kwargs)`` units, results in task order.
+
+    With more than one worker the units execute on a
+    ``ProcessPoolExecutor`` (functions must be module-level so they
+    pickle); with one worker — or if the pool cannot start, e.g. in a
+    sandbox without process spawning — they run sequentially in this
+    process.  Exceptions raised *by a unit* propagate unchanged in
+    either mode; only pool-infrastructure failures trigger the
+    sequential fallback.
+    """
+    tasks = list(tasks)
+    count = detect_workers(len(tasks), workers)
+    if count <= 1 or len(tasks) <= 1:
+        return [function(**kwargs) for function, kwargs in tasks]
+    # Only pool-infrastructure failures fall back to sequential:
+    # OSError during pool construction or task submission (worker
+    # processes spawn lazily inside ``submit``, so a sandbox that
+    # blocks process creation surfaces there, not in the constructor)
+    # and BrokenProcessPool (a worker died without delivering a
+    # result).  An exception *raised by a unit* is re-raised by
+    # ``future.result()`` as itself — including OSError subclasses —
+    # and must propagate, not trigger a silent sequential re-run of
+    # every unit; ``futures`` being bound marks that submission
+    # finished and any later OSError is the unit's own.
+    futures = None
+    try:
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=count) as pool:
+            futures = [pool.submit(function, **kwargs)
+                       for function, kwargs in tasks]
+            return [future.result() for future in futures]
+    except OSError as error:
+        if futures is not None:
+            raise
+        print(f"warning: process pool unavailable ({error}); "
+              f"running variants sequentially", file=sys.stderr)
+        return [function(**kwargs) for function, kwargs in tasks]
+    except concurrent.futures.process.BrokenProcessPool as error:
+        print(f"warning: process pool broke ({error}); "
+              f"running variants sequentially", file=sys.stderr)
+        return [function(**kwargs) for function, kwargs in tasks]

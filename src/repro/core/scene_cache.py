@@ -1,0 +1,109 @@
+"""Disk-backed cache for expensive scene preparation artefacts.
+
+Scene *generation* is cheap and crc32-deterministic, but the two
+minutes-scale steps of preparing an LLFF analogue — rendering the
+source views (``SceneData.prepare``) and the dense target reference
+(``render_target_reference``) — are pure functions of a small recipe.
+This module persists those arrays under a cache directory keyed by the
+crc32 of the recipe string, so :func:`repro.core.run_variants` pool
+workers and repeated pytest sessions stop rebuilding them.
+
+Knob: ``REPRO_CACHE_DIR`` names the cache directory; unset, empty, or
+one of ``0 / off / none / disabled`` turns the disk layer off (the
+in-process memos in :mod:`repro.core.context` still apply).  Cache hits
+are byte-identical to cold preparation — the equivalence is pinned in
+``tests/core/test_scene_cache.py``.
+
+Files are written atomically (temp file + ``os.replace``) so a crashed
+or concurrent run can never leave a truncated entry; unreadable entries
+are treated as misses and recomputed.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from contextlib import contextmanager
+from typing import Optional
+
+import numpy as np
+
+from .reporting import atomic_write
+
+ENV_KNOB = "REPRO_CACHE_DIR"
+_OFF_VALUES = {"", "0", "off", "none", "disabled"}
+
+
+@contextmanager
+def exported_cache_knob(cache_dir: Optional[str]):
+    """Export an explicit cache directory through the env knob for the
+    duration of a run, restoring the previous value afterwards.
+
+    This is how a :class:`repro.core.context.RunContext.cache_dir` (or
+    the CLI's ``--cache-dir``) reaches every consumer — the sequential
+    unit path *and* ``run_variants`` pool workers, which inherit the
+    environment.  ``None`` (unspecified) leaves the environment alone;
+    off-values pass through and disable the cache as usual.
+    """
+    if cache_dir is None:
+        yield
+        return
+    previous = os.environ.get(ENV_KNOB)
+    os.environ[ENV_KNOB] = cache_dir
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(ENV_KNOB, None)
+        else:
+            os.environ[ENV_KNOB] = previous
+
+
+def recipe_key(slug: str, **fields) -> str:
+    """Stable cache key: a readable slug plus the crc32 of the recipe.
+
+    ``fields`` are serialised sorted-by-name with ``repr`` values, so
+    any change to a preparation parameter changes the key.
+    """
+    recipe = slug + ":" + ",".join(f"{name}={fields[name]!r}"
+                                   for name in sorted(fields))
+    return f"{slug}-{zlib.crc32(recipe.encode('utf-8')):08x}"
+
+
+class SceneCache:
+    """One cache directory of ``<recipe_key>.npy`` arrays."""
+
+    def __init__(self, directory: str):
+        self.directory = str(directory)
+
+    @staticmethod
+    def from_env(explicit: Optional[str] = None) -> Optional["SceneCache"]:
+        """Resolve the active cache: ``explicit`` beats the env knob;
+        off-values (and an unset knob) return ``None``."""
+        value = explicit if explicit is not None \
+            else os.environ.get(ENV_KNOB, "")
+        if value is None or str(value).strip().lower() in _OFF_VALUES:
+            return None
+        return SceneCache(str(value))
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.npy")
+
+    def load(self, key: str) -> Optional[np.ndarray]:
+        """The cached array, or ``None`` on a miss or unreadable entry."""
+        path = self.path_for(key)
+        try:
+            return np.load(path, allow_pickle=False)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, EOFError):
+            # Truncated or foreign file: a miss, not an error — the
+            # caller recomputes and the atomic store replaces it.
+            return None
+
+    def store(self, key: str, array: np.ndarray) -> str:
+        """Persist ``array`` under ``key`` atomically."""
+        return atomic_write(
+            self.path_for(key),
+            lambda handle: np.save(handle, np.ascontiguousarray(array)),
+            mode="wb")

@@ -1,0 +1,96 @@
+"""CLI smoke tests: ``python -m repro`` list / run / sweep."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.registry import experiment_names
+
+
+class TestList:
+    def test_lists_every_registered_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in experiment_names():
+            assert name in out
+        assert "benchmarks/results" in out
+
+
+class TestRun:
+    def test_run_prints_artefact_text(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1 — Gen-NeRF hardware module area/power" in out
+        assert "Workload Scheduler" in out
+
+    def test_unknown_name_fails_with_listing(self, capsys):
+        assert main(["run", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        assert "table1" in err
+
+    def test_write_lands_in_results_dir(self, tmp_path, capsys):
+        assert main(["run", "table1", "--write",
+                     "--results-dir", str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        path = tmp_path / "table1_area_power.txt"
+        assert path.is_file()
+        assert path.read_text().rstrip("\n") in captured.out
+        assert str(path) in captured.err
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "list" in capsys.readouterr().out
+
+    def test_malformed_workers_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "table1", "--workers", "44x"])
+        assert "invalid int value" in capsys.readouterr().err
+
+    def test_cache_dir_flag_does_not_leak_into_environ(self, tmp_path,
+                                                       monkeypatch):
+        import os
+
+        from repro.core.scene_cache import ENV_KNOB
+
+        monkeypatch.delenv(ENV_KNOB, raising=False)
+        assert main(["run", "table1",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert ENV_KNOB not in os.environ
+        monkeypatch.setenv(ENV_KNOB, "previous")
+        assert main(["run", "table1",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert os.environ[ENV_KNOB] == "previous"
+
+
+class TestSweep:
+    def test_two_point_sweep(self, capsys):
+        assert main(["sweep", "dataset=deepvoxels", "views=2", "points=8",
+                     "variant=ours,var1", "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Registry sweep — 2 grid point(s)" in out
+        assert "Var-1" not in out            # variant key, not config name
+        assert "var1" in out and "ours" in out
+
+    def test_bad_grid_token_fails(self, capsys):
+        assert main(["sweep", "bogus=1"]) == 2
+        assert "bad grid token" in capsys.readouterr().err
+        assert main(["sweep", "views=,"]) == 2       # empty axis
+        assert "bad grid token" in capsys.readouterr().err
+
+    def test_sweep_rejects_scale_flag(self, capsys):
+        # sweep has no scale rules; --scale must be a usage error, not
+        # a silently ignored flag.
+        with pytest.raises(SystemExit):
+            main(["sweep", "views=2", "--scale", "0.1"])
+        assert "unrecognized arguments" in capsys.readouterr().err
+
+    def test_sweep_out_writes_artifact(self, tmp_path, capsys):
+        assert main(["sweep", "dataset=deepvoxels", "views=1", "points=8",
+                     "--workers", "1", "--out", "sweep_smoke",
+                     "--results-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        path = tmp_path / "sweep_smoke.txt"
+        assert path.is_file()
+        text = path.read_text()
+        assert "Registry sweep — 1 grid point(s)" in text
+        assert text.rstrip("\n") in out

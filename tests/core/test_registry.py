@@ -1,0 +1,248 @@
+"""Experiment-registry round-trip suite.
+
+Every registered experiment must list, declare a committed artefact,
+and — at downscaled parameters — produce rows matching the legacy
+``run_*`` entry points (which now delegate through the registry, so
+this pins the wrapper's parameter mapping).  The cheap experiments
+additionally pin the registry's rendered text byte-identical to the
+committed artefacts.
+"""
+
+import os
+
+import pytest
+
+from repro import core
+from repro.core.context import RunContext
+from repro.core.registry import (all_experiments, experiment_names,
+                                 get_experiment)
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__),
+                                         "..", ".."))
+RESULTS_DIR = os.path.join(REPO_ROOT, "benchmarks", "results")
+
+EXPECTED = ["table1", "fig2", "fig9", "table2", "table3", "fig10",
+            "fig11", "table4", "fig12", "ablation_coarse_budget",
+            "ablation_patch_candidates"]
+
+
+def _read_cache_knob():
+    import os
+
+    from repro.core.scene_cache import ENV_KNOB
+
+    return os.environ.get(ENV_KNOB)
+
+
+class TestRegistryShape:
+    def test_all_paper_experiments_registered(self):
+        assert experiment_names() == EXPECTED
+
+    def test_every_experiment_declares_a_committed_artefact(self):
+        for experiment in all_experiments():
+            path = os.path.join(RESULTS_DIR, f"{experiment.artefact}.txt")
+            assert os.path.isfile(path), \
+                f"{experiment.name}: missing artefact {path}"
+
+    def test_lookup_and_error_path(self):
+        assert get_experiment("table1").name == "table1"
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("nope")
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(KeyError, match="unknown parameter"):
+            get_experiment("table1").run(not_a_param=1)
+
+    def test_context_seed_overrides_seed_param(self):
+        experiment = get_experiment("fig10")
+        params = experiment.bind(RunContext(seed=7), {})
+        assert params["seed"] == 7
+        # Explicit overrides beat the context.
+        params = experiment.bind(RunContext(seed=7), {"seed": 3})
+        assert params["seed"] == 3
+
+    def test_rng_streams_deterministic_and_independent(self):
+        ctx = RunContext(seed=3)
+        assert ctx.rng("sweep").uniform() == ctx.rng("sweep").uniform()
+        assert ctx.rng("sweep").uniform() != ctx.rng("other").uniform()
+        assert ctx.rng("sweep").uniform() \
+            != RunContext(seed=4).rng("sweep").uniform()
+        # An explicit seed argument overrides the context anchor.
+        assert ctx.rng("sweep", seed=9).uniform() \
+            == RunContext(seed=9).rng("sweep").uniform()
+
+    def test_run_honours_context_cache_dir(self, tmp_path, monkeypatch):
+        # ctx.cache_dir must reach the units (and pool workers) via the
+        # exported env knob for the duration of the run — programmatic
+        # callers get the disk cache without touching os.environ — and
+        # the previous env value must be restored afterwards.
+        import os
+
+        from repro.core.registry import Experiment
+        from repro.core.scene_cache import ENV_KNOB
+
+        probe = Experiment(
+            name="knob-probe", title="probe", kind="table",
+            artefact="unused", description="reads the exported knob",
+            params={},
+            units=lambda ctx, params, shared: [(_read_cache_knob, {})],
+            reduce=lambda results, params: results[0],
+            render=lambda rows, params: str(rows))
+        monkeypatch.delenv(ENV_KNOB, raising=False)
+        result = probe.run(RunContext(cache_dir=str(tmp_path)))
+        assert result.rows == str(tmp_path)
+        assert ENV_KNOB not in os.environ
+        monkeypatch.setenv(ENV_KNOB, "previous")
+        probe.run(RunContext(cache_dir=str(tmp_path)))
+        assert os.environ[ENV_KNOB] == "previous"
+
+    def test_scale_rules_clamp_at_floor(self):
+        experiment = get_experiment("table2")
+        params = experiment.bind(RunContext(scale=0.1), {})
+        assert params["train_steps"] == 30       # 300 * 0.1
+        params = experiment.bind(RunContext(scale=0.001), {})
+        assert params["train_steps"] == 6        # the floor
+        # scale=1 keeps the committed-artefact configuration.
+        assert experiment.bind(RunContext(), {}) == dict(experiment.params)
+
+
+class TestArtefactByteIdentity:
+    """The registry's render path reproduces the committed artefacts
+    byte for byte (the cheap ones here; training/figure-scale ones are
+    covered by the ``benchmarks/`` harnesses regenerating with zero
+    drift)."""
+
+    @pytest.mark.parametrize("name", ["table1", "fig2"])
+    def test_fast_artefacts_identical(self, name):
+        experiment = get_experiment(name)
+        committed = open(os.path.join(
+            RESULTS_DIR, f"{experiment.artefact}.txt")).read()
+        assert experiment.run().text + "\n" == committed
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("name", ["ablation_patch_candidates",
+                                      "table4", "fig10", "fig11",
+                                      "fig12", "fig9",
+                                      "ablation_coarse_budget"])
+    def test_hardware_artefacts_identical(self, name):
+        experiment = get_experiment(name)
+        committed = open(os.path.join(
+            RESULTS_DIR, f"{experiment.artefact}.txt")).read()
+        assert experiment.run().text + "\n" == committed
+
+
+class TestRegistryMatchesLegacy:
+    """Downscaled registry runs return exactly what the legacy entry
+    points return (same structures, same values)."""
+
+    def test_table1(self):
+        assert get_experiment("table1").run().rows == core.run_table1()
+
+    def test_fig2(self):
+        assert get_experiment("fig2").run().rows == core.run_fig2()
+
+    def test_table4(self):
+        assert get_experiment("table4").run().rows == core.run_table4()
+
+    def test_fig9_tiny(self):
+        overrides = dict(datasets=("nerf_synthetic",), step=16,
+                         image_scale=1 / 16, pairs=((4, 8),),
+                         uniform_points=(12,), reference_points=64)
+        via_registry = get_experiment("fig9").run(**overrides).rows
+        legacy = core.run_fig9(**overrides)
+        assert via_registry == legacy
+
+    def test_fig11_tiny(self):
+        overrides = dict(view_counts=(6, 2), point_counts=(96,))
+        via_registry = get_experiment("fig11").run(**overrides).rows
+        assert via_registry == core.run_fig11(**overrides)
+        assert [row["num_views"]
+                for row in via_registry["views"]] == [6, 2]
+
+    def test_fig12_tiny(self):
+        overrides = dict(view_counts=(2,))
+        via_registry = get_experiment("fig12").run(**overrides).rows
+        assert via_registry == core.run_fig12(**overrides)
+        assert set(via_registry[2]) == {"ours", "var1", "var2", "var3"}
+
+    def test_coarse_budget_tiny(self):
+        overrides = dict(image_scale=1 / 16, step=8, coarse_counts=(8,),
+                         taus=(1e-3,), focused=16)
+        via_registry = get_experiment(
+            "ablation_coarse_budget").run(**overrides).rows
+        assert via_registry == core.run_coarse_budget_ablation(**overrides)
+
+    def test_patch_candidates(self):
+        via_registry = get_experiment(
+            "ablation_patch_candidates").run().rows
+        assert via_registry == core.run_patch_candidate_ablation()
+
+    @pytest.mark.slow
+    def test_table2_tiny(self):
+        overrides = dict(train_steps=6, eval_step=16, image_scale=1 / 16,
+                         num_points=10, scenes=("fortress",),
+                         num_source_views=4)
+        via_registry = get_experiment("table2").run(**overrides).rows
+        legacy = core.run_table2(**overrides)
+        assert [(row.method, row.mflops_per_pixel,
+                 sorted(row.per_scene.items())) for row in via_registry] \
+            == [(row.method, row.mflops_per_pixel,
+                 sorted(row.per_scene.items())) for row in legacy]
+        assert len(via_registry) == 7
+
+    @pytest.mark.slow
+    def test_table3_tiny(self):
+        overrides = dict(train_steps=5, finetune_steps=3, eval_step=16,
+                         image_scale=1 / 16, num_points=10,
+                         view_counts=(4,))
+        via_registry = get_experiment("table3").run(**overrides).rows
+        legacy = core.run_table3(**overrides)
+        assert [(row.method, row.mflops_per_pixel,
+                 sorted(row.per_scene.items())) for row in via_registry] \
+            == [(row.method, row.mflops_per_pixel,
+                 sorted(row.per_scene.items())) for row in legacy]
+        assert len(via_registry) == 2
+
+
+class TestRenderAndRegenerate:
+    def test_render_contains_title_and_rows(self):
+        result = get_experiment("table1").run()
+        assert "Table 1 — Gen-NeRF hardware module area/power" \
+            in result.text
+        assert "Workload Scheduler" in result.text
+
+    def test_regenerate_writes_artefact_elsewhere(self, tmp_path):
+        ctx = RunContext(results_dir=str(tmp_path))
+        result, path = get_experiment("table1").regenerate(ctx)
+        assert path == str(tmp_path / "table1_area_power.txt")
+        assert open(path).read() == result.text + "\n"
+
+
+class TestSweep:
+    def test_parse_grid_defaults_and_overrides(self):
+        from repro.core.registry import parse_sweep_grid
+
+        grid = parse_sweep_grid(["views=2,6", "variant=ours,var1"])
+        assert grid["views"] == (2, 6)
+        assert grid["variant"] == ("ours", "var1")
+        assert grid["dataset"] == ("nerf_synthetic",)
+        assert grid["points"] == (64,)
+
+    @pytest.mark.parametrize("token", ["bogus=1", "views=", "views=,",
+                                       "views=x", "views=-2",
+                                       "dataset=unknown", "variant=var9"])
+    def test_parse_grid_rejects_bad_tokens(self, token):
+        from repro.core.registry import parse_sweep_grid
+
+        with pytest.raises(ValueError):
+            parse_sweep_grid([token])
+
+    def test_two_point_sweep_rows_and_text(self):
+        rows, text = core.run_sweep(
+            {"dataset": ("deepvoxels",), "views": (2,), "points": (8,),
+             "variant": ("ours", "var1")},
+            RunContext(workers=1))
+        assert [row["variant"] for row in rows] == ["ours", "var1"]
+        assert all(row["gen_nerf_fps"] > 0 for row in rows)
+        assert "Registry sweep — 2 grid point(s)" in text
+        assert "deepvoxels" in text

@@ -1,6 +1,11 @@
-"""Text table/series formatting tests."""
+"""Text table/series formatting and artefact-write tests."""
 
-from repro.core.reporting import format_series, format_table, ratio_note
+import os
+
+import pytest
+
+from repro.core.reporting import (format_series, format_table, ratio_note,
+                                  write_artifact)
 
 
 class TestFormatTable:
@@ -49,3 +54,37 @@ class TestRatioNote:
     def test_without_paper_value(self):
         note = ratio_note(10.0, 0.0, label="fps")
         assert "N/A" in note
+
+
+class TestWriteArtifact:
+    def test_creates_directories_and_writes(self, tmp_path):
+        path = str(tmp_path / "nested" / "result.txt")
+        assert write_artifact(path, "hello\n") == path
+        assert open(path).read() == "hello\n"
+
+    def test_overwrites_atomically_without_temp_residue(self, tmp_path):
+        path = str(tmp_path / "result.txt")
+        write_artifact(path, "first\n")
+        write_artifact(path, "second\n")
+        assert open(path).read() == "second\n"
+        assert os.listdir(tmp_path) == ["result.txt"]
+
+    def test_failed_write_preserves_existing_artifact(self, tmp_path,
+                                                      monkeypatch):
+        # If the write itself dies (e.g. disk full mid-write), the
+        # previously committed artefact must survive intact and no temp
+        # file may linger.
+        path = str(tmp_path / "result.txt")
+        write_artifact(path, "committed\n")
+
+        import repro.core.reporting as reporting
+
+        def exploding_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(reporting.os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="disk full"):
+            write_artifact(path, "half-written\n")
+        monkeypatch.undo()
+        assert open(path).read() == "committed\n"
+        assert os.listdir(tmp_path) == ["result.txt"]
