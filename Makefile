@@ -5,7 +5,7 @@ PYTEST := PYTHONPATH=src python -m pytest
 HARNESS := PYTHONPATH=src python -m benchmarks.harness
 REPRO := PYTHONPATH=src python -m repro
 
-.PHONY: test test-all bench bench-e2e bench-train bench-smoke perf docs-check sweep-smoke check
+.PHONY: test test-all bench bench-e2e bench-train bench-shard bench-smoke perf docs-check sweep-smoke check
 
 test:      ## fast inner loop: unit/property tests, no figure harnesses
 	$(PYTEST) -q -m "not slow"
@@ -22,7 +22,10 @@ bench-e2e: ## end-to-end benches only (render_rays + scheduler slab sweep)
 bench-train: ## training benches only (fused-Adam/GT-cache fast path vs seed loop)
 	$(HARNESS) --only training_step_e2e_gen_nerf training_step_e2e_ibrnet autograd_training_step_mlp
 
-bench-smoke: ## one quick round of every bench body, no JSON write
+bench-shard: ## intra-frame sharding benches (sharded vs sequential frame render/sim)
+	$(HARNESS) --only frame_sharded frame_sim_sharded
+
+bench-smoke: ## one quick round of every bench body (incl. sharding), no JSON write
 	$(HARNESS) --smoke
 
 perf:      ## pytest-benchmark microbenches (statistical timings)

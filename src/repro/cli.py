@@ -36,9 +36,13 @@ from .core.scene_cache import ENV_KNOB
 def _add_common_options(parser: argparse.ArgumentParser,
                         scale: bool = True) -> None:
     parser.add_argument("--workers", type=int, default=None,
-                        help="variant fan-out width (default: "
+                        help="worker count for the variant fan-out AND "
+                             "intra-frame sharding (renders and frame "
+                             "simulations split across cores when the "
+                             "outer fan-out is sequential; results are "
+                             "byte-identical at any width). Default: "
                              "REPRO_WORKERS env, then CPU count; "
-                             "<= 0 forces the sequential path)")
+                             "<= 0 forces fully sequential runs")
     parser.add_argument("--seed", type=int, default=None,
                         help="override the experiment's seed parameter")
     if scale:

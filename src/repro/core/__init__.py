@@ -13,7 +13,9 @@ from .figures import (ascii_bar_chart, ascii_line_chart,
                       stacked_latency_chart)
 from .context import (LLFF_EVAL_SCENES, RunContext, clear_scene_memos,
                       llff_references, llff_scene_data)
-from .runner import detect_workers, run_variants
+from .runner import (detect_workers, in_pool_worker, mark_pool_worker,
+                     run_variants)
+from .frame_pool import map_chunks, resolve_workers, shutdown_pool
 from .scene_cache import SceneCache
 from .experiments import (AblationRow, FIG9_PAIRS, Fig9Point,
                           run_coarse_budget_ablation,
@@ -33,7 +35,8 @@ __all__ = [
     "run_table1", "run_fig2", "run_fig9", "run_table2", "run_table3",
     "run_fig10", "run_fig11", "run_table4", "run_fig12",
     "run_coarse_budget_ablation", "run_patch_candidate_ablation",
-    "run_variants", "detect_workers", "llff_scene_data",
+    "run_variants", "detect_workers", "in_pool_worker", "mark_pool_worker",
+    "map_chunks", "resolve_workers", "shutdown_pool", "llff_scene_data",
     "llff_references", "clear_scene_memos", "LLFF_EVAL_SCENES",
     "RunContext", "SceneCache",
     "Experiment", "ExperimentResult", "get_experiment",

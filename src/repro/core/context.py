@@ -97,7 +97,8 @@ def _reference_key(name: str, base: tuple, eval_step: int) -> str:
 def llff_scene_data(image_scale: float, num_source_views: int = 10,
                     seed: int = 1, gt_points: int = 128,
                     names: Sequence[str] = LLFF_EVAL_SCENES,
-                    cache=_UNRESOLVED) -> Dict[str, "M.SceneData"]:
+                    cache=_UNRESOLVED,
+                    workers: Optional[int] = 1) -> Dict[str, "M.SceneData"]:
     """Prepared :class:`repro.models.SceneData` for LLFF analogues,
     memoised per process **per scene**, so a harness that asks for a
     subset (tiny test configs) only ever pays for that subset.
@@ -109,6 +110,10 @@ def llff_scene_data(image_scale: float, num_source_views: int = 10,
     rebuilt either way.  ``cache=None`` explicitly disables the disk
     layer even when the env knob is set; leaving it unspecified
     resolves the knob.
+
+    ``workers`` shards the cold source-view renders over the intra-frame
+    pool (``None`` autodetects); sharded renders are byte-identical to
+    sequential, so the disk-cache keys and contents are unaffected.
     """
     base = (float(image_scale), int(num_source_views), int(seed),
             int(gt_points))
@@ -125,7 +130,8 @@ def llff_scene_data(image_scale: float, num_source_views: int = 10,
                 if cache else None
             if images is None:
                 data = M.SceneData.prepare(eval_scenes[name],
-                                           gt_points=gt_points)
+                                           gt_points=gt_points,
+                                           workers=workers)
                 if cache:
                     cache.store(_source_images_key(name, base),
                                 data.source_images)
@@ -219,7 +225,8 @@ class RunContext:
                    ) -> Dict[str, "M.SceneData"]:
         return llff_scene_data(image_scale, num_source_views, seed=seed,
                                gt_points=gt_points, names=names,
-                               cache=self.scene_cache())
+                               cache=self.scene_cache(),
+                               workers=self.workers)
 
     def references(self, scene_data: Dict[str, "M.SceneData"], key: tuple,
                    eval_step: int) -> Dict[str, np.ndarray]:

@@ -284,7 +284,7 @@ TABLE2_VARIANTS = ("vanilla", "no_transformer", "mixer", "gen_nerf")
 
 def _table2_prepare(train_steps: int, eval_step: int, image_scale: float,
                     num_points: int, seed: int, scenes: Sequence[str],
-                    num_source_views: int):
+                    num_source_views: int, workers: Optional[int] = 1):
     """Deterministic shared inputs of every table-2 variant unit.
 
     Scene generation is crc32-seeded and the dense reference render
@@ -299,7 +299,7 @@ def _table2_prepare(train_steps: int, eval_step: int, image_scale: float,
     memo_key = (float(image_scale), int(num_source_views), int(seed), 128)
     names = [name for name in LLFF_EVAL_SCENES if name in scenes]
     scene_data = llff_scene_data(image_scale, num_source_views, seed=seed,
-                                 names=names)
+                                 names=names, workers=workers)
     train_cfg = M.TrainConfig(steps=train_steps, rays_per_batch=40,
                               num_points=num_points, seed=seed)
     references = llff_references(scene_data, memo_key, eval_step)
@@ -433,7 +433,8 @@ TABLE3_METHODS = ("IBRNet", "Gen-NeRF")
 
 
 def _table3_prepare(views: int, train_steps: int, eval_step: int,
-                    image_scale: float, num_points: int, seed: int):
+                    image_scale: float, num_points: int, seed: int,
+                    workers: Optional[int] = 1):
     """Deterministic shared inputs of a table-3 (view count) pair.
 
     One dense reference per scene for this view count; both methods
@@ -443,7 +444,8 @@ def _table3_prepare(views: int, train_steps: int, eval_step: int,
     """
     num_source_views = max(views, 6)
     memo_key = (float(image_scale), int(num_source_views), int(seed), 128)
-    scene_data = llff_scene_data(image_scale, num_source_views, seed=seed)
+    scene_data = llff_scene_data(image_scale, num_source_views, seed=seed,
+                                 workers=workers)
     train_cfg = M.TrainConfig(steps=train_steps, rays_per_batch=40,
                               num_points=num_points, seed=seed)
     references = llff_references(scene_data, memo_key, eval_step)
@@ -522,10 +524,17 @@ def run_table3(train_steps: int = 240, finetune_steps: int = 80,
 # ----------------------------------------------------------------------
 # Fig. 10 / Fig. 11 / Table 4 — accelerator vs devices
 # ----------------------------------------------------------------------
-def _fig10_unit(seed: int) -> Dict[str, Dict[str, float]]:
-    """FPS of Gen-NeRF accelerator vs RTX 2080Ti vs TX2 on 3 datasets."""
+def _fig10_unit(seed: int,
+                workers: Optional[int] = 1) -> Dict[str, Dict[str, float]]:
+    """FPS of Gen-NeRF accelerator vs RTX 2080Ti vs TX2 on 3 datasets.
+
+    ``workers`` shards each frame simulation intra-frame (bit-identical
+    at any width); the registry threads ``ctx.workers`` through when
+    this unit runs alone, and the nested-pool guard keeps it sequential
+    when it ships to a ``run_variants`` worker instead."""
     pipeline = CoDesignPipeline()
-    return {dataset: pipeline.fps_comparison(dataset, seed=seed)
+    return {dataset: pipeline.fps_comparison(dataset, seed=seed,
+                                             workers=workers)
             for dataset in PROFILE_DATASETS}
 
 
@@ -534,22 +543,26 @@ def run_fig10(seed: int = 0) -> Dict[str, Dict[str, float]]:
     return _experiment("fig10").run(seed=seed).rows
 
 
-def _fig11_unit(axis: str, value: int, seed: int) -> Dict[str, float]:
+def _fig11_unit(axis: str, value: int, seed: int,
+                workers: Optional[int] = 1) -> Dict[str, float]:
     """One Fig. 11 sweep point (a view count or a point count).
 
     Builds its own :class:`CoDesignPipeline` — the simulators are pure
     functions of the workload (memoisation only saves time), so a
     fresh pipeline per unit returns exactly the shared-pipeline values
-    and the unit can ship to a worker process.
+    and the unit can ship to a worker process.  ``workers`` shards the
+    accelerator simulation within the unit; inside a ``run_variants``
+    worker the guard resolves it back to 1.
     """
     pipeline = CoDesignPipeline()
     if axis == "views":
         row = pipeline.fps_comparison("nerf_synthetic", num_views=value,
-                                      seed=seed)
+                                      seed=seed, workers=workers)
         row["num_views"] = value
     elif axis == "points":
         row = pipeline.fps_comparison("nerf_synthetic",
-                                      points_per_ray=value, seed=seed)
+                                      points_per_ray=value, seed=seed,
+                                      workers=workers)
         row["points_per_ray"] = value
     else:
         raise KeyError(f"unknown fig11 axis {axis!r}")
@@ -574,11 +587,14 @@ def run_fig11(view_counts: Sequence[int] = (10, 6, 4, 2, 1),
         point_counts=tuple(point_counts), seed=seed).rows
 
 
-def _table4_unit(seed: int) -> List[Dict[str, object]]:
+def _table4_unit(seed: int,
+                 workers: Optional[int] = 1) -> List[Dict[str, object]]:
     """Device spec table with our measured Gen-NeRF row alongside the
-    paper's reported rows."""
+    paper's reported rows.  ``workers`` shards the one simulated frame
+    (bit-identical at any width)."""
     pipeline = CoDesignPipeline()
-    sim = pipeline.simulate_accelerator("nerf_synthetic", seed=seed)
+    sim = pipeline.simulate_accelerator("nerf_synthetic", seed=seed,
+                                        workers=workers)
     rows: List[Dict[str, object]] = [{
         "device": "Gen-NeRF (simulated)",
         "sram_mb": 0.8,
@@ -613,12 +629,14 @@ def run_table4(seed: int = 0) -> List[Dict[str, object]]:
 # ----------------------------------------------------------------------
 # Fig. 12 — dataflow / storage ablation
 # ----------------------------------------------------------------------
-def _fig12_unit(views: int, seed: int) -> Dict[str, Dict[str, float]]:
+def _fig12_unit(views: int, seed: int,
+                workers: Optional[int] = 1) -> Dict[str, Dict[str, float]]:
     """One view count's {variant: latency/traffic row} — independent
-    per view count, so the registry fans the sweep out."""
+    per view count, so the registry fans the sweep out.  ``workers``
+    shards each variant's frame simulation within the unit."""
     per_variant = {}
     for name, sim in dataflow_ablation("nerf_synthetic", views,
-                                       seed=seed).items():
+                                       seed=seed, workers=workers).items():
         per_variant[name] = {
             "data_s": sim.fetch_time_s,
             "compute_s": sim.compute_time_s,

@@ -1,0 +1,156 @@
+"""Persistent intra-frame worker pool with per-worker payload state.
+
+:func:`repro.core.run_variants` parallelises *between* experiment
+variants; this module parallelises *within* one frame.  The renderer's
+chunk loops (:mod:`repro.models.renderer`) and the accelerator frame
+simulation (:meth:`repro.hardware.GenNerfAccelerator.simulate_frame`)
+both decompose a frame into independent work units whose boundaries are
+computed identically to the sequential path, so fanning the units over
+a process pool and stitching results in task order reproduces the
+sequential output **byte for byte** — the same discipline that keeps
+``run_variants`` artefacts stable.
+
+Design points (the worker-pool chunked-fetch idiom, adapted to heavy
+per-task state):
+
+* **Per-worker payload, initialised once.**  ``map_chunks(fn, payload,
+  tasks)`` ships ``payload`` (model + encoded feature maps, or the
+  accelerator simulator) to each worker through the pool *initializer*,
+  not with every task — chunks carry only their small descriptors
+  (slice bounds, per-chunk uniforms, a shard of plan arrays).
+* **Pool persistence.**  The executor survives across calls keyed by
+  (worker count, payload identity): repeated renders of the same
+  scene/model — an eval ladder, a bench loop, the future ``serve``
+  daemon — reuse the warm workers instead of re-spawning and
+  re-shipping state.  A payload or width change retires the old pool.
+* **Nested-pool guard.**  Every repro pool worker (here *and* in
+  ``run_variants``) marks itself via the ``REPRO_POOL_WORKER`` env
+  flag; :func:`resolve_workers` returns 1 inside any such worker, so a
+  variant already fanned out by ``run_variants`` never oversubscribes
+  the host with a second layer of processes.
+* **Sequential fallback.**  One worker, a single task, or a pool
+  infrastructure failure (``OSError`` during spawn/submit,
+  ``BrokenProcessPool``) all run the chunk functions in-process;
+  exceptions raised *by a chunk function* propagate unchanged.
+"""
+
+from __future__ import annotations
+
+import atexit
+import concurrent.futures
+import sys
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .runner import (POOL_WORKER_ENV, detect_workers, in_pool_worker,
+                     mark_pool_worker)
+
+# Parent-side singleton: (executor, worker count, payload).  Holding the
+# payload tuple keeps strong references to its elements, so the id-based
+# identity check below can never alias a garbage-collected object.
+_POOL: Optional[Tuple[concurrent.futures.ProcessPoolExecutor, int, tuple]] \
+    = None
+
+# Worker-side state, set once by the pool initializer.
+_WORKER_PAYLOAD = None
+
+
+def _init_worker(payload: tuple) -> None:
+    global _WORKER_PAYLOAD
+    mark_pool_worker()
+    _WORKER_PAYLOAD = payload
+
+
+def _run_task(function: Callable, args: tuple):
+    return function(_WORKER_PAYLOAD, *args)
+
+
+def resolve_workers(num_tasks: int, workers: Optional[int] = None) -> int:
+    """Shard width for an intra-frame fan-out.
+
+    ``workers=None`` autodetects (``REPRO_WORKERS`` env, then CPU
+    count) exactly like :func:`repro.core.detect_workers`; explicit
+    values clamp to ``[1, num_tasks]``.  Inside a pool worker — a
+    variant unit already running under ``run_variants``, or a frame
+    chunk itself — the answer is always 1: only the outermost layer of
+    parallelism may own the host's cores.
+    """
+    if in_pool_worker():
+        return 1
+    return detect_workers(num_tasks, workers)
+
+
+def _payload_matches(held: tuple, payload: tuple) -> bool:
+    return len(held) == len(payload) and \
+        all(a is b for a, b in zip(held, payload))
+
+
+def get_pool(payload: tuple, workers: int
+             ) -> concurrent.futures.ProcessPoolExecutor:
+    """The persistent executor for ``payload`` at ``workers`` width.
+
+    Reused while every payload element is *the same object* as the
+    previous call's (a model or accelerator re-rendering frames keeps
+    its pool warm); any change shuts the old pool down and spawns a
+    fresh one whose workers are initialised with the new payload.
+    """
+    global _POOL
+    if _POOL is not None:
+        executor, count, held = _POOL
+        if count == workers and _payload_matches(held, payload):
+            return executor
+        shutdown_pool()
+    executor = concurrent.futures.ProcessPoolExecutor(
+        max_workers=workers, initializer=_init_worker, initargs=(payload,))
+    _POOL = (executor, workers, payload)
+    return executor
+
+
+def shutdown_pool() -> None:
+    """Retire the persistent pool (idempotent; registered at exit)."""
+    global _POOL
+    if _POOL is not None:
+        executor, _, _ = _POOL
+        _POOL = None
+        executor.shutdown(cancel_futures=True)
+
+
+atexit.register(shutdown_pool)
+
+
+def map_chunks(function: Callable, payload: tuple,
+               tasks: Sequence[tuple],
+               workers: Optional[int] = None) -> List:
+    """Run ``function(payload, *task)`` for every task, results in
+    task order.
+
+    With a resolved width of 1 (or a single task) the calls run in this
+    process against ``payload`` directly — the sequential path shares
+    the exact code the workers execute.  Pool-infrastructure failures
+    (``OSError`` while spawning/submitting, ``BrokenProcessPool``)
+    fall back to that sequential path with a warning; an exception
+    raised *by the chunk function* propagates unchanged in either mode.
+    """
+    tasks = list(tasks)
+    count = resolve_workers(len(tasks), workers)
+    if count <= 1 or len(tasks) <= 1:
+        return [function(payload, *args) for args in tasks]
+    futures = None
+    try:
+        executor = get_pool(payload, count)
+        futures = [executor.submit(_run_task, function, args)
+                   for args in tasks]
+        return [future.result() for future in futures]
+    except concurrent.futures.process.BrokenProcessPool as error:
+        shutdown_pool()
+        print(f"warning: frame pool broke ({error}); "
+              f"rendering chunks sequentially", file=sys.stderr)
+        return [function(payload, *args) for args in tasks]
+    except OSError as error:
+        # Mirrors run_variants: an OSError after submission finished is
+        # the chunk function's own and must propagate.
+        if futures is not None:
+            raise
+        shutdown_pool()
+        print(f"warning: frame pool unavailable ({error}); "
+              f"rendering chunks sequentially", file=sys.stderr)
+        return [function(payload, *args) for args in tasks]

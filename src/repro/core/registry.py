@@ -184,13 +184,22 @@ def all_experiments() -> List[Experiment]:
     return list(_REGISTRY.values())
 
 
-def _single_unit(function: Callable, *param_names: str
+def _single_unit(function: Callable, *param_names: str,
+                 thread_workers: bool = False
                  ) -> Callable[[RunContext, Dict[str, Any], Any],
                                List[Task]]:
     """Units hook for one-body experiments: a single task carrying the
-    named parameters."""
+    named parameters.
+
+    ``thread_workers`` forwards ``ctx.workers`` to the unit as
+    ``workers=`` — a single task always resolves to the sequential
+    outer path, so the unit is free to spend the whole budget on
+    *intra-frame* sharding (``None`` autodetects inside the unit)."""
     def units(ctx, params, shared):
-        return [(function, {name: params[name] for name in param_names})]
+        kwargs = {name: params[name] for name in param_names}
+        if thread_workers:
+            kwargs["workers"] = ctx.workers
+        return [(function, kwargs)]
 
     return units
 
@@ -307,7 +316,9 @@ register(Experiment(
 # Table 2 — component ablation
 # ----------------------------------------------------------------------
 def _table2_prepare_hook(ctx, params):
-    return E._table2_prepare(**params)
+    # The shared prepare runs in the parent (sequential resolution
+    # only), so the scene source-view renders may shard intra-frame.
+    return E._table2_prepare(**params, workers=ctx.workers)
 
 
 def _table2_units(ctx, params, shared) -> List[Task]:
@@ -370,7 +381,8 @@ def _table3_prepare_hook(ctx, params):
     prep_keys = ("train_steps", "eval_step", "image_scale", "num_points",
                  "seed")
     prep_params = {key: params[key] for key in prep_keys}
-    return {views: E._table3_prepare(views=views, **prep_params)
+    return {views: E._table3_prepare(views=views, workers=ctx.workers,
+                                     **prep_params)
             for views in params["view_counts"]}
 
 
@@ -437,7 +449,7 @@ register(Experiment(
     description="Gen-NeRF accelerator FPS vs RTX 2080Ti and Jetson TX2 "
                 "on the three datasets.",
     params={"seed": 0},
-    units=_single_unit(E._fig10_unit, "seed"),
+    units=_single_unit(E._fig10_unit, "seed", thread_workers=True),
     reduce=_first, render=_render_fig10))
 
 
@@ -445,12 +457,17 @@ register(Experiment(
 # Fig. 11 — scalability sweeps
 # ----------------------------------------------------------------------
 def _fig11_units(ctx, params, shared) -> List[Task]:
+    # ``workers=ctx.workers`` reaches inside each sweep point: when the
+    # sweep itself fans out over run_variants the nested-pool guard
+    # resolves it back to 1 in the workers, and when the sweep runs
+    # sequentially (1-CPU host, REPRO_WORKERS=1) intra-frame sharding
+    # resolves to 1 as well — the knob only bites where cores are free.
     seed = params["seed"]
     tasks = [(E._fig11_unit, dict(axis="views", value=int(views),
-                                  seed=seed))
+                                  seed=seed, workers=ctx.workers))
              for views in params["view_counts"]]
     tasks += [(E._fig11_unit, dict(axis="points", value=int(points),
-                                   seed=seed))
+                                   seed=seed, workers=ctx.workers))
               for points in params["point_counts"]]
     return tasks
 
@@ -521,7 +538,7 @@ register(Experiment(
     description="Device spec sheet: our simulated Gen-NeRF row next to "
                 "the paper's reported devices.",
     params={"seed": 0},
-    units=_single_unit(E._table4_unit, "seed"),
+    units=_single_unit(E._table4_unit, "seed", thread_workers=True),
     reduce=_first, render=_render_table4))
 
 
@@ -529,7 +546,8 @@ register(Experiment(
 # Fig. 12 — dataflow / storage ablation
 # ----------------------------------------------------------------------
 def _fig12_units(ctx, params, shared) -> List[Task]:
-    return [(E._fig12_unit, dict(views=views, seed=params["seed"]))
+    return [(E._fig12_unit, dict(views=views, seed=params["seed"],
+                                 workers=ctx.workers))
             for views in params["view_counts"]]
 
 

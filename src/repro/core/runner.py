@@ -17,6 +17,21 @@ import os
 import sys
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+POOL_WORKER_ENV = "REPRO_POOL_WORKER"
+
+
+def in_pool_worker() -> bool:
+    """True inside any repro-spawned pool worker — a ``run_variants``
+    variant unit or a :mod:`repro.core.frame_pool` frame chunk."""
+    return os.environ.get(POOL_WORKER_ENV, "") == "1"
+
+
+def mark_pool_worker() -> None:
+    """Pool initializer: flag this process as a worker so nested
+    fan-outs (intra-frame sharding inside a variant unit) stay
+    sequential instead of oversubscribing the host."""
+    os.environ[POOL_WORKER_ENV] = "1"
+
 
 def _parse_worker_count(value, source: str) -> Optional[int]:
     """Best-effort integer parse; ``None`` (with a warning) on
@@ -65,6 +80,15 @@ def run_variants(tasks: Sequence[Tuple[Callable, Dict]],
     process.  Exceptions raised *by a unit* propagate unchanged in
     either mode; only pool-infrastructure failures trigger the
     sequential fallback.
+
+    A sequential resolution (``workers=1``, a single task, or a 1-CPU
+    host) never constructs a ``ProcessPoolExecutor`` at all — the
+    in-process loop below runs before any pool machinery, so a
+    sequential harness run pays zero spawn cost (pinned by
+    ``tests/core/test_experiments.py``).  Pool workers are marked via
+    :func:`mark_pool_worker`, which is what keeps a unit's *intra-frame*
+    sharding (:mod:`repro.core.frame_pool`) from nesting a second pool
+    under this one.
     """
     tasks = list(tasks)
     count = detect_workers(len(tasks), workers)
@@ -83,7 +107,8 @@ def run_variants(tasks: Sequence[Tuple[Callable, Dict]],
     futures = None
     try:
         with concurrent.futures.ProcessPoolExecutor(
-                max_workers=count) as pool:
+                max_workers=count,
+                initializer=mark_pool_worker) as pool:
             futures = [pool.submit(function, **kwargs)
                        for function, kwargs in tasks]
             return [future.result() for future in futures]

@@ -13,6 +13,19 @@ per-chunk Python cost, large images stream in bounded chunks so the
 render the same scene repeatedly can pass precomputed ``feature_maps``
 to skip re-encoding (see :mod:`repro.core.experiments`, which caches
 them per (model, scene) across a harness run).
+
+Intra-frame sharding: every chunk loop below is expressed as a
+module-level *chunk function* over a per-frame payload (model, encoded
+maps, ray bundle), fanned over the persistent worker pool in
+:mod:`repro.core.frame_pool` when ``workers`` resolves above 1.  Chunk
+boundaries are computed identically to the sequential path, each chunk
+is an independent function of its slice (the Gen-NeRF sampler reseeds
+per chunk; the IBRNet hierarchical draws are pre-drawn in chunk order),
+and ``out[start:stop]`` slices stitch in task order — so the rendered
+image is **byte-identical** at any worker count
+(``tests/models/test_render_sharded.py``).  ``workers=1`` (the default)
+keeps the historical in-process loop; ``workers=None`` autodetects
+(``REPRO_WORKERS`` env, then CPU count) with the nested-pool guard.
 """
 
 from __future__ import annotations
@@ -23,6 +36,7 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from .. import nn
+from ..core import frame_pool
 from ..geometry.rays import (RayBundle, image_shape_for_step, rays_for_image,
                              stratified_depths)
 from ..scenes.datasets import Scene
@@ -57,15 +71,99 @@ def adaptive_chunk(num_rays: int, num_views: int, points_per_ray: int,
     return max(256, cell_budget // cells_per_ray)
 
 
+def _chunk_slices(num_rays: int, chunk: int) -> list:
+    """The sequential loop's ``(start, stop)`` pairs, shared verbatim by
+    the sharded fan-out so both paths see identical chunk geometry."""
+    return [(start, min(start + chunk, num_rays))
+            for start in range(0, num_rays, chunk)]
+
+
+# ----------------------------------------------------------------------
+# Module-level chunk functions (picklable; first arg is the per-worker
+# payload installed once by the frame pool initializer)
+# ----------------------------------------------------------------------
+
+def _source_view_chunk(state, start: int, stop: int) -> np.ndarray:
+    """Ground-truth field quadrature for one slice of the combined
+    source-camera bundle (deterministic per ray — shard-order free)."""
+    field, combined, num_points, white_background = state
+    part = combined.select(slice(start, stop))
+    return render_gt_rays(field, part, num_points,
+                          white_background=white_background)
+
+
+def _ibrnet_chunk(state, start: int, stop: int,
+                  uniforms: Optional[np.ndarray]) -> np.ndarray:
+    """One IBRNet renderer chunk -> (stop - start, 3) pixels.
+
+    ``uniforms`` carries the hierarchical fine-depth draws, pre-drawn
+    by the caller in chunk order from the frame's ``default_rng(0)`` —
+    the draw depends only on the chunk's shape, so pre-drawing yields
+    exactly the values the historical in-loop draw produced while
+    making every chunk independent of its predecessors.
+    """
+    (model, bundle, source_cameras, source_images, feature_maps,
+     num_points, coarse_points, hierarchical) = state
+    with nn.inference_mode():
+        part = bundle.select(slice(start, stop))
+        if hierarchical:
+            coarse = stratified_depths(None, len(part), coarse_points,
+                                       part.near, part.far, jitter=False)
+            points = part.points_at(coarse)
+            coarse_out = model(points, part.directions, source_cameras,
+                               feature_maps, source_images)
+            _, weights = composite(coarse_out.sigma, coarse_out.rgb,
+                                   coarse, part.far)
+            depths = hierarchical_depths(coarse,
+                                         weights.data.astype(np.float64),
+                                         num_points, part.near, part.far,
+                                         rng=None, uniforms=uniforms)
+        else:
+            depths = stratified_depths(None, len(part), num_points,
+                                       part.near, part.far, jitter=False)
+        points = part.points_at(depths)
+        result = model(points, part.directions, source_cameras,
+                       feature_maps, source_images)
+        pixel, _ = composite(result.sigma, result.rgb, depths, part.far)
+        return pixel.data
+
+
+def _gen_nerf_chunk(state, start: int, stop: int
+                    ) -> Tuple[np.ndarray, int]:
+    """One Gen-NeRF renderer chunk -> (pixels, focused point count).
+
+    The coarse-then-focus sampler reseeds ``default_rng(0)`` per chunk
+    and the focused budget redistributes *within* the chunk, so a chunk
+    is a pure function of its slice — byte-identical wherever it runs.
+    """
+    (model, bundle, source_cameras, coarse_maps, fine_maps,
+     source_images) = state
+    with nn.inference_mode():
+        model.eval()
+        part = bundle.select(slice(start, stop))
+        pixel, aux = model.render_rays(part, source_cameras, coarse_maps,
+                                       fine_maps, source_images,
+                                       return_aux=True)
+        return pixel.data, aux["samples"].total_points
+
+
+# ----------------------------------------------------------------------
+# Public renderers
+# ----------------------------------------------------------------------
+
 def render_source_views(scene: Scene, num_points: int = 128,
-                        step: int = 1) -> np.ndarray:
+                        step: int = 1,
+                        workers: Optional[int] = 1) -> np.ndarray:
     """Ground-truth source images (S, 3, H, W) for conditioning.
 
     All source cameras render through one concatenated ray bundle (the
     per-camera Python loop collapsed into chunked batched field
     queries); per-ray results are identical to rendering each camera
     separately because the deterministic reference sampler is
-    ray-independent.
+    ray-independent.  ``workers`` shards the chunk fan-out over the
+    frame pool (``None`` autodetects) — this is the minutes-scale
+    ``SceneData.prepare`` hot path, and the quadrature is per-ray
+    deterministic, so shards stitch byte-identically.
     """
     cameras = scene.source_cameras
     if not cameras:
@@ -76,13 +174,15 @@ def render_source_views(scene: Scene, num_points: int = 128,
         np.concatenate([b.origins for b in bundles], axis=0),
         np.concatenate([b.directions for b in bundles], axis=0),
         scene.near, scene.far)
-    pixels = np.zeros((len(combined), 3), dtype=np.float64)
     chunk = 4096
-    for start in range(0, len(combined), chunk):
-        part = combined.select(slice(start, start + chunk))
-        pixels[start:start + chunk] = render_gt_rays(
-            scene.field, part, num_points,
-            white_background=scene.spec.white_background)
+    slices = _chunk_slices(len(combined), chunk)
+    state = (scene.field, combined, num_points,
+             scene.spec.white_background)
+    results = frame_pool.map_chunks(_source_view_chunk, state, slices,
+                                    workers)
+    pixels = np.zeros((len(combined), 3), dtype=np.float64)
+    for (start, stop), part in zip(slices, results):
+        pixels[start:stop] = part
     rows, cols = image_shape_for_step(cameras[0], step)
     images = pixels.reshape(len(cameras), rows, cols, 3)
     return np.ascontiguousarray(
@@ -94,7 +194,8 @@ def render_image_ibrnet(model: GeneralizableNeRF, scene: Scene,
                         step: int = 4, chunk: Optional[int] = None,
                         hierarchical: bool = False,
                         coarse_points: Optional[int] = None,
-                        feature_maps=None) -> np.ndarray:
+                        feature_maps=None,
+                        workers: Optional[int] = 1) -> np.ndarray:
     """Baseline rendering: equal sample count on every ray.
 
     The hierarchical coarse pass defaults to ``num_points`` samples so
@@ -104,50 +205,44 @@ def render_image_ibrnet(model: GeneralizableNeRF, scene: Scene,
     Note: with ``hierarchical`` the fine-depth draws consume the rng
     chunk by chunk, so the rendered image depends on the chunking; pass
     an explicit ``chunk`` to reproduce a specific split — the adaptive
-    default favours throughput.
+    default favours throughput.  For a *fixed* chunking the image does
+    not depend on ``workers``: the draws are pre-drawn in chunk order
+    and shards stitch in task order, byte-identical to sequential.
     """
     coarse_points = coarse_points or num_points
     with nn.inference_mode():
         if feature_maps is None:
             feature_maps = model.encode_scene(source_images)
-        bundle = rays_for_image(scene.target_camera, scene.near, scene.far,
-                                step=step)
-        rows, cols = image_shape_for_step(scene.target_camera, step)
-        chunk = adaptive_chunk(len(bundle), len(scene.source_cameras),
-                               num_points + (coarse_points if hierarchical
-                                             else 0), chunk)
-        out = np.zeros((len(bundle), 3), dtype=np.float64)
-        rng = np.random.default_rng(0)
-        for start in range(0, len(bundle), chunk):
-            part = bundle.select(slice(start, start + chunk))
-            if hierarchical:
-                coarse = stratified_depths(rng, len(part), coarse_points,
-                                           part.near, part.far, jitter=False)
-                points = part.points_at(coarse)
-                coarse_out = model(points, part.directions,
-                                   scene.source_cameras, feature_maps,
-                                   source_images)
-                _, weights = composite(coarse_out.sigma, coarse_out.rgb,
-                                       coarse, part.far)
-                depths = hierarchical_depths(coarse,
-                                             weights.data.astype(np.float64),
-                                             num_points, part.near, part.far,
-                                             rng)
-            else:
-                depths = stratified_depths(rng, len(part), num_points,
-                                           part.near, part.far, jitter=False)
-            points = part.points_at(depths)
-            result = model(points, part.directions, scene.source_cameras,
-                           feature_maps, source_images)
-            pixel, _ = composite(result.sigma, result.rgb, depths, part.far)
-            out[start:start + chunk] = pixel.data
+    bundle = rays_for_image(scene.target_camera, scene.near, scene.far,
+                            step=step)
+    rows, cols = image_shape_for_step(scene.target_camera, step)
+    chunk = adaptive_chunk(len(bundle), len(scene.source_cameras),
+                           num_points + (coarse_points if hierarchical
+                                         else 0), chunk)
+    slices = _chunk_slices(len(bundle), chunk)
+    # The frame's sampler stream: the historical loop drew the
+    # hierarchical uniforms inside each chunk from this one generator;
+    # nothing else consumes it, so drawing the same (rays, points)
+    # blocks here in chunk order reproduces those values bit for bit.
+    rng = np.random.default_rng(0)
+    tasks = [(start, stop,
+              rng.random((stop - start, num_points)) if hierarchical
+              else None)
+             for start, stop in slices]
+    state = (model, bundle, tuple(scene.source_cameras), source_images,
+             feature_maps, num_points, coarse_points, hierarchical)
+    results = frame_pool.map_chunks(_ibrnet_chunk, state, tasks, workers)
+    out = np.zeros((len(bundle), 3), dtype=np.float64)
+    for (start, stop), pixel in zip(slices, results):
+        out[start:stop] = pixel
     return out.reshape(rows, cols, 3)
 
 
 def render_image_gen_nerf(model: GenNeRF, scene: Scene,
                           source_images: np.ndarray, step: int = 4,
                           chunk: Optional[int] = None,
-                          feature_maps=None
+                          feature_maps=None,
+                          workers: Optional[int] = 1
                           ) -> Tuple[np.ndarray, Dict[str, float]]:
     """Gen-NeRF rendering; returns (image, stats with avg focused points).
 
@@ -158,7 +253,9 @@ def render_image_gen_nerf(model: GenNeRF, scene: Scene,
     chunk (tile-local scheduling, mirroring the accelerator) and the
     sampler reseeds per chunk, so the rendered image depends on the
     chunking; pass an explicit ``chunk`` to reproduce a specific
-    tiling — the adaptive default favours throughput.
+    tiling — the adaptive default favours throughput.  At a fixed
+    chunking the image is independent of ``workers`` (chunks are pure
+    functions of their slice, stitched in task order).
     """
     with nn.inference_mode():
         model.eval()
@@ -166,25 +263,25 @@ def render_image_gen_nerf(model: GenNeRF, scene: Scene,
             coarse_maps, fine_maps = model.encode_scene(source_images)
         else:
             coarse_maps, fine_maps = feature_maps
-        bundle = rays_for_image(scene.target_camera, scene.near, scene.far,
-                                step=step)
-        rows, cols = image_shape_for_step(scene.target_camera, step)
-        chunk = adaptive_chunk(len(bundle), len(scene.source_cameras),
-                               model.config.coarse_points
-                               + model.config.n_max, chunk)
-        out = np.zeros((len(bundle), 3), dtype=np.float64)
-        total_points = 0
-        for start in range(0, len(bundle), chunk):
-            part = bundle.select(slice(start, start + chunk))
-            pixel, aux = model.render_rays(part, scene.source_cameras,
-                                           coarse_maps, fine_maps,
-                                           source_images, return_aux=True)
-            out[start:start + chunk] = pixel.data
-            total_points += aux["samples"].total_points
-        stats = {
-            "avg_focused_points": total_points / max(len(bundle), 1),
-            "coarse_points": float(model.config.coarse_points),
-        }
+    bundle = rays_for_image(scene.target_camera, scene.near, scene.far,
+                            step=step)
+    rows, cols = image_shape_for_step(scene.target_camera, step)
+    chunk = adaptive_chunk(len(bundle), len(scene.source_cameras),
+                           model.config.coarse_points
+                           + model.config.n_max, chunk)
+    slices = _chunk_slices(len(bundle), chunk)
+    state = (model, bundle, tuple(scene.source_cameras), coarse_maps,
+             fine_maps, source_images)
+    results = frame_pool.map_chunks(_gen_nerf_chunk, state, slices, workers)
+    out = np.zeros((len(bundle), 3), dtype=np.float64)
+    total_points = 0
+    for (start, stop), (pixel, points) in zip(slices, results):
+        out[start:stop] = pixel
+        total_points += points
+    stats = {
+        "avg_focused_points": total_points / max(len(bundle), 1),
+        "coarse_points": float(model.config.coarse_points),
+    }
     return out.reshape(rows, cols, 3), stats
 
 

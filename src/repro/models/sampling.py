@@ -172,16 +172,24 @@ def _edges_from_centers(depths: np.ndarray, near: float,
 
 def hierarchical_depths(coarse_depths: np.ndarray, coarse_weights: np.ndarray,
                         num_fine: int, near: float, far: float,
-                        rng: np.random.Generator,
-                        include_coarse: bool = False) -> np.ndarray:
+                        rng: Optional[np.random.Generator],
+                        include_coarse: bool = False,
+                        uniforms: Optional[np.ndarray] = None) -> np.ndarray:
     """Vanilla-NeRF fine sampling: same count on every ray (Mildenhall).
 
     Importance-samples ``num_fine`` depths per ray from the coarse
     weights; optionally merges the coarse depths back in (as NeRF does).
     Returns sorted (R, num_fine[+Nc]).
+
+    ``uniforms`` (R, num_fine) replaces the rng draw when given — the
+    sharded renderer pre-draws a frame's uniforms in chunk order from
+    the frame rng and ships each chunk its own block, so a chunk's
+    result no longer depends on its predecessors having advanced the
+    stream (same values, shard-safe).
     """
     edges = _edges_from_centers(coarse_depths, near, far)
-    uniforms = rng.random((coarse_depths.shape[0], num_fine))
+    if uniforms is None:
+        uniforms = rng.random((coarse_depths.shape[0], num_fine))
     fine = _inverse_transform(edges, coarse_weights, uniforms)
     if include_coarse:
         fine = np.concatenate([fine, coarse_depths], axis=-1)

@@ -113,10 +113,16 @@ class SceneData:
     feature_cache: Dict = field(default_factory=dict, repr=False)
 
     @staticmethod
-    def prepare(scene: Scene, gt_points: int = 128) -> "SceneData":
+    def prepare(scene: Scene, gt_points: int = 128,
+                workers: Optional[int] = 1) -> "SceneData":
+        """Render the conditioning source views (the minutes-scale cold
+        path).  ``workers`` shards the render over the frame pool —
+        byte-identical images at any width (see
+        :func:`repro.models.renderer.render_source_views`)."""
         return SceneData(scene=scene,
                          source_images=render_source_views(
-                             scene, num_points=gt_points))
+                             scene, num_points=gt_points,
+                             workers=workers))
 
     def encoded_maps(self, model: nn.Module):
         """Cached ``model.encode_scene(source_images)`` for evaluation.

@@ -1,0 +1,206 @@
+"""Intra-frame worker pool: dispatch, persistence, guards, fallback.
+
+The byte-identity of *real* sharded work (image renders, frame
+simulations) is pinned in ``tests/models/test_render_sharded.py`` and
+``tests/hardware/test_frame_sim_sharded.py``; this suite covers the
+pool machinery itself with cheap picklable functions.
+"""
+
+import concurrent.futures
+
+import pytest
+
+from repro.core import frame_pool, runner
+from repro.core.runner import POOL_WORKER_ENV, in_pool_worker
+
+
+# Module-level so process pools can pickle them.
+def _scaled(payload, value):
+    scale, = payload
+    return scale * value
+
+
+def _pair(payload, start, stop):
+    return (payload[0], start, stop)
+
+
+def _chunk_boom(payload, value):
+    raise RuntimeError("chunk failure")
+
+
+def _chunk_oserror(payload, value):
+    raise FileNotFoundError("missing chunk input")
+
+
+def _worker_flag(payload):
+    return in_pool_worker()
+
+
+def _flag_unit():
+    return in_pool_worker()
+
+
+@pytest.fixture(autouse=True)
+def clean_pool():
+    """Every test starts and ends without a live persistent pool."""
+    frame_pool.shutdown_pool()
+    yield
+    frame_pool.shutdown_pool()
+
+
+class TestMapChunks:
+    def test_sequential_and_parallel_agree(self):
+        payload = (3,)
+        tasks = [(value,) for value in range(7)]
+        sequential = frame_pool.map_chunks(_scaled, payload, tasks,
+                                           workers=1)
+        parallel = frame_pool.map_chunks(_scaled, payload, tasks,
+                                         workers=3)
+        assert sequential == [0, 3, 6, 9, 12, 15, 18]
+        assert parallel == sequential
+
+    def test_results_in_task_order_with_multi_arg_tasks(self):
+        payload = ("tag",)
+        tasks = [(i, i + 10) for i in range(5)]
+        results = frame_pool.map_chunks(_pair, payload, tasks, workers=2)
+        assert results == [("tag", i, i + 10) for i in range(5)]
+
+    def test_single_task_stays_in_process(self, monkeypatch):
+        def bomb(*args, **kwargs):
+            raise AssertionError("pool constructed for a single task")
+
+        monkeypatch.setattr(frame_pool.concurrent.futures,
+                            "ProcessPoolExecutor", bomb)
+        assert frame_pool.map_chunks(_scaled, (2,), [(21,)],
+                                     workers=8) == [42]
+
+    def test_workers_one_stays_in_process(self, monkeypatch):
+        def bomb(*args, **kwargs):
+            raise AssertionError("pool constructed at workers=1")
+
+        monkeypatch.setattr(frame_pool.concurrent.futures,
+                            "ProcessPoolExecutor", bomb)
+        assert frame_pool.map_chunks(_scaled, (2,), [(1,), (2,)],
+                                     workers=1) == [2, 4]
+
+    def test_chunk_exceptions_propagate_sequential_and_parallel(self):
+        with pytest.raises(RuntimeError, match="chunk failure"):
+            frame_pool.map_chunks(_chunk_boom, (0,), [(1,)], workers=1)
+        with pytest.raises(RuntimeError, match="chunk failure"):
+            frame_pool.map_chunks(_chunk_boom, (0,), [(1,), (2,)],
+                                  workers=2)
+
+    def test_chunk_oserror_propagates_from_parallel_path(self):
+        # An OSError raised *by the chunk function* is the chunk's own
+        # failure — it must not trigger the sequential fallback (which
+        # would re-run every chunk).
+        with pytest.raises(FileNotFoundError, match="missing chunk"):
+            frame_pool.map_chunks(_chunk_oserror, (0,), [(1,), (2,)],
+                                  workers=2)
+
+    def test_pool_spawn_failure_falls_back_sequentially(self, monkeypatch,
+                                                        capsys):
+        def broken_pool(payload, workers):
+            raise OSError("no process spawning here")
+
+        monkeypatch.setattr(frame_pool, "get_pool", broken_pool)
+        results = frame_pool.map_chunks(_scaled, (5,), [(1,), (2,), (3,)],
+                                        workers=3)
+        assert results == [5, 10, 15]
+        assert "frame pool unavailable" in capsys.readouterr().err
+
+    def test_broken_pool_falls_back_sequentially(self, monkeypatch,
+                                                 capsys):
+        class BrokenExecutor:
+            def submit(self, *args, **kwargs):
+                raise concurrent.futures.process.BrokenProcessPool(
+                    "worker died")
+
+        monkeypatch.setattr(frame_pool, "get_pool",
+                            lambda payload, workers: BrokenExecutor())
+        results = frame_pool.map_chunks(_scaled, (7,), [(1,), (2,)],
+                                        workers=2)
+        assert results == [7, 14]
+        assert "frame pool broke" in capsys.readouterr().err
+
+
+class TestPoolPersistence:
+    def test_pool_reused_for_identical_payload(self):
+        payload = (11,)
+        assert frame_pool.map_chunks(_scaled, payload, [(1,), (2,)],
+                                     workers=2) == [11, 22]
+        first = frame_pool._POOL
+        assert first is not None
+        assert frame_pool.map_chunks(_scaled, payload, [(3,), (4,)],
+                                     workers=2) == [33, 44]
+        assert frame_pool._POOL[0] is first[0]   # same executor object
+
+    def test_pool_replaced_when_payload_changes(self):
+        frame_pool.map_chunks(_scaled, (1,), [(1,), (2,)], workers=2)
+        first = frame_pool._POOL[0]
+        assert frame_pool.map_chunks(_scaled, (2,), [(1,), (2,)],
+                                     workers=2) == [2, 4]
+        assert frame_pool._POOL[0] is not first
+
+    def test_pool_replaced_when_width_changes(self):
+        payload = (9,)
+        frame_pool.map_chunks(_scaled, payload,
+                              [(i,) for i in range(4)], workers=2)
+        first = frame_pool._POOL[0]
+        frame_pool.map_chunks(_scaled, payload,
+                              [(i,) for i in range(4)], workers=3)
+        assert frame_pool._POOL[0] is not first
+        assert frame_pool._POOL[1] == 3
+
+    def test_shutdown_is_idempotent(self):
+        frame_pool.map_chunks(_scaled, (1,), [(1,), (2,)], workers=2)
+        frame_pool.shutdown_pool()
+        assert frame_pool._POOL is None
+        frame_pool.shutdown_pool()
+
+
+class TestNestedPoolGuard:
+    def test_resolve_workers_inside_pool_worker_is_one(self, monkeypatch):
+        monkeypatch.setenv(POOL_WORKER_ENV, "1")
+        assert frame_pool.resolve_workers(100, workers=8) == 1
+
+    def test_resolve_workers_outside_matches_detect(self, monkeypatch):
+        monkeypatch.delenv(POOL_WORKER_ENV, raising=False)
+        assert frame_pool.resolve_workers(10, workers=4) == \
+            runner.detect_workers(10, 4)
+
+    def test_frame_pool_workers_are_marked(self):
+        flags = frame_pool.map_chunks(_worker_flag, (0,), [(), ()],
+                                      workers=2)
+        assert flags == [True, True]
+        assert not in_pool_worker()      # the parent stays unmarked
+
+    def test_run_variants_workers_are_marked(self):
+        flags = runner.run_variants([(_flag_unit, {}), (_flag_unit, {})],
+                                    workers=2)
+        assert flags == [True, True]
+        assert not in_pool_worker()
+
+
+class TestRunVariantsPoolBypass:
+    """Satellite: a sequential resolution must never pay pool spawn cost."""
+
+    def test_workers_one_never_constructs_pool(self, monkeypatch):
+        def bomb(*args, **kwargs):
+            raise AssertionError("ProcessPoolExecutor constructed for a "
+                                 "sequential run")
+
+        monkeypatch.setattr(runner.concurrent.futures,
+                            "ProcessPoolExecutor", bomb)
+        tasks = [(_flag_unit, {}), (_flag_unit, {})]
+        assert runner.run_variants(tasks, workers=1) == [False, False]
+
+    def test_single_task_never_constructs_pool(self, monkeypatch):
+        def bomb(*args, **kwargs):
+            raise AssertionError("ProcessPoolExecutor constructed for a "
+                                 "single task")
+
+        monkeypatch.setattr(runner.concurrent.futures,
+                            "ProcessPoolExecutor", bomb)
+        assert runner.run_variants([(_flag_unit, {})],
+                                   workers=8) == [False]

@@ -105,9 +105,9 @@ class TestPreparedSceneCache:
         prepare_calls = []
         original = M.SceneData.prepare
 
-        def counting_prepare(scene, gt_points=128):
+        def counting_prepare(scene, gt_points=128, workers=1):
             prepare_calls.append(scene.name)
-            return original(scene, gt_points=gt_points)
+            return original(scene, gt_points=gt_points, workers=workers)
 
         monkeypatch.setattr(M.SceneData, "prepare",
                             staticmethod(counting_prepare))

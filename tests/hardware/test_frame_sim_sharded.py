@@ -1,0 +1,157 @@
+"""Sharded-vs-sequential bit-identity for the frame simulation.
+
+``simulate_frame(workers=N)`` splits the plan at patch boundaries,
+runs the batched per-patch models per group, concatenates per-patch
+results in group order, and ordered-sums the scalar totals over the
+full concatenation — so every output must be **bit-identical** to the
+single-pass run (and therefore to the seed loop it is pinned against)
+at any worker count.  Covers all Fig. 12 variants at 1/2/4 workers,
+``split_plan_arrays`` itself, and the pool-failure fallback.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import frame_pool
+from repro.core.pipeline import hardware_rig
+from repro.hardware import (GenNerfAccelerator, PlanArrays,
+                            split_plan_arrays, variant_config)
+from repro.models.workload import typical_workload
+from repro.scenes.datasets import DatasetSpec
+
+SCALAR_FIELDS = ("total_time_s", "data_time_s", "fetch_time_s",
+                 "compute_time_s", "coarse_time_s", "prefetch_bytes",
+                 "pool_macs", "pe_utilization", "num_patches", "energy_j",
+                 "scheduler_hidden")
+
+SPEC = DatasetSpec("shardtest", width=192, height=144, fov_x_deg=50.0,
+                   near=2.0, far=6.0, rig="orbit", rig_distance=4.0)
+
+
+@pytest.fixture(scope="module")
+def rig():
+    return hardware_rig(SPEC, num_views=6, seed=0)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return typical_workload(height=144, width=192, num_views=6)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def retire_pool():
+    yield
+    frame_pool.shutdown_pool()
+
+
+def _simulate(variant, rig, workload, workers, plan=None):
+    accelerator = GenNerfAccelerator(variant_config(variant))
+    if plan is None:
+        plan = accelerator.plan_frame(rig.novel, rig.sources, rig.near,
+                                      rig.far, workload)
+    return accelerator.simulate_frame(workload, rig.novel, rig.sources,
+                                      rig.near, rig.far, plan=plan,
+                                      workers=workers), plan
+
+
+class TestSplitPlanArrays:
+    @pytest.fixture(scope="class")
+    def arrays(self, rig, workload):
+        accelerator = GenNerfAccelerator(variant_config("ours"))
+        plan = accelerator.plan_frame(rig.novel, rig.sources, rig.near,
+                                      rig.far, workload)
+        return plan.arrays
+
+    @pytest.mark.parametrize("shards", [2, 3, 4, 7])
+    def test_groups_reassemble_to_the_original(self, arrays, shards):
+        groups = split_plan_arrays(arrays, shards)
+        assert len(groups) == shards
+        assert sum(g.num_patches for g in groups) == arrays.num_patches
+        for field in ("bounds", "prefetch_bytes", "fetch_regions",
+                      "fetch_counts", "resident_regions",
+                      "resident_counts"):
+            rebuilt = np.concatenate(
+                [getattr(g, field) for g in groups], axis=0)
+            assert np.array_equal(rebuilt, getattr(arrays, field)), field
+
+    def test_region_rows_travel_with_their_patches(self, arrays):
+        groups = split_plan_arrays(arrays, 3)
+        for group in groups:
+            assert group.fetch_regions.shape[0] == \
+                int(group.fetch_counts.sum())
+            assert group.resident_regions.shape[0] == \
+                int(group.resident_counts.sum())
+
+    def test_group_sizes_follow_array_split_convention(self, arrays):
+        groups = split_plan_arrays(arrays, 3)
+        sizes = [g.num_patches for g in groups]
+        expected = [len(part) for part in
+                    np.array_split(np.arange(arrays.num_patches), 3)]
+        assert sizes == expected
+
+    def test_one_shard_returns_the_arrays_whole(self, arrays):
+        for shards in (1, 0, -2):
+            groups = split_plan_arrays(arrays, shards)
+            assert len(groups) == 1 and groups[0] is arrays
+
+    def test_shards_clamp_to_patch_count(self):
+        tiny = PlanArrays(
+            bounds=np.zeros((2, 6), dtype=np.int64),
+            prefetch_bytes=np.ones(2),
+            fetch_regions=np.zeros((3, 5), dtype=np.int64),
+            fetch_counts=np.array([1, 2], dtype=np.int64),
+            resident_regions=np.zeros((2, 5), dtype=np.int64),
+            resident_counts=np.array([1, 1], dtype=np.int64))
+        groups = split_plan_arrays(tiny, 10)
+        assert len(groups) == 2
+        assert [g.num_patches for g in groups] == [1, 1]
+        assert groups[0].fetch_regions.shape[0] == 1
+        assert groups[1].fetch_regions.shape[0] == 2
+
+
+class TestFrameSimSharded:
+    @pytest.mark.parametrize("variant", ["ours", "var1", "var2", "var3"])
+    def test_all_variants_bit_identical_at_all_widths(self, variant, rig,
+                                                      workload):
+        sequential, plan = _simulate(variant, rig, workload, workers=1)
+        for workers in (2, 4):
+            sharded, _ = _simulate(variant, rig, workload, workers=workers,
+                                   plan=plan)
+            for field in SCALAR_FIELDS:
+                assert getattr(sharded, field) == \
+                    getattr(sequential, field), (variant, workers, field)
+
+    def test_warm_cache_reuse_stays_identical(self, rig, workload):
+        # Repeated frames on one simulator warm the engine compute
+        # cache in the parent (sequential) and in pool workers
+        # (sharded); the second frame must still match bit for bit.
+        seq_accel = GenNerfAccelerator(variant_config("ours"))
+        shard_accel = GenNerfAccelerator(variant_config("ours"))
+        plan = seq_accel.plan_frame(rig.novel, rig.sources, rig.near,
+                                    rig.far, workload)
+        for _ in range(2):
+            sequential = seq_accel.simulate_frame(
+                workload, rig.novel, rig.sources, rig.near, rig.far,
+                plan=plan, workers=1)
+            sharded = shard_accel.simulate_frame(
+                workload, rig.novel, rig.sources, rig.near, rig.far,
+                plan=plan, workers=2)
+            for field in SCALAR_FIELDS:
+                assert getattr(sharded, field) == \
+                    getattr(sequential, field), field
+
+
+class TestPoolFailureFallback:
+    def test_simulation_survives_pool_failure_bit_identically(
+            self, rig, workload, monkeypatch, capsys):
+        sequential, plan = _simulate("ours", rig, workload, workers=1)
+
+        def broken_pool(payload, workers):
+            raise OSError("process spawning disabled")
+
+        monkeypatch.setattr(frame_pool, "get_pool", broken_pool)
+        sharded, _ = _simulate("ours", rig, workload, workers=4,
+                               plan=plan)
+        for field in SCALAR_FIELDS:
+            assert getattr(sharded, field) == getattr(sequential, field)
+        assert "frame pool unavailable" in capsys.readouterr().err

@@ -1,0 +1,58 @@
+"""``adaptive_chunk`` edge cases: override precedence, degenerate ray
+counts, and the exact one-chunk -> streaming boundary."""
+
+from repro.models.renderer import _CHUNK_CELL_BUDGET, adaptive_chunk
+
+
+class TestRequestedOverride:
+    def test_requested_wins_over_adaptive_choice(self):
+        # A tiny render would fit in one chunk; the explicit tile size
+        # must win anyway (chunking is semantically visible to the
+        # Gen-NeRF budget redistribution).
+        assert adaptive_chunk(100, 4, 16, requested=32) == 32
+
+    def test_requested_wins_even_when_larger_than_budget_allows(self):
+        assert adaptive_chunk(10**6, 10, 128, requested=123456) == 123456
+
+    def test_requested_wins_at_degenerate_sizes(self):
+        assert adaptive_chunk(0, 4, 16, requested=7) == 7
+        assert adaptive_chunk(1, 4, 16, requested=1) == 1
+
+
+class TestDegenerateRayCounts:
+    def test_zero_rays_yields_positive_chunk(self):
+        # An empty bundle must not produce chunk=0 (range step of zero).
+        assert adaptive_chunk(0, 4, 16) == 1
+
+    def test_one_ray_is_one_chunk(self):
+        assert adaptive_chunk(1, 4, 16) == 1
+
+    def test_zero_views_or_points_never_divides_by_zero(self):
+        assert adaptive_chunk(100, 0, 16) == 100
+        assert adaptive_chunk(100, 4, 0) == 100
+
+
+class TestStreamingBoundary:
+    def test_exact_budget_fit_renders_in_one_chunk(self):
+        views, points = 4, 50          # 200 cells per ray
+        cells_per_ray = views * points
+        num_rays = _CHUNK_CELL_BUDGET // cells_per_ray   # exact fit
+        assert num_rays * cells_per_ray == _CHUNK_CELL_BUDGET
+        assert adaptive_chunk(num_rays, views, points) == num_rays
+
+    def test_one_ray_past_budget_flips_to_streaming(self):
+        views, points = 4, 50
+        cells_per_ray = views * points
+        num_rays = _CHUNK_CELL_BUDGET // cells_per_ray + 1
+        chunk = adaptive_chunk(num_rays, views, points)
+        assert chunk == max(256, _CHUNK_CELL_BUDGET // cells_per_ray)
+        assert chunk < num_rays
+
+    def test_streaming_chunk_never_below_floor(self):
+        # Monstrous per-ray cost: the 256-ray floor bounds per-chunk
+        # Python overhead even when the budget says fewer.
+        assert adaptive_chunk(10**6, 100, 10**4) == 256
+
+    def test_custom_budget_is_respected(self):
+        assert adaptive_chunk(10, 1, 100, cell_budget=1000) == 10
+        assert adaptive_chunk(11, 1, 100, cell_budget=1000) == 256

@@ -164,3 +164,42 @@ class TestRunComparison:
         assert harness.run(strict=True,
                            result_path=str(tmp_path / "bench.json"),
                            only=["nope"]) == 2
+
+
+class TestNewBenchNote:
+    """A bench with no usable prior must say so explicitly — both in
+    the JSON entry and on stdout — so a missing baseline is never
+    mistaken for a clean comparison."""
+
+    def test_first_run_is_flagged_as_new(self, fake_benches, tmp_path,
+                                         capsys):
+        result = tmp_path / "bench.json"
+        harness.run(strict=True, result_path=str(result), rounds=1,
+                    min_total_s=0.0)
+        entry = json.loads(result.read_text())["benches"]["fake_bench"]
+        assert entry["note"] == "new bench, no baseline"
+        assert "note: fake_bench: new bench, no baseline" \
+            in capsys.readouterr().out
+
+    def test_note_clears_once_a_baseline_exists(self, fake_benches,
+                                                tmp_path, capsys):
+        result = tmp_path / "bench.json"
+        harness.run(strict=True, result_path=str(result), rounds=1,
+                    min_total_s=0.0)
+        capsys.readouterr()                   # drop the first run's output
+        harness.run(strict=False, result_path=str(result), rounds=1,
+                    min_total_s=0.0)
+        entry = json.loads(result.read_text())["benches"]["fake_bench"]
+        assert "note" not in entry
+        assert "no baseline" not in capsys.readouterr().out
+
+    def test_malformed_prior_is_flagged_as_new(self, fake_benches,
+                                               tmp_path):
+        result = tmp_path / "bench.json"
+        synthetic = {"schema_version": 1, "generated_unix": 0.0,
+                     "benches": {"fake_bench": {"mean_s": None}}}
+        result.write_text(json.dumps(synthetic))
+        harness.run(strict=True, result_path=str(result), rounds=1,
+                    min_total_s=0.0)
+        entry = json.loads(result.read_text())["benches"]["fake_bench"]
+        assert entry["note"] == "new bench, no baseline"
