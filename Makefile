@@ -5,7 +5,9 @@ PYTEST := PYTHONPATH=src python -m pytest
 HARNESS := PYTHONPATH=src python -m benchmarks.harness
 REPRO := PYTHONPATH=src python -m repro
 
-.PHONY: test test-all bench bench-e2e bench-train bench-shard bench-smoke perf docs-check sweep-smoke check
+.PHONY: test test-all bench bench-e2e bench-train bench-shard bench-smoke perf docs-check sweep-smoke batch-smoke check
+
+BATCH_SMOKE_OUT := /tmp/repro-batch-smoke
 
 test:      ## fast inner loop: unit/property tests, no figure harnesses
 	$(PYTEST) -q -m "not slow"
@@ -37,4 +39,13 @@ docs-check: ## README/docs links and code references resolve
 sweep-smoke: ## tiny registry-driven sweep through the CLI (seconds)
 	$(REPRO) sweep dataset=deepvoxels views=2 points=16 variant=ours,var1 --workers 1
 
-check: test docs-check sweep-smoke bench-smoke  ## one command gates a PR: fast tests + docs links + sweep smoke + bench smoke
+batch-smoke: ## 3-job batch ingestion demo: 2 artefacts + 1 quarantined (seconds)
+	rm -rf $(BATCH_SMOKE_OUT)
+	$(REPRO) batch examples/batch_jobs --out $(BATCH_SMOKE_OUT)
+	test -f $(BATCH_SMOKE_OUT)/table1_from_batch.txt
+	test -f $(BATCH_SMOKE_OUT)/b_patch_candidates.txt
+	test -f $(BATCH_SMOKE_OUT)/batch_summary.txt
+	test -f $(BATCH_SMOKE_OUT)/errors/c_broken_spec.json
+	test -f $(BATCH_SMOKE_OUT)/errors/c_broken_spec.report.txt
+
+check: test docs-check sweep-smoke batch-smoke bench-smoke  ## one command gates a PR: fast tests + docs links + sweep smoke + batch smoke + bench smoke

@@ -1,6 +1,6 @@
 """``python -m repro`` — the experiment-registry command line.
 
-Three subcommands drive :mod:`repro.core.registry`:
+Four subcommands drive :mod:`repro.core.registry`:
 
 * ``list`` — every registered experiment (name, kind, artefact,
   one-line description);
@@ -10,7 +10,12 @@ Three subcommands drive :mod:`repro.core.registry`:
 * ``sweep [axis=v1,v2 ...]`` — a dataset x views x points x
   hardware-variant grid through the co-design pipeline
   (``variant=`` names map to :func:`repro.hardware.variant_config`),
-  fanned out over the multi-process variant runner.
+  fanned out over the multi-process variant runner;
+* ``batch <jobs_dir>`` — fault-isolated bulk ingestion of a directory
+  of JSON job specs (:mod:`repro.core.batch`): malformed or crashing
+  jobs are quarantined under ``errors/`` with traceback reports, the
+  run continues, and a re-invocation resumes by skipping jobs whose
+  artefact already exists.
 
 Examples::
 
@@ -19,6 +24,7 @@ Examples::
     python -m repro run fig9 --scale 0.25 --workers 4
     python -m repro sweep dataset=llff,nerf_synthetic views=2,6 \
         variant=ours,var1 --workers 4 --out sweep_dataflow
+    python -m repro batch customer_jobs/ --out results/customer_a
 """
 
 from __future__ import annotations
@@ -27,7 +33,9 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .core.batch import run_batch
 from .core.context import RunContext
+from .core.faults import RETRIES_ENV, TIMEOUT_ENV
 from .core.registry import (all_experiments, get_experiment,
                             parse_sweep_grid, run_sweep)
 from .core.scene_cache import ENV_KNOB
@@ -56,11 +64,21 @@ def _add_common_options(parser: argparse.ArgumentParser,
     parser.add_argument("--results-dir", default=None,
                         help="artefact output directory (default: the "
                              "committed benchmarks/results)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        help=f"per-task timeout in seconds for the "
+                             f"worker pools (default: the {TIMEOUT_ENV} "
+                             f"env knob; <= 0 disables timeouts)")
+    parser.add_argument("--retries", type=int, default=None,
+                        help=f"bounded retry budget for failed/hung "
+                             f"pool tasks (default: the {RETRIES_ENV} "
+                             f"env knob, then 1; the final attempt "
+                             f"always runs in-process)")
 
 
 def _context(args: argparse.Namespace) -> RunContext:
     kwargs = dict(seed=args.seed, scale=getattr(args, "scale", 1.0),
-                  workers=args.workers, cache_dir=args.cache_dir)
+                  workers=args.workers, cache_dir=args.cache_dir,
+                  task_timeout=args.task_timeout, retries=args.retries)
     if args.results_dir is not None:
         kwargs["results_dir"] = args.results_dir
     return RunContext(**kwargs)
@@ -95,6 +113,24 @@ def _build_parser() -> argparse.ArgumentParser:
                                    "artefact NAME.txt")
     # No --scale: a sweep's cost is its grid, there are no scale rules.
     _add_common_options(sweep_parser, scale=False)
+
+    batch_parser = commands.add_parser(
+        "batch", help="fault-isolated bulk ingestion of a directory of "
+                      "JSON job specs")
+    batch_parser.add_argument("jobs_dir",
+                              help="directory of <job>.json specs "
+                                   "({'experiment': ..., 'overrides': "
+                                   "..., 'seed': ..., 'scale': ..., "
+                                   "'artefact': ...})")
+    batch_parser.add_argument("--out", default=None, metavar="DIR",
+                              help="artefact output directory "
+                                   "(default: <jobs_dir>/out; "
+                                   "quarantine lands in DIR/errors)")
+    batch_parser.add_argument("--strict", action="store_true",
+                              help="exit 1 when any job was quarantined "
+                                   "(the run itself always continues "
+                                   "past bad jobs)")
+    _add_common_options(batch_parser)
     return parser
 
 
@@ -144,6 +180,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    try:
+        summary = run_batch(args.jobs_dir, ctx=_context(args),
+                            out_dir=args.out or args.results_dir)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(summary.render())
+    print(f"\n[wrote {summary.summary_path}]", file=sys.stderr)
+    if args.strict and summary.quarantined:
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -154,4 +204,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "batch":
+        return _cmd_batch(args)
     return _cmd_sweep(args)

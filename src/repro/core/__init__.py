@@ -6,11 +6,24 @@ per paper table/figure (prepare → units → reduce → render) driven by a
 :class:`repro.core.context.RunContext`; :mod:`repro.core.experiments`
 holds the picklable unit bodies plus the legacy ``run_*`` wrappers;
 :mod:`repro.core.reporting` renders artefact text.  ``python -m repro``
-(:mod:`repro.cli`) lists, runs, and sweeps everything registered.
+(:mod:`repro.cli`) lists, runs, sweeps, and batch-ingests everything
+registered.
+
+Robustness layer (``docs/robustness.md``): :mod:`repro.core.faults`
+injects deterministic worker crashes/hangs/corruption and owns the
+shared retry policy; :mod:`repro.core.log` carries every fallback as a
+structured event (``REPRO_LOG`` knob); :mod:`repro.core.batch` ingests
+arbitrary job directories with per-job quarantine and resume.
 """
 
 from .figures import (ascii_bar_chart, ascii_line_chart,
                       stacked_latency_chart)
+from .log import configure as configure_logging, get_logger
+from .faults import (CorruptResult, FaultPlan, FaultSpec, backoff_delay,
+                     detect_retries, detect_task_timeout, injected_faults,
+                     retry_call)
+from .batch import (BatchSpecError, BatchSummary, JobReport, run_batch,
+                    validate_spec)
 from .context import (LLFF_EVAL_SCENES, RunContext, clear_scene_memos,
                       llff_references, llff_scene_data)
 from .runner import (detect_workers, in_pool_worker, mark_pool_worker,
@@ -43,4 +56,10 @@ __all__ = [
     "experiment_names", "all_experiments", "run_sweep",
     "Fig9Point", "AblationRow", "FIG9_PAIRS",
     "ascii_line_chart", "ascii_bar_chart", "stacked_latency_chart",
+    "configure_logging", "get_logger",
+    "CorruptResult", "FaultPlan", "FaultSpec", "backoff_delay",
+    "detect_retries", "detect_task_timeout", "injected_faults",
+    "retry_call",
+    "BatchSpecError", "BatchSummary", "JobReport", "run_batch",
+    "validate_spec",
 ]

@@ -27,7 +27,7 @@ from .. import models as M
 from ..scenes.datasets import llff_eval_scenes
 from .runner import detect_workers
 from .scene_cache import SceneCache, recipe_key
-from . import reporting
+from . import faults, reporting
 
 LLFF_EVAL_SCENES = ("fern", "fortress", "horns", "trex")
 
@@ -187,7 +187,15 @@ class RunContext:
     * ``cache_dir`` — disk scene-cache directory (``None`` = the
       ``REPRO_CACHE_DIR`` env knob);
     * ``results_dir`` — where :meth:`write_artifact` lands artefacts
-      (defaults to the committed ``benchmarks/results``).
+      (defaults to the committed ``benchmarks/results``);
+    * ``task_timeout`` — per-task timeout in seconds for the worker
+      pools (``None`` = the ``REPRO_TASK_TIMEOUT`` env knob, else off);
+    * ``retries`` — bounded retry budget for failed/hung pool tasks
+      (``None`` = the ``REPRO_RETRIES`` env knob, else 1).
+
+    The timeout/retry knobs share the lenient ``REPRO_WORKERS``-style
+    parsing (see :mod:`repro.core.faults`): malformed values warn and
+    fall back to defaults instead of crashing a long run.
     """
 
     seed: Optional[int] = None
@@ -195,6 +203,8 @@ class RunContext:
     workers: Optional[int] = None
     cache_dir: Optional[str] = None
     results_dir: str = DEFAULT_RESULTS_DIR
+    task_timeout: Optional[float] = None
+    retries: Optional[int] = None
 
     # ------------------------------------------------------------------
     def rng(self, stream: str, seed: Optional[int] = None
@@ -236,6 +246,12 @@ class RunContext:
     # ------------------------------------------------------------------
     def resolve_workers(self, num_tasks: int) -> int:
         return detect_workers(num_tasks, self.workers)
+
+    def resolve_task_timeout(self) -> Optional[float]:
+        return faults.detect_task_timeout(self.task_timeout)
+
+    def resolve_retries(self) -> int:
+        return faults.detect_retries(self.retries)
 
     # ------------------------------------------------------------------
     def artifact_path(self, name: str) -> str:

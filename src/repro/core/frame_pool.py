@@ -28,21 +28,36 @@ per-task state):
   flag; :func:`resolve_workers` returns 1 inside any such worker, so a
   variant already fanned out by ``run_variants`` never oversubscribes
   the host with a second layer of processes.
-* **Sequential fallback.**  One worker, a single task, or a pool
-  infrastructure failure (``OSError`` during spawn/submit,
-  ``BrokenProcessPool``) all run the chunk functions in-process;
-  exceptions raised *by a chunk function* propagate unchanged.
+
+Fault tolerance (see :mod:`repro.core.faults` and
+``docs/robustness.md``): every task gets a per-task timeout
+(``REPRO_TASK_TIMEOUT``) and a bounded retry budget
+(``REPRO_RETRIES``).  A crashed or hung worker re-executes *only its
+chunk* — completed chunks keep their results — with pooled retries
+first and a final in-process attempt as the backstop, so the output is
+byte-identical to the sequential path no matter which workers died.
+``BrokenProcessPool`` mid-run rebuilds the pool once before degrading
+to fully sequential execution; a timed-out pool (which still holds a
+hung worker) is retired without joining and respawned on the next
+attempt.  Every retry, rebuild, and degradation emits a structured
+event through :mod:`repro.core.log`; an exception raised *by a chunk
+function* propagates unchanged in every mode — retries are for
+infrastructure faults, not for deterministic chunk errors.
 """
 
 from __future__ import annotations
 
 import atexit
 import concurrent.futures
-import sys
-from typing import Callable, List, Optional, Sequence, Tuple
+import logging
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from . import faults, log
 from .runner import (POOL_WORKER_ENV, detect_workers, in_pool_worker,
                      mark_pool_worker)
+
+_LOG = log.get_logger("frame_pool")
 
 # Parent-side singleton: (executor, worker count, payload).  Holding the
 # payload tuple keeps strong references to its elements, so the id-based
@@ -53,6 +68,8 @@ _POOL: Optional[Tuple[concurrent.futures.ProcessPoolExecutor, int, tuple]] \
 # Worker-side state, set once by the pool initializer.
 _WORKER_PAYLOAD = None
 
+_UNSET = object()
+
 
 def _init_worker(payload: tuple) -> None:
     global _WORKER_PAYLOAD
@@ -60,7 +77,13 @@ def _init_worker(payload: tuple) -> None:
     _WORKER_PAYLOAD = payload
 
 
-def _run_task(function: Callable, args: tuple):
+def _run_task(function: Callable, args: tuple,
+              fault: Optional[faults.FaultSpec] = None,
+              task_index: int = -1):
+    if fault is not None:
+        injected = faults.apply_worker_fault(fault, task_index)
+        if injected is not None:
+            return injected
     return function(_WORKER_PAYLOAD, *args)
 
 
@@ -114,43 +137,164 @@ def shutdown_pool() -> None:
         executor.shutdown(cancel_futures=True)
 
 
+def _retire_pool_nowait() -> None:
+    """Retire a pool that may hold a *hung* worker: drop it without
+    joining (a normal shutdown would block on the wedged process; the
+    abandoned worker exits on its own once its sleep/compute ends)."""
+    global _POOL
+    if _POOL is not None:
+        executor, _, _ = _POOL
+        _POOL = None
+        executor.shutdown(wait=False, cancel_futures=True)
+
+
 atexit.register(shutdown_pool)
+
+
+def _is_corrupt(value, validate: Optional[Callable], index: int) -> bool:
+    """A worker return that must be retried: the injected corrupt-result
+    marker, or a caller-supplied validator rejecting it."""
+    if isinstance(value, faults.CorruptResult):
+        return True
+    return validate is not None and not validate(value, index)
 
 
 def map_chunks(function: Callable, payload: tuple,
                tasks: Sequence[tuple],
-               workers: Optional[int] = None) -> List:
+               workers: Optional[int] = None,
+               timeout: Optional[float] = None,
+               retries: Optional[int] = None,
+               validate: Optional[Callable] = None) -> List:
     """Run ``function(payload, *task)`` for every task, results in
     task order.
 
     With a resolved width of 1 (or a single task) the calls run in this
     process against ``payload`` directly — the sequential path shares
-    the exact code the workers execute.  Pool-infrastructure failures
-    (``OSError`` while spawning/submitting, ``BrokenProcessPool``)
-    fall back to that sequential path with a warning; an exception
-    raised *by the chunk function* propagates unchanged in either mode.
+    the exact code the workers execute, and is also the final-attempt
+    backstop for every fault below.
+
+    Fault handling (per task; completed tasks never re-execute):
+
+    * a worker **crash** (``BrokenProcessPool``) re-submits only the
+      unfinished tasks to a pool rebuilt once; a second break degrades
+      the remaining tasks to sequential in-process execution;
+    * a **hung** task (no result within ``timeout`` seconds — argument,
+      else ``REPRO_TASK_TIMEOUT``, else off) is retried on a fresh
+      pool, the poisoned one retired without joining;
+    * a **corrupt** result (``validate(value, index)`` false, or an
+      injected :class:`repro.core.faults.CorruptResult`) is retried
+      like a crash;
+    * the retry budget (``retries`` argument, else ``REPRO_RETRIES``,
+      default 1) bounds pooled attempts at ``max(retries, 1)``; the
+      **final attempt** for any still-unfinished task always runs
+      in-process — it cannot crash or hang, so an infrastructure fault
+      never aborts the frame;
+    * an exception raised *by the chunk function* propagates unchanged
+      in either mode — never retried, never swallowed.
+
+    Every fallback/retry emits a structured :mod:`repro.core.log`
+    event; full-degradation events fire exactly once per degradation.
     """
     tasks = list(tasks)
     count = resolve_workers(len(tasks), workers)
     if count <= 1 or len(tasks) <= 1:
         return [function(payload, *args) for args in tasks]
-    futures = None
-    try:
-        executor = get_pool(payload, count)
-        futures = [executor.submit(_run_task, function, args)
-                   for args in tasks]
-        return [future.result() for future in futures]
-    except concurrent.futures.process.BrokenProcessPool as error:
-        shutdown_pool()
-        print(f"warning: frame pool broke ({error}); "
-              f"rendering chunks sequentially", file=sys.stderr)
-        return [function(payload, *args) for args in tasks]
-    except OSError as error:
-        # Mirrors run_variants: an OSError after submission finished is
-        # the chunk function's own and must propagate.
-        if futures is not None:
-            raise
-        shutdown_pool()
-        print(f"warning: frame pool unavailable ({error}); "
-              f"rendering chunks sequentially", file=sys.stderr)
-        return [function(payload, *args) for args in tasks]
+    timeout = faults.detect_task_timeout(timeout)
+    retries = faults.detect_retries(retries)
+    plan = faults.active_plan()
+
+    results: List = [_UNSET] * len(tasks)
+    pending = list(range(len(tasks)))
+    rebuilt = False
+    degraded: Optional[str] = None
+
+    # max(retries, 1) pooled rounds, plus one bonus round when the pool
+    # broke and was rebuilt — the rebuild is an infrastructure event,
+    # it must not consume a task's retry budget.
+    attempt = 0
+    while pending and degraded is None and \
+            attempt < max(retries, 1) + (1 if rebuilt else 0):
+        if attempt:
+            time.sleep(faults.backoff_delay(attempt - 1, salt="frame_pool"))
+        try:
+            executor = get_pool(payload, count)
+            submitted: Dict[int, concurrent.futures.Future] = {}
+            for index in pending:
+                fault = plan.fault_for(index, attempt, scope="frame_pool") \
+                    if plan else None
+                submitted[index] = executor.submit(
+                    _run_task, function, tasks[index], fault, index)
+        except concurrent.futures.process.BrokenProcessPool as error:
+            # A worker died during spawn/submission.
+            shutdown_pool()
+            log.event(_LOG, "frame_pool.pool_broken", error=str(error),
+                      attempt=attempt, pending=len(pending))
+            if rebuilt:
+                degraded = "pool broke twice"
+                break
+            rebuilt = True
+            log.event(_LOG, "frame_pool.pool_rebuild",
+                      level=logging.INFO, pending=len(pending))
+            attempt += 1
+            continue
+        except OSError as error:
+            # Pool infrastructure unavailable (spawn/submit failed,
+            # e.g. a sandbox without process creation).  A chunk's own
+            # OSError surfaces from future.result() below instead.
+            shutdown_pool()
+            degraded = f"pool unavailable: {error}"
+            break
+
+        retry: List[int] = []
+        broken: Optional[BaseException] = None
+        timed_out = False
+        for index in pending:
+            future = submitted[index]
+            try:
+                value = future.result(timeout=timeout)
+            except concurrent.futures.TimeoutError:
+                if future.done():
+                    raise        # the chunk itself raised TimeoutError
+                timed_out = True
+                log.event(_LOG, "frame_pool.task_timeout", task=index,
+                          attempt=attempt, timeout_s=timeout)
+                retry.append(index)
+                continue
+            except concurrent.futures.process.BrokenProcessPool as error:
+                broken = error
+                retry.append(index)
+                continue
+            if _is_corrupt(value, validate, index):
+                log.event(_LOG, "frame_pool.task_corrupt", task=index,
+                          attempt=attempt)
+                retry.append(index)
+                continue
+            results[index] = value
+        pending = retry
+
+        if broken is not None:
+            shutdown_pool()      # workers are dead; the join is instant
+            log.event(_LOG, "frame_pool.pool_broken", error=str(broken),
+                      attempt=attempt, pending=len(pending))
+            if rebuilt:
+                degraded = "pool broke twice"
+            else:
+                rebuilt = True
+                log.event(_LOG, "frame_pool.pool_rebuild",
+                          level=logging.INFO, pending=len(pending))
+        elif timed_out:
+            # The pool still holds the hung worker: retire it without
+            # joining; the next attempt (or the next call) respawns.
+            _retire_pool_nowait()
+        attempt += 1
+
+    if degraded is not None:
+        log.event(_LOG, "frame_pool.degraded_sequential", reason=degraded,
+                  pending=len(pending))
+    if pending:
+        for index in pending:
+            if degraded is None:
+                log.event(_LOG, "frame_pool.task_inprocess",
+                          level=logging.INFO, task=index)
+            results[index] = function(payload, *tasks[index])
+    return results

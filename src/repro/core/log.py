@@ -1,0 +1,122 @@
+"""Structured event logging for the repro runtime.
+
+Every fallback, retry, quarantine, and degradation in the execution
+layer emits one structured *event* through the standard :mod:`logging`
+machinery instead of a bare ``print(..., file=sys.stderr)``: tests
+assert on events with ``caplog``, long harness runs stay greppable, and
+the ``REPRO_LOG`` knob turns the noise up or down without touching
+code.
+
+Knob: ``REPRO_LOG`` sets the stderr handler's threshold — a level name
+(``debug`` / ``info`` / ``warning`` / ``error``) or an off-value
+(``off`` / ``none`` / ``silent`` / ``0`` / ``disabled``) to silence the
+handler entirely.  Unset defaults to ``warning``: fallbacks and
+degradations are visible, per-job progress (info) is not.  A malformed
+value warns once and falls back to the default, mirroring the lenient
+``REPRO_WORKERS`` parsing.  The ``repro`` logger itself stays at
+``NOTSET`` with propagation on, so ``caplog`` and user-installed
+handlers see every record regardless of the knob.
+
+Event records carry the event name as ``record.repro_event`` and the
+keyword fields as ``record.repro_fields`` (a dict), with a flat
+``event key=value ...`` message — machine-parseable either way.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Optional
+
+ENV_KNOB = "REPRO_LOG"
+ROOT_NAME = "repro"
+DEFAULT_LEVEL = logging.WARNING
+
+_LEVELS = {"debug": logging.DEBUG, "info": logging.INFO,
+           "warning": logging.WARNING, "warn": logging.WARNING,
+           "error": logging.ERROR}
+_OFF_VALUES = {"off", "none", "silent", "0", "disabled"}
+
+# The one stderr handler this module owns (None until first use).
+_HANDLER: Optional[logging.Handler] = None
+
+
+def parse_level(value: Optional[str]) -> Optional[int]:
+    """Resolve a ``REPRO_LOG`` value to a logging level.
+
+    ``None``/empty/whitespace -> the default; an off-value -> ``None``
+    (silence the handler); anything unrecognised warns once on stderr
+    (the logger is what's being configured, so it can't carry the
+    warning) and falls back to the default.
+    """
+    if value is None or not str(value).strip():
+        return DEFAULT_LEVEL
+    text = str(value).strip().lower()
+    if text in _OFF_VALUES:
+        return None
+    level = _LEVELS.get(text)
+    if level is None:
+        print(f"warning: ignoring unknown {ENV_KNOB}={value!r} "
+              f"(choose from {sorted(_LEVELS)} or 'off')",
+              file=sys.stderr)
+        return DEFAULT_LEVEL
+    return level
+
+
+def configure(value: Optional[str] = None) -> Optional[logging.Handler]:
+    """(Re)configure the stderr handler from ``value`` (default: the
+    ``REPRO_LOG`` env knob).  Idempotent; returns the handler, or
+    ``None`` when the knob silenced it."""
+    global _HANDLER
+    root = logging.getLogger(ROOT_NAME)
+    if _HANDLER is not None:
+        root.removeHandler(_HANDLER)
+        _HANDLER = None
+    level = parse_level(value if value is not None
+                        else os.environ.get(ENV_KNOB))
+    if level is None:
+        # Silenced: a NullHandler keeps logging from printing its
+        # "no handlers found" complaint; caplog still sees records.
+        _HANDLER = logging.NullHandler()
+    else:
+        _HANDLER = logging.StreamHandler(sys.stderr)
+        _HANDLER.setLevel(level)
+        _HANDLER.setFormatter(
+            logging.Formatter("%(name)s %(levelname)s: %(message)s"))
+    # Level lives on the handler, not the logger: caplog (which
+    # attaches its own handler upstream) must see every record even
+    # when the stderr handler is silenced.
+    root.setLevel(logging.NOTSET)
+    root.addHandler(_HANDLER)
+    return None if isinstance(_HANDLER, logging.NullHandler) else _HANDLER
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """The logger for one repro subsystem (``repro.<name>``), with the
+    shared stderr handler installed on the ``repro`` root."""
+    if _HANDLER is None:
+        configure()
+    return logging.getLogger(f"{ROOT_NAME}.{name}" if name else ROOT_NAME)
+
+
+def event(logger: logging.Logger, name: str, level: int = logging.WARNING,
+          **fields) -> None:
+    """Emit one structured event: ``name key=value ...``.
+
+    ``name`` is a stable dotted identifier (``frame_pool.task_timeout``,
+    ``batch.job_quarantined``); ``fields`` are the event's data, kept in
+    call order in the message and attached whole to the record as
+    ``repro_fields`` for handlers that want structure.
+    """
+    message = " ".join(
+        [name] + [f"{key}={value!r}" for key, value in fields.items()])
+    logger.log(level, message,
+               extra={"repro_event": name, "repro_fields": fields})
+
+
+def events_named(records, name: str):
+    """The ``caplog.records`` entries carrying event ``name`` — the
+    test-side accessor matching :func:`event`."""
+    return [record for record in records
+            if getattr(record, "repro_event", None) == name]

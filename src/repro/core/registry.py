@@ -139,7 +139,9 @@ class Experiment:
                     tasks = self.units(ctx, params, shared)
                 results = [function(**kwargs) for function, kwargs in tasks]
             else:
-                results = run_variants(tasks, workers=count)
+                results = run_variants(tasks, workers=count,
+                                       timeout=ctx.task_timeout,
+                                       retries=ctx.retries)
         rows = self.reduce(results, params)
         text = self.render(rows, params)
         return ExperimentResult(name=self.name, params=params, rows=rows,
@@ -744,5 +746,6 @@ def run_sweep(grid: Optional[Mapping[str, Sequence]] = None,
                  full["dataset"], full["views"], full["points"],
                  full["variant"])]
     with exported_cache_knob(ctx.cache_dir):
-        rows = run_variants(tasks, workers=ctx.workers)
+        rows = run_variants(tasks, workers=ctx.workers,
+                            timeout=ctx.task_timeout, retries=ctx.retries)
     return rows, render_sweep(rows)

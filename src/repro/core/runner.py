@@ -8,16 +8,35 @@ hosts.  :func:`run_variants` fans the variant units out over a
 order and each unit is a pure function of its arguments, so the rows —
 and therefore the committed figure/table artefacts — are byte-identical
 whether the units run in one process or many.
+
+Fault tolerance (see :mod:`repro.core.faults` and
+``docs/robustness.md``): like :func:`repro.core.frame_pool.map_chunks`,
+every unit gets a per-task timeout (``REPRO_TASK_TIMEOUT``) and a
+bounded retry budget (``REPRO_RETRIES``); a crashed worker
+(``BrokenProcessPool``) re-executes only the unfinished units on a pool
+rebuilt once before the run degrades to sequential, a hung unit is
+retried on a fresh pool, and the final attempt for any unit always
+runs in-process.  All fallbacks/retries emit structured
+:mod:`repro.core.log` events.  An exception raised *by a unit*
+propagates unchanged in every mode — retries are for infrastructure
+faults only.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import logging
 import os
-import sys
+import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from . import faults, log
+
 POOL_WORKER_ENV = "REPRO_POOL_WORKER"
+
+_LOG = log.get_logger("runner")
+
+_UNSET = object()
 
 
 def in_pool_worker() -> bool:
@@ -34,14 +53,13 @@ def mark_pool_worker() -> None:
 
 
 def _parse_worker_count(value, source: str) -> Optional[int]:
-    """Best-effort integer parse; ``None`` (with a warning) on
-    non-numeric input, so a typo'd knob degrades to autodetection
+    """Best-effort integer parse; ``None`` (with a structured warning)
+    on non-numeric input, so a typo'd knob degrades to autodetection
     instead of crashing an hours-long harness run."""
     try:
         return int(str(value).strip())
     except (TypeError, ValueError):
-        print(f"warning: ignoring non-integer {source}={value!r}",
-              file=sys.stderr)
+        log.event(_LOG, "knob.ignored", knob=source, value=value)
         return None
 
 
@@ -69,56 +87,165 @@ def detect_workers(num_tasks: int, workers: Optional[int] = None) -> int:
     return max(1, min(workers, max(int(num_tasks), 1)))
 
 
+def _run_unit(function: Callable, kwargs: Dict,
+              fault: Optional[faults.FaultSpec] = None,
+              task_index: int = -1):
+    if fault is not None:
+        injected = faults.apply_worker_fault(fault, task_index)
+        if injected is not None:
+            return injected
+    return function(**kwargs)
+
+
 def run_variants(tasks: Sequence[Tuple[Callable, Dict]],
-                 workers: Optional[int] = None) -> List:
+                 workers: Optional[int] = None,
+                 timeout: Optional[float] = None,
+                 retries: Optional[int] = None) -> List:
     """Run ``(function, kwargs)`` units, results in task order.
 
     With more than one worker the units execute on a
     ``ProcessPoolExecutor`` (functions must be module-level so they
     pickle); with one worker — or if the pool cannot start, e.g. in a
     sandbox without process spawning — they run sequentially in this
-    process.  Exceptions raised *by a unit* propagate unchanged in
-    either mode; only pool-infrastructure failures trigger the
-    sequential fallback.
-
-    A sequential resolution (``workers=1``, a single task, or a 1-CPU
-    host) never constructs a ``ProcessPoolExecutor`` at all — the
-    in-process loop below runs before any pool machinery, so a
-    sequential harness run pays zero spawn cost (pinned by
+    process.  A sequential resolution (``workers=1``, a single task, or
+    a 1-CPU host) never constructs a ``ProcessPoolExecutor`` at all, so
+    a sequential harness run pays zero spawn cost (pinned by
     ``tests/core/test_experiments.py``).  Pool workers are marked via
     :func:`mark_pool_worker`, which is what keeps a unit's *intra-frame*
     sharding (:mod:`repro.core.frame_pool`) from nesting a second pool
     under this one.
+
+    Fault handling mirrors :func:`repro.core.frame_pool.map_chunks`:
+    per-unit ``timeout`` (else ``REPRO_TASK_TIMEOUT``, else off) and
+    bounded ``retries`` (else ``REPRO_RETRIES``, default 1); crashed
+    workers re-execute only their units on a pool rebuilt once before
+    degrading to sequential; timed-out pools are abandoned without
+    joining; the final attempt runs in-process.  Exceptions raised *by
+    a unit* — including OSError subclasses — propagate unchanged and
+    are never retried; only pool-infrastructure failures trigger
+    retries or the sequential fallback.
     """
     tasks = list(tasks)
     count = detect_workers(len(tasks), workers)
     if count <= 1 or len(tasks) <= 1:
         return [function(**kwargs) for function, kwargs in tasks]
-    # Only pool-infrastructure failures fall back to sequential:
-    # OSError during pool construction or task submission (worker
-    # processes spawn lazily inside ``submit``, so a sandbox that
-    # blocks process creation surfaces there, not in the constructor)
-    # and BrokenProcessPool (a worker died without delivering a
-    # result).  An exception *raised by a unit* is re-raised by
-    # ``future.result()`` as itself — including OSError subclasses —
-    # and must propagate, not trigger a silent sequential re-run of
-    # every unit; ``futures`` being bound marks that submission
-    # finished and any later OSError is the unit's own.
-    futures = None
+    timeout = faults.detect_task_timeout(timeout)
+    retries = faults.detect_retries(retries)
+    plan = faults.active_plan()
+
+    results: List = [_UNSET] * len(tasks)
+    pending = list(range(len(tasks)))
+    rebuilt = False
+    degraded: Optional[str] = None
+    executor: Optional[concurrent.futures.ProcessPoolExecutor] = None
+
     try:
-        with concurrent.futures.ProcessPoolExecutor(
-                max_workers=count,
-                initializer=mark_pool_worker) as pool:
-            futures = [pool.submit(function, **kwargs)
-                       for function, kwargs in tasks]
-            return [future.result() for future in futures]
-    except OSError as error:
-        if futures is not None:
-            raise
-        print(f"warning: process pool unavailable ({error}); "
-              f"running variants sequentially", file=sys.stderr)
-        return [function(**kwargs) for function, kwargs in tasks]
-    except concurrent.futures.process.BrokenProcessPool as error:
-        print(f"warning: process pool broke ({error}); "
-              f"running variants sequentially", file=sys.stderr)
-        return [function(**kwargs) for function, kwargs in tasks]
+        # max(retries, 1) pooled rounds, plus one bonus round when the
+        # pool broke and was rebuilt — the rebuild is an infrastructure
+        # event, it must not consume a task's retry budget.
+        attempt = 0
+        while pending and degraded is None and \
+                attempt < max(retries, 1) + (1 if rebuilt else 0):
+            if attempt:
+                time.sleep(faults.backoff_delay(attempt - 1,
+                                                salt="run_variants"))
+            try:
+                if executor is None:
+                    executor = concurrent.futures.ProcessPoolExecutor(
+                        max_workers=min(count, len(pending)),
+                        initializer=mark_pool_worker)
+                submitted = {}
+                for index in pending:
+                    fault = plan.fault_for(index, attempt,
+                                           scope="run_variants") \
+                        if plan else None
+                    function, kwargs = tasks[index]
+                    submitted[index] = executor.submit(
+                        _run_unit, function, kwargs, fault, index)
+            except concurrent.futures.process.BrokenProcessPool as error:
+                # A worker died during spawn/submission.
+                executor.shutdown(cancel_futures=True)
+                executor = None
+                log.event(_LOG, "run_variants.pool_broken",
+                          error=str(error), attempt=attempt,
+                          pending=len(pending))
+                if rebuilt:
+                    degraded = "pool broke twice"
+                    break
+                rebuilt = True
+                log.event(_LOG, "run_variants.pool_rebuild",
+                          level=logging.INFO, pending=len(pending))
+                attempt += 1
+                continue
+            except OSError as error:
+                # Pool infrastructure unavailable: worker processes
+                # spawn lazily inside ``submit``, so a sandbox that
+                # blocks process creation surfaces here, not in the
+                # constructor.  A unit's own OSError surfaces from
+                # future.result() below instead and propagates.
+                executor = None
+                degraded = f"pool unavailable: {error}"
+                break
+
+            retry: List[int] = []
+            broken: Optional[BaseException] = None
+            timed_out = False
+            for index in pending:
+                future = submitted[index]
+                try:
+                    value = future.result(timeout=timeout)
+                except concurrent.futures.TimeoutError:
+                    if future.done():
+                        raise    # the unit itself raised TimeoutError
+                    timed_out = True
+                    log.event(_LOG, "run_variants.task_timeout",
+                              task=index, attempt=attempt,
+                              timeout_s=timeout)
+                    retry.append(index)
+                    continue
+                except concurrent.futures.process.BrokenProcessPool \
+                        as error:
+                    broken = error
+                    retry.append(index)
+                    continue
+                if isinstance(value, faults.CorruptResult):
+                    log.event(_LOG, "run_variants.task_corrupt",
+                              task=index, attempt=attempt)
+                    retry.append(index)
+                    continue
+                results[index] = value
+            pending = retry
+
+            if broken is not None:
+                executor.shutdown(cancel_futures=True)   # workers dead
+                executor = None
+                log.event(_LOG, "run_variants.pool_broken",
+                          error=str(broken), attempt=attempt,
+                          pending=len(pending))
+                if rebuilt:
+                    degraded = "pool broke twice"
+                else:
+                    rebuilt = True
+                    log.event(_LOG, "run_variants.pool_rebuild",
+                              level=logging.INFO, pending=len(pending))
+            elif timed_out:
+                # The pool still holds a hung worker: abandon it
+                # without joining; a fresh pool spawns next attempt.
+                executor.shutdown(wait=False, cancel_futures=True)
+                executor = None
+            attempt += 1
+    finally:
+        if executor is not None:
+            executor.shutdown(cancel_futures=True)
+
+    if degraded is not None:
+        log.event(_LOG, "run_variants.degraded_sequential",
+                  reason=degraded, pending=len(pending))
+    if pending:
+        for index in pending:
+            if degraded is None:
+                log.event(_LOG, "run_variants.task_inprocess",
+                          level=logging.INFO, task=index)
+            function, kwargs = tasks[index]
+            results[index] = function(**kwargs)
+    return results

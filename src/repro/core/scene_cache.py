@@ -15,8 +15,12 @@ are byte-identical to cold preparation — the equivalence is pinned in
 ``tests/core/test_scene_cache.py``.
 
 Files are written atomically (temp file + ``os.replace``) so a crashed
-or concurrent run can never leave a truncated entry; unreadable entries
-are treated as misses and recomputed.
+or concurrent run can never leave a truncated entry; an unreadable or
+corrupt entry is a miss that **self-heals** — the bad file is deleted
+(with a structured ``scene_cache.corrupt_entry`` warning through
+:mod:`repro.core.log`), the caller recomputes, and the atomic store
+writes a good entry back, so a damaged ``REPRO_CACHE_DIR`` never
+poisons runs forever.
 """
 
 from __future__ import annotations
@@ -28,7 +32,10 @@ from typing import Optional
 
 import numpy as np
 
+from . import faults, log
 from .reporting import atomic_write
+
+_LOG = log.get_logger("scene_cache")
 
 ENV_KNOB = "REPRO_CACHE_DIR"
 _OFF_VALUES = {"", "0", "off", "none", "disabled"}
@@ -90,16 +97,36 @@ class SceneCache:
         return os.path.join(self.directory, f"{key}.npy")
 
     def load(self, key: str) -> Optional[np.ndarray]:
-        """The cached array, or ``None`` on a miss or unreadable entry."""
+        """The cached array, or ``None`` on a miss.
+
+        A corrupt entry (truncated, foreign, or unreadable file — or
+        one an active :class:`repro.core.faults.FaultPlan` injects as
+        corrupt) is deleted on the spot with a structured warning: the
+        caller recomputes and stores a good entry back, so the cache
+        self-heals instead of missing silently forever.
+        """
         path = self.path_for(key)
+        plan = faults.active_plan()
+        if plan is not None and plan.corrupts_cache(key):
+            self._heal(key, path, "injected corruption")
+            return None
         try:
             return np.load(path, allow_pickle=False)
         except FileNotFoundError:
             return None
-        except (OSError, ValueError, EOFError):
-            # Truncated or foreign file: a miss, not an error — the
-            # caller recomputes and the atomic store replaces it.
+        except (OSError, ValueError, EOFError) as error:
+            self._heal(key, path, str(error))
             return None
+
+    def _heal(self, key: str, path: str, reason: str) -> None:
+        """Delete one corrupt entry (best-effort) and warn once."""
+        try:
+            os.unlink(path)
+            deleted = True
+        except OSError:
+            deleted = False
+        log.event(_LOG, "scene_cache.corrupt_entry", key=key, path=path,
+                  deleted=deleted, reason=reason)
 
     def store(self, key: str, array: np.ndarray) -> str:
         """Persist ``array`` under ``key`` atomically."""

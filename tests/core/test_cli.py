@@ -1,4 +1,6 @@
-"""CLI smoke tests: ``python -m repro`` list / run / sweep."""
+"""CLI smoke tests: ``python -m repro`` list / run / sweep / batch."""
+
+import json
 
 import pytest
 
@@ -94,3 +96,52 @@ class TestSweep:
         text = path.read_text()
         assert "Registry sweep — 1 grid point(s)" in text
         assert text.rstrip("\n") in out
+
+
+class TestBatch:
+    def _jobs_dir(self, tmp_path):
+        jobs = tmp_path / "jobs"
+        jobs.mkdir()
+        (jobs / "good.json").write_text(
+            json.dumps({"experiment": "table1"}))
+        (jobs / "broken.json").write_text('{"experiment": ')
+        return jobs
+
+    def test_batch_quarantines_and_exits_zero(self, tmp_path, capsys):
+        jobs = self._jobs_dir(tmp_path)
+        assert main(["batch", str(jobs)]) == 0
+        captured = capsys.readouterr()
+        assert "completed 1  skipped 0  quarantined 1" in captured.out
+        assert (jobs / "out" / "good.txt").is_file()
+        assert (jobs / "out" / "errors" / "broken.report.txt").is_file()
+        assert "batch_summary.txt" in captured.err     # [wrote ...] note
+
+    def test_strict_flag_fails_on_quarantine(self, tmp_path, capsys):
+        jobs = self._jobs_dir(tmp_path)
+        assert main(["batch", str(jobs), "--strict"]) == 1
+        capsys.readouterr()
+        # A clean re-run (everything skipped, nothing quarantined)
+        # passes --strict: the broken spec was quarantined, so remove
+        # it as its report instructs.
+        (jobs / "broken.json").unlink()
+        assert main(["batch", str(jobs), "--strict"]) == 0
+        assert "skipped 1" in capsys.readouterr().out
+
+    def test_missing_jobs_dir_is_a_usage_error(self, tmp_path, capsys):
+        assert main(["batch", str(tmp_path / "absent")]) == 2
+        assert "jobs directory not found" in capsys.readouterr().err
+
+    def test_out_flag_redirects_artefacts(self, tmp_path, capsys):
+        jobs = self._jobs_dir(tmp_path)
+        out = tmp_path / "elsewhere"
+        assert main(["batch", str(jobs), "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert (out / "good.txt").is_file()
+        assert not (jobs / "out").exists()
+
+    def test_task_timeout_and_retries_flags_parse(self, tmp_path,
+                                                  capsys):
+        jobs = self._jobs_dir(tmp_path)
+        assert main(["batch", str(jobs), "--task-timeout", "30",
+                     "--retries", "2"]) == 0
+        capsys.readouterr()

@@ -168,39 +168,50 @@ class TestVariantRunner:
         assert core.detect_workers(0) == 1           # never below one
 
     def test_detect_workers_malformed_env_falls_back(self, monkeypatch,
-                                                     capsys):
+                                                     caplog):
         # Malformed REPRO_WORKERS values must fall back cleanly, never
         # raise mid-harness: non-numeric degrades to CPU autodetection
-        # with a warning, non-positive clamps to the sequential path
-        # (the historical semantics of REPRO_WORKERS=0).
-        from repro.core import runner
+        # with a structured knob.ignored warning, non-positive clamps
+        # to the sequential path (the historical semantics of
+        # REPRO_WORKERS=0).
+        import logging
+
+        from repro.core import log, runner
 
         monkeypatch.setattr(runner.os, "cpu_count", lambda: 4)
-        for bad in ("not-a-number", "2.5"):
-            monkeypatch.setenv("REPRO_WORKERS", bad)
-            assert core.detect_workers(10) == 4, bad
-            assert "warning" in capsys.readouterr().err
-        for sequential in ("0", "-3"):
-            monkeypatch.setenv("REPRO_WORKERS", sequential)
-            assert core.detect_workers(10) == 1, sequential
-            assert capsys.readouterr().err == ""
-        # Empty / whitespace-only values are silently skipped.
-        for empty in ("", "   "):
-            monkeypatch.setenv("REPRO_WORKERS", empty)
-            assert core.detect_workers(10) == 4
-            assert capsys.readouterr().err == ""
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            for bad in ("not-a-number", "2.5"):
+                caplog.clear()
+                monkeypatch.setenv("REPRO_WORKERS", bad)
+                assert core.detect_workers(10) == 4, bad
+                assert log.events_named(caplog.records, "knob.ignored")
+            for sequential in ("0", "-3"):
+                caplog.clear()
+                monkeypatch.setenv("REPRO_WORKERS", sequential)
+                assert core.detect_workers(10) == 1, sequential
+                assert not caplog.records
+            # Empty / whitespace-only values are silently skipped.
+            for empty in ("", "   "):
+                caplog.clear()
+                monkeypatch.setenv("REPRO_WORKERS", empty)
+                assert core.detect_workers(10) == 4
+                assert not caplog.records
         # Whitespace-padded integers still parse.
         monkeypatch.setenv("REPRO_WORKERS", "  3  ")
         assert core.detect_workers(10) == 3
 
     def test_detect_workers_malformed_argument_falls_back(
-            self, monkeypatch, capsys):
-        from repro.core import runner
+            self, monkeypatch, caplog):
+        import logging
+
+        from repro.core import log, runner
 
         monkeypatch.setattr(runner.os, "cpu_count", lambda: 4)
         monkeypatch.delenv("REPRO_WORKERS", raising=False)
-        assert core.detect_workers(10, workers="garbage") == 4
-        assert "warning" in capsys.readouterr().err
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            assert core.detect_workers(10, workers="garbage") == 4
+        record, = log.events_named(caplog.records, "knob.ignored")
+        assert record.repro_fields["knob"] == "workers"
         # Explicit non-positive counts keep the historical clamp to the
         # sequential path (not a silent upgrade to full parallelism).
         assert core.detect_workers(10, workers=0) == 1

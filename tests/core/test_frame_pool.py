@@ -7,10 +7,12 @@ pool machinery itself with cheap picklable functions.
 """
 
 import concurrent.futures
+import logging
 
 import pytest
 
-from repro.core import frame_pool, runner
+from repro.core import faults, frame_pool, log, runner
+from repro.core.faults import FaultPlan, FaultSpec, injected_faults
 from repro.core.runner import POOL_WORKER_ENV, in_pool_worker
 
 
@@ -99,18 +101,24 @@ class TestMapChunks:
                                   workers=2)
 
     def test_pool_spawn_failure_falls_back_sequentially(self, monkeypatch,
-                                                        capsys):
+                                                        caplog):
         def broken_pool(payload, workers):
             raise OSError("no process spawning here")
 
         monkeypatch.setattr(frame_pool, "get_pool", broken_pool)
-        results = frame_pool.map_chunks(_scaled, (5,), [(1,), (2,), (3,)],
-                                        workers=3)
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            results = frame_pool.map_chunks(_scaled, (5,),
+                                            [(1,), (2,), (3,)], workers=3)
         assert results == [5, 10, 15]
-        assert "frame pool unavailable" in capsys.readouterr().err
+        # Satellite requirement: the sequential fallback is reported as
+        # a structured event exactly once per degradation.
+        degraded = log.events_named(caplog.records,
+                                    "frame_pool.degraded_sequential")
+        assert len(degraded) == 1
+        assert "pool unavailable" in degraded[0].repro_fields["reason"]
 
     def test_broken_pool_falls_back_sequentially(self, monkeypatch,
-                                                 capsys):
+                                                 caplog):
         class BrokenExecutor:
             def submit(self, *args, **kwargs):
                 raise concurrent.futures.process.BrokenProcessPool(
@@ -118,10 +126,18 @@ class TestMapChunks:
 
         monkeypatch.setattr(frame_pool, "get_pool",
                             lambda payload, workers: BrokenExecutor())
-        results = frame_pool.map_chunks(_scaled, (7,), [(1,), (2,)],
-                                        workers=2)
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            results = frame_pool.map_chunks(_scaled, (7,), [(1,), (2,)],
+                                            workers=2)
         assert results == [7, 14]
-        assert "frame pool broke" in capsys.readouterr().err
+        # Break -> rebuild once -> break again -> degrade: one rebuild
+        # attempt, then exactly one degradation event.
+        broken = log.events_named(caplog.records, "frame_pool.pool_broken")
+        assert len(broken) == 2
+        degraded = log.events_named(caplog.records,
+                                    "frame_pool.degraded_sequential")
+        assert len(degraded) == 1
+        assert degraded[0].repro_fields["reason"] == "pool broke twice"
 
 
 class TestPoolPersistence:
@@ -180,6 +196,151 @@ class TestNestedPoolGuard:
                                     workers=2)
         assert flags == [True, True]
         assert not in_pool_worker()
+
+
+def _unit_triple(value=0):
+    return value * 3
+
+
+class TestMapChunksFaultInjection:
+    """Deterministic fault drills against a *real* pool: crashed, hung,
+    and corrupt workers re-execute only their chunk, and the output
+    stays identical to the sequential path."""
+
+    EXPECTED = [0, 5, 10, 15]
+
+    def _run(self, workers=2, timeout=None, retries=None):
+        return frame_pool.map_chunks(
+            _scaled, (5,), [(i,) for i in range(4)],
+            workers=workers, timeout=timeout, retries=retries)
+
+    def test_worker_crash_rebuilds_pool_and_retries(self, caplog):
+        plan = FaultPlan(tasks={1: FaultSpec("crash")}, scope="frame_pool")
+        with caplog.at_level(logging.INFO, logger="repro"):
+            with injected_faults(plan):
+                assert self._run() == self.EXPECTED
+        assert log.events_named(caplog.records, "frame_pool.pool_broken")
+        assert log.events_named(caplog.records, "frame_pool.pool_rebuild")
+        # A single crash must never degrade the whole frame.
+        assert not log.events_named(caplog.records,
+                                    "frame_pool.degraded_sequential")
+
+    def test_persistent_crashes_degrade_once_then_finish_in_process(
+            self, caplog):
+        plan = FaultPlan(tasks={0: FaultSpec("crash",
+                                             attempts=tuple(range(8)))},
+                         scope="frame_pool")
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            with injected_faults(plan):
+                assert self._run(retries=3) == self.EXPECTED
+        degraded = log.events_named(caplog.records,
+                                    "frame_pool.degraded_sequential")
+        assert len(degraded) == 1
+        assert degraded[0].repro_fields["reason"] == "pool broke twice"
+
+    def test_hung_worker_times_out_and_retries(self, caplog):
+        plan = FaultPlan(tasks={2: FaultSpec("hang", hang_s=5.0)},
+                         scope="frame_pool")
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            with injected_faults(plan):
+                assert self._run(timeout=0.25) == self.EXPECTED
+        timeouts = log.events_named(caplog.records,
+                                    "frame_pool.task_timeout")
+        assert [r.repro_fields["task"] for r in timeouts] == [2]
+
+    def test_corrupt_result_is_retried_not_returned(self, caplog):
+        plan = FaultPlan(tasks={3: FaultSpec("corrupt")},
+                         scope="frame_pool")
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            with injected_faults(plan):
+                results = self._run()
+        assert results == self.EXPECTED
+        assert not any(isinstance(value, faults.CorruptResult)
+                       for value in results)
+        corrupt = log.events_named(caplog.records,
+                                   "frame_pool.task_corrupt")
+        assert [r.repro_fields["task"] for r in corrupt] == [3]
+
+    def test_validate_hook_rejections_are_retried(self, caplog):
+        rejected = []
+
+        def validate(value, index):
+            # Parent-side validator: reject task 1's first result only.
+            if index == 1 and not rejected:
+                rejected.append(index)
+                return False
+            return True
+
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            results = frame_pool.map_chunks(
+                _scaled, (5,), [(i,) for i in range(4)],
+                workers=2, validate=validate)
+        assert results == self.EXPECTED
+        assert rejected == [1]
+        assert log.events_named(caplog.records, "frame_pool.task_corrupt")
+
+    def test_scope_mismatch_injects_nothing(self):
+        plan = FaultPlan(tasks={0: FaultSpec("crash",
+                                             attempts=tuple(range(8)))},
+                         scope="run_variants")
+        with injected_faults(plan):
+            assert self._run() == self.EXPECTED
+
+
+class TestRunVariantsFaultInjection:
+    TASKS = [(_unit_triple, {"value": i}) for i in range(4)]
+    EXPECTED = [0, 3, 6, 9]
+
+    def test_worker_crash_rebuilds_pool_and_retries(self, caplog):
+        plan = FaultPlan(tasks={0: FaultSpec("crash")},
+                         scope="run_variants")
+        with caplog.at_level(logging.INFO, logger="repro"):
+            with injected_faults(plan):
+                assert runner.run_variants(self.TASKS,
+                                           workers=2) == self.EXPECTED
+        assert log.events_named(caplog.records, "run_variants.pool_broken")
+        assert log.events_named(caplog.records,
+                                "run_variants.pool_rebuild")
+        assert not log.events_named(caplog.records,
+                                    "run_variants.degraded_sequential")
+
+    def test_variant_timeout_once_then_succeeds(self, caplog):
+        # Satellite drill: one variant hangs past its timeout on the
+        # first attempt, is retried on a fresh pool, and the run's
+        # results are identical to the no-fault run.
+        plan = FaultPlan(tasks={1: FaultSpec("hang", hang_s=5.0)},
+                         scope="run_variants")
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            with injected_faults(plan):
+                results = runner.run_variants(self.TASKS, workers=2,
+                                              timeout=0.25)
+        assert results == self.EXPECTED
+        timeouts = log.events_named(caplog.records,
+                                    "run_variants.task_timeout")
+        assert [r.repro_fields["task"] for r in timeouts] == [1]
+
+    def test_persistent_crashes_degrade_once_then_finish_in_process(
+            self, caplog):
+        plan = FaultPlan(tasks={2: FaultSpec("crash",
+                                             attempts=tuple(range(8)))},
+                         scope="run_variants")
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            with injected_faults(plan):
+                assert runner.run_variants(self.TASKS, workers=2,
+                                           retries=3) == self.EXPECTED
+        degraded = log.events_named(caplog.records,
+                                    "run_variants.degraded_sequential")
+        assert len(degraded) == 1
+
+    def test_corrupt_unit_result_is_retried(self, caplog):
+        plan = FaultPlan(tasks={3: FaultSpec("corrupt")},
+                         scope="run_variants")
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            with injected_faults(plan):
+                assert runner.run_variants(self.TASKS,
+                                           workers=2) == self.EXPECTED
+        assert log.events_named(caplog.records,
+                                "run_variants.task_corrupt")
 
 
 class TestRunVariantsPoolBypass:

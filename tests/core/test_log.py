@@ -1,0 +1,103 @@
+"""Structured event logging: the REPRO_LOG knob, event records, and
+caplog visibility regardless of the stderr handler's level."""
+
+import logging
+
+import pytest
+
+from repro.core import log
+
+
+@pytest.fixture(autouse=True)
+def restore_handler():
+    """Each test reconfigures the shared handler; put the env-derived
+    default back afterwards so other suites see standard behaviour."""
+    yield
+    log.configure()
+
+
+class TestParseLevel:
+    def test_default_when_unset_or_blank(self):
+        assert log.parse_level(None) == log.DEFAULT_LEVEL
+        assert log.parse_level("") == log.DEFAULT_LEVEL
+        assert log.parse_level("   ") == log.DEFAULT_LEVEL
+
+    def test_level_names_case_insensitive(self):
+        assert log.parse_level("debug") == logging.DEBUG
+        assert log.parse_level("INFO") == logging.INFO
+        assert log.parse_level("Warning") == logging.WARNING
+        assert log.parse_level("warn") == logging.WARNING
+        assert log.parse_level("error") == logging.ERROR
+
+    def test_off_values_silence(self):
+        for value in ("off", "none", "silent", "0", "disabled", "OFF"):
+            assert log.parse_level(value) is None
+
+    def test_malformed_warns_and_falls_back(self, capsys):
+        assert log.parse_level("loud") == log.DEFAULT_LEVEL
+        err = capsys.readouterr().err
+        assert "REPRO_LOG" in err and "loud" in err
+
+
+class TestConfigure:
+    def test_env_knob_sets_handler_level(self, monkeypatch):
+        monkeypatch.setenv(log.ENV_KNOB, "info")
+        handler = log.configure()
+        assert handler is not None
+        assert handler.level == logging.INFO
+
+    def test_off_knob_returns_no_stderr_handler(self, monkeypatch):
+        monkeypatch.setenv(log.ENV_KNOB, "off")
+        assert log.configure() is None
+
+    def test_reconfigure_never_stacks_handlers(self):
+        log.configure("warning")
+        log.configure("info")
+        log.configure("debug")
+        root = logging.getLogger(log.ROOT_NAME)
+        ours = [h for h in root.handlers
+                if isinstance(h, (logging.StreamHandler,
+                                  logging.NullHandler))]
+        assert len(ours) == 1
+
+    def test_logger_level_stays_notset_for_caplog(self):
+        log.configure("error")
+        assert logging.getLogger(log.ROOT_NAME).level == logging.NOTSET
+
+
+class TestEvent:
+    def test_event_message_and_record_fields(self, caplog):
+        logger = log.get_logger("unit")
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            log.event(logger, "unit.fell_over", task=3, reason="test")
+        record, = log.events_named(caplog.records, "unit.fell_over")
+        assert record.name == "repro.unit"
+        assert record.levelno == logging.WARNING
+        assert record.repro_fields == {"task": 3, "reason": "test"}
+        assert "unit.fell_over task=3 reason='test'" in record.message
+
+    def test_caplog_sees_events_even_when_knob_is_off(self, caplog):
+        # The satellite contract: structured events must stay
+        # assertable under any REPRO_LOG setting.
+        log.configure("off")
+        logger = log.get_logger("unit")
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            log.event(logger, "unit.quiet_event", n=1)
+        assert log.events_named(caplog.records, "unit.quiet_event")
+
+    def test_event_level_override(self, caplog):
+        logger = log.get_logger("unit")
+        with caplog.at_level(logging.INFO, logger="repro"):
+            log.event(logger, "unit.progress", level=logging.INFO, step=2)
+        record, = log.events_named(caplog.records, "unit.progress")
+        assert record.levelno == logging.INFO
+
+    def test_events_named_filters(self, caplog):
+        logger = log.get_logger("unit")
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            log.event(logger, "unit.a", i=1)
+            log.event(logger, "unit.b", i=2)
+            log.event(logger, "unit.a", i=3)
+            logger.warning("a plain non-event record")
+        named = log.events_named(caplog.records, "unit.a")
+        assert [r.repro_fields["i"] for r in named] == [1, 3]

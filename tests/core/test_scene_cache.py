@@ -1,5 +1,7 @@
-"""Disk-backed scene-prep cache: keys, knob, and byte-identical hits."""
+"""Disk-backed scene-prep cache: keys, knob, byte-identical hits, and
+corrupt-entry self-healing."""
 
+import logging
 import os
 
 import numpy as np
@@ -7,8 +9,10 @@ import pytest
 
 from repro import models as M
 from repro.core import context as ctx_mod
+from repro.core import log
 from repro.core.context import (clear_scene_memos, llff_references,
                                 llff_scene_data)
+from repro.core.faults import FaultPlan, injected_faults
 from repro.core.scene_cache import ENV_KNOB, SceneCache, recipe_key
 
 TINY = dict(image_scale=1 / 16, num_source_views=3, seed=5, gt_points=8)
@@ -96,6 +100,64 @@ class TestStoreLoad:
         cache = SceneCache(str(tmp_path))
         cache.store("clean", np.zeros(3))
         assert sorted(os.listdir(tmp_path)) == ["clean.npy"]
+
+
+class TestSelfHeal:
+    """Satellite: a corrupt entry is deleted on read failure (with a
+    structured warning) so the next store writes a good one back."""
+
+    def test_truncated_entry_is_deleted_and_warned(self, tmp_path,
+                                                   caplog):
+        cache = SceneCache(str(tmp_path))
+        cache.store("damaged", np.arange(24.0).reshape(4, 6))
+        path = cache.path_for("damaged")
+        with open(path, "r+b") as handle:
+            handle.truncate(10)
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            assert cache.load("damaged") is None
+        assert not os.path.exists(path)      # bad file gone
+        events = log.events_named(caplog.records,
+                                  "scene_cache.corrupt_entry")
+        assert len(events) == 1
+        assert events[0].repro_fields["key"] == "damaged"
+        assert events[0].repro_fields["deleted"] is True
+
+    def test_heal_then_store_recovers_round_trip(self, tmp_path):
+        cache = SceneCache(str(tmp_path))
+        array = np.arange(12.0).reshape(3, 4)
+        cache.store("entry", array)
+        with open(cache.path_for("entry"), "r+b") as handle:
+            handle.truncate(4)
+        assert cache.load("entry") is None   # heals: entry removed
+        cache.store("entry", array)          # caller recomputed
+        assert cache.load("entry").tobytes() == array.tobytes()
+
+    def test_foreign_file_is_healed(self, tmp_path, caplog):
+        cache = SceneCache(str(tmp_path))
+        path = cache.path_for("foreign")
+        with open(path, "w") as handle:
+            handle.write("not an npy file at all")
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            assert cache.load("foreign") is None
+        assert not os.path.exists(path)
+        assert log.events_named(caplog.records,
+                                "scene_cache.corrupt_entry")
+
+    def test_injected_cache_corruption_heals(self, tmp_path, caplog):
+        cache = SceneCache(str(tmp_path))
+        cache.store("llff-src-fern-deadbeef", np.ones(5))
+        plan = FaultPlan(cache_keys=("llff-src-fern",))
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            with injected_faults(plan):
+                assert cache.load("llff-src-fern-deadbeef") is None
+        assert not os.path.exists(cache.path_for("llff-src-fern-deadbeef"))
+        events = log.events_named(caplog.records,
+                                  "scene_cache.corrupt_entry")
+        assert events[0].repro_fields["reason"] == "injected corruption"
+        # Keys the plan does not name are untouched.
+        cache.store("other", np.zeros(2))
+        with injected_faults(plan):
+            assert cache.load("other") is not None
 
 
 class TestPreparedSceneCache:

@@ -9,10 +9,12 @@ at any worker count.  Covers all Fig. 12 variants at 1/2/4 workers,
 ``split_plan_arrays`` itself, and the pool-failure fallback.
 """
 
+import logging
+
 import numpy as np
 import pytest
 
-from repro.core import frame_pool
+from repro.core import frame_pool, log
 from repro.core.pipeline import hardware_rig
 from repro.hardware import (GenNerfAccelerator, PlanArrays,
                             split_plan_arrays, variant_config)
@@ -143,15 +145,18 @@ class TestFrameSimSharded:
 
 class TestPoolFailureFallback:
     def test_simulation_survives_pool_failure_bit_identically(
-            self, rig, workload, monkeypatch, capsys):
+            self, rig, workload, monkeypatch, caplog):
         sequential, plan = _simulate("ours", rig, workload, workers=1)
 
         def broken_pool(payload, workers):
             raise OSError("process spawning disabled")
 
         monkeypatch.setattr(frame_pool, "get_pool", broken_pool)
-        sharded, _ = _simulate("ours", rig, workload, workers=4,
-                               plan=plan)
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            sharded, _ = _simulate("ours", rig, workload, workers=4,
+                                   plan=plan)
         for field in SCALAR_FIELDS:
             assert getattr(sharded, field) == getattr(sequential, field)
-        assert "frame pool unavailable" in capsys.readouterr().err
+        degraded = log.events_named(caplog.records,
+                                    "frame_pool.degraded_sequential")
+        assert len(degraded) == 1

@@ -9,10 +9,12 @@ chunking, hierarchical IBRNet included), the source-view renderer, and
 the pool-failure fallback.
 """
 
+import logging
+
 import numpy as np
 import pytest
 
-from repro.core import frame_pool
+from repro.core import frame_pool, log
 from repro.models import (GenNeRF, GenNerfConfig, GeneralizableNeRF,
                           ModelConfig, SceneData, render_image_gen_nerf,
                           render_image_ibrnet, render_source_views)
@@ -132,7 +134,7 @@ class TestGenNerfSharded:
 
 class TestPoolFailureFallback:
     def test_render_survives_pool_failure_byte_identically(
-            self, scene, source_images, gen_nerf, monkeypatch, capsys):
+            self, scene, source_images, gen_nerf, monkeypatch, caplog):
         sequential, _ = render_image_gen_nerf(gen_nerf, scene,
                                               source_images, step=4,
                                               chunk=64, workers=1)
@@ -141,7 +143,11 @@ class TestPoolFailureFallback:
             raise OSError("process spawning disabled")
 
         monkeypatch.setattr(frame_pool, "get_pool", broken_pool)
-        sharded, _ = render_image_gen_nerf(gen_nerf, scene, source_images,
-                                           step=4, chunk=64, workers=2)
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            sharded, _ = render_image_gen_nerf(gen_nerf, scene,
+                                               source_images, step=4,
+                                               chunk=64, workers=2)
         assert sharded.tobytes() == sequential.tobytes()
-        assert "frame pool unavailable" in capsys.readouterr().err
+        degraded = log.events_named(caplog.records,
+                                    "frame_pool.degraded_sequential")
+        assert len(degraded) == 1
