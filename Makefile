@@ -5,7 +5,7 @@ PYTEST := PYTHONPATH=src python -m pytest
 HARNESS := PYTHONPATH=src python -m benchmarks.harness
 REPRO := PYTHONPATH=src python -m repro
 
-.PHONY: test test-all bench bench-e2e bench-train bench-shard bench-smoke perf docs-check sweep-smoke batch-smoke check
+.PHONY: test test-all bench bench-e2e bench-train bench-shard bench-serve bench-smoke perf docs-check sweep-smoke batch-smoke serve-smoke check
 
 BATCH_SMOKE_OUT := /tmp/repro-batch-smoke
 
@@ -27,6 +27,9 @@ bench-train: ## training benches only (fused-Adam/GT-cache fast path vs seed loo
 bench-shard: ## intra-frame sharding benches (sharded vs sequential frame render/sim)
 	$(HARNESS) --only frame_sharded frame_sim_sharded
 
+bench-serve: ## serving bench only (coalesced replay vs sequential serving)
+	$(HARNESS) --only serve_replay
+
 bench-smoke: ## one quick round of every bench body (incl. sharding), no JSON write
 	$(HARNESS) --smoke
 
@@ -39,6 +42,9 @@ docs-check: ## README/docs links and code references resolve
 sweep-smoke: ## tiny registry-driven sweep through the CLI (seconds)
 	$(REPRO) sweep dataset=deepvoxels views=2 points=16 variant=ours,var1 --workers 1
 
+serve-smoke: ## one JSON request through the real serve daemon (seconds)
+	echo '{"scene": "fern", "quality": "draft"}' | $(REPRO) serve --source-points 16 | grep -q '"status": "ok"'
+
 batch-smoke: ## 3-job batch ingestion demo: 2 artefacts + 1 quarantined (seconds)
 	rm -rf $(BATCH_SMOKE_OUT)
 	$(REPRO) batch examples/batch_jobs --out $(BATCH_SMOKE_OUT)
@@ -48,4 +54,4 @@ batch-smoke: ## 3-job batch ingestion demo: 2 artefacts + 1 quarantined (seconds
 	test -f $(BATCH_SMOKE_OUT)/errors/c_broken_spec.json
 	test -f $(BATCH_SMOKE_OUT)/errors/c_broken_spec.report.txt
 
-check: test docs-check sweep-smoke batch-smoke bench-smoke  ## one command gates a PR: fast tests + docs links + sweep smoke + batch smoke + bench smoke
+check: test docs-check sweep-smoke batch-smoke serve-smoke bench-smoke  ## one command gates a PR: fast tests + docs links + sweep/batch/serve smokes + bench smoke

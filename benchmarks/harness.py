@@ -435,6 +435,42 @@ def _training_bench(kind: str):
     return fast, looped
 
 
+def bench_serve_replay():
+    """The serving scheduler's cross-request micro-batching.
+
+    Fast path: a burst of 12 draft requests replayed through
+    :func:`repro.core.serve.replay` with coalescing on — same-group
+    rays merge into shared dispatches.  Loop reference: the identical
+    trace with ``max_batch=1`` (every chunk dispatches alone — the
+    sequential-serving baseline).  Both produce byte-identical pixels
+    at every window (``tests/core/test_serve.py``); the scene store
+    and models are prepared once so the bench isolates scheduling +
+    render, not scene prep.
+    """
+    from repro.core import serve
+
+    store = serve.SceneStore(capacity=2, source_points=24, cache=None)
+    models = {"draft": serve.build_model("draft")}
+    trace = serve.synthetic_trace(seed=0, clients=6,
+                                  requests_per_client=2,
+                                  scenes=("fern",), qualities=("draft",),
+                                  burst=True)
+    for _, request in trace:
+        store.get(request.scene_key)        # warm the LRU once
+    common = dict(queue_limit=64, scene_capacity=2, workers=1,
+                  source_points=24)
+    batched = serve.ServeConfig(batch_window=1, max_batch=4096, **common)
+    sequential = serve.ServeConfig(batch_window=0, max_batch=1, **common)
+
+    def coalesced():
+        return serve.replay(trace, batched, store=store, models=models)
+
+    def one_by_one():
+        return serve.replay(trace, sequential, store=store, models=models)
+
+    return coalesced, one_by_one
+
+
 def bench_training_step_gen_nerf():
     return _training_bench("gen_nerf")
 
@@ -454,6 +490,7 @@ BENCHES = {
     "frame_sim_sharded": bench_frame_sim_sharded,
     "scheduler_slab_sweep": bench_scheduler_slab_sweep,
     "accel_frame_sim": bench_accel_frame_sim,
+    "serve_replay": bench_serve_replay,
     "training_step_e2e_gen_nerf": bench_training_step_gen_nerf,
     "training_step_e2e_ibrnet": bench_training_step_ibrnet,
 }

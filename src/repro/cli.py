@@ -15,7 +15,11 @@ Four subcommands drive :mod:`repro.core.registry`:
   of JSON job specs (:mod:`repro.core.batch`): malformed or crashing
   jobs are quarantined under ``errors/`` with traceback reports, the
   run continues, and a re-invocation resumes by skipping jobs whose
-  artefact already exists.
+  artefact already exists;
+* ``serve`` — the long-lived render daemon (:mod:`repro.core.serve`):
+  JSON-lines requests on stdin, JSON-lines responses on stdout, with
+  cross-request micro-batching under the ``REPRO_BATCH_WINDOW`` /
+  ``REPRO_MAX_BATCH`` knobs (see ``docs/serving.md``).
 
 Examples::
 
@@ -25,6 +29,7 @@ Examples::
     python -m repro sweep dataset=llff,nerf_synthetic views=2,6 \
         variant=ours,var1 --workers 4 --out sweep_dataflow
     python -m repro batch customer_jobs/ --out results/customer_a
+    echo '{"scene": "fern", "quality": "draft"}' | python -m repro serve
 """
 
 from __future__ import annotations
@@ -39,6 +44,8 @@ from .core.faults import RETRIES_ENV, TIMEOUT_ENV
 from .core.registry import (all_experiments, get_experiment,
                             parse_sweep_grid, run_sweep)
 from .core.scene_cache import ENV_KNOB
+from .core.serve import (MAX_BATCH_ENV, QUEUE_ENV, WINDOW_ENV, ServeConfig,
+                         run_daemon)
 
 
 def _add_common_options(parser: argparse.ArgumentParser,
@@ -131,6 +138,46 @@ def _build_parser() -> argparse.ArgumentParser:
                                    "(the run itself always continues "
                                    "past bad jobs)")
     _add_common_options(batch_parser)
+
+    serve_parser = commands.add_parser(
+        "serve", help="long-lived render daemon: JSON-lines requests on "
+                      "stdin, responses on stdout, with cross-request "
+                      "micro-batching")
+    serve_parser.add_argument("--batch-window", type=int, default=None,
+                              help=f"ticks a request may wait for "
+                                   f"batch-mates (default: the "
+                                   f"{WINDOW_ENV} env knob)")
+    serve_parser.add_argument("--max-batch", type=int, default=None,
+                              help=f"rays per dispatch before the window "
+                                   f"cuts (default: the {MAX_BATCH_ENV} "
+                                   f"env knob)")
+    serve_parser.add_argument("--queue-limit", type=int, default=None,
+                              help=f"in-flight requests before shedding "
+                                   f"with a 429-style refusal (default: "
+                                   f"the {QUEUE_ENV} env knob)")
+    serve_parser.add_argument("--scene-capacity", type=int, default=4,
+                              help="prepared-scene LRU capacity")
+    serve_parser.add_argument("--source-points", type=int, default=32,
+                              help="quadrature points for source-view "
+                                   "preparation on a scene-cache miss")
+    serve_parser.add_argument("--deadline", type=int, default=None,
+                              help="fail a request not completed within "
+                                   "this many ticks (default: off)")
+    serve_parser.add_argument("--tick-s", type=float, default=0.02,
+                              help="wall seconds per scheduler tick")
+    serve_parser.add_argument("--out-dir", default=None, metavar="DIR",
+                              help="also write each rendered image as "
+                                   "DIR/<request_id>.npy")
+    serve_parser.add_argument("--workers", type=int, default=None,
+                              help="intra-batch shard width over the "
+                                   "frame pool (default: REPRO_WORKERS, "
+                                   "then CPU count)")
+    serve_parser.add_argument("--seed", type=int, default=None,
+                              help="serving model weight seed "
+                                   "(default: 0)")
+    serve_parser.add_argument("--cache-dir", default=None,
+                              help=f"disk scene-cache directory "
+                                   f"(default: the {ENV_KNOB} env knob)")
     return parser
 
 
@@ -194,6 +241,24 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    overrides = dict(scene_capacity=args.scene_capacity,
+                     source_points=args.source_points,
+                     request_deadline=args.deadline,
+                     workers=args.workers, cache_dir=args.cache_dir)
+    if args.seed is not None:
+        overrides["model_seed"] = args.seed
+    config = ServeConfig.from_env(batch_window=args.batch_window,
+                                  max_batch=args.max_batch,
+                                  queue_limit=args.queue_limit,
+                                  **overrides)
+    stats = run_daemon(config, tick_s=args.tick_s, out_dir=args.out_dir)
+    print(f"[served {stats['completed']} requests, "
+          f"{stats['dispatches']} dispatches, shed {stats['shed']}, "
+          f"failed {stats['failed']}]", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -206,4 +271,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "batch":
         return _cmd_batch(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return _cmd_sweep(args)

@@ -9,6 +9,11 @@ holds the picklable unit bodies plus the legacy ``run_*`` wrappers;
 (:mod:`repro.cli`) lists, runs, sweeps, and batch-ingests everything
 registered.
 
+Serving layer (``docs/serving.md``): :mod:`repro.core.serve` is the
+long-lived render daemon behind ``python -m repro serve`` — a
+virtual-clock scheduler coalescing rays across concurrent requests
+into batched dispatches, byte-identical to direct renders.
+
 Robustness layer (``docs/robustness.md``): :mod:`repro.core.faults`
 injects deterministic worker crashes/hangs/corruption and owns the
 shared retry policy; :mod:`repro.core.log` carries every fallback as a
@@ -39,6 +44,11 @@ from .registry import (Experiment, ExperimentResult, all_experiments,
                        experiment_names, get_experiment, run_sweep)
 from .pipeline import (CoDesignPipeline, HardwareRig, dataflow_ablation,
                        hardware_rig)
+from .serve import (QUALITIES, RenderRequest, RenderResponse,
+                    RenderScheduler, ReplayResult, SceneStore, ServeConfig,
+                    ServeError, ServiceOverloaded, detect_batch_window,
+                    detect_max_batch, detect_queue_limit, replay,
+                    run_daemon, synthetic_trace)
 from .reporting import (format_series, format_table, ratio_note,
                         write_artifact)
 
@@ -62,4 +72,8 @@ __all__ = [
     "retry_call",
     "BatchSpecError", "BatchSummary", "JobReport", "run_batch",
     "validate_spec",
+    "QUALITIES", "RenderRequest", "RenderResponse", "RenderScheduler",
+    "ReplayResult", "SceneStore", "ServeConfig", "ServeError",
+    "ServiceOverloaded", "detect_batch_window", "detect_max_batch",
+    "detect_queue_limit", "replay", "run_daemon", "synthetic_trace",
 ]

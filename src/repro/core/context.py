@@ -26,7 +26,7 @@ import numpy as np
 from .. import models as M
 from ..scenes.datasets import llff_eval_scenes
 from .runner import detect_workers
-from .scene_cache import SceneCache, recipe_key
+from .scene_cache import SceneCache, recipe_key, source_images_key
 from . import faults, reporting
 
 LLFF_EVAL_SCENES = ("fern", "fortress", "horns", "trex")
@@ -81,10 +81,11 @@ def clear_scene_memos() -> None:
 
 
 def _source_images_key(name: str, base: tuple) -> str:
+    # Delegates to the shared recipe in repro.core.scene_cache so the
+    # serve-layer SceneStore hits the same disk entries.
     image_scale, num_source_views, seed, gt_points = base
-    return recipe_key(f"llff-src-{name}", image_scale=image_scale,
-                      num_source_views=num_source_views, seed=seed,
-                      gt_points=gt_points)
+    return source_images_key(name, image_scale, num_source_views, seed,
+                             gt_points)
 
 
 def _reference_key(name: str, base: tuple, eval_step: int) -> str:

@@ -118,13 +118,20 @@ class FaultPlan:
       read as corrupt;
     * ``jobs`` — batch job stem -> ``"interrupt"`` (the ingestion run
       dies mid-flight, as if killed) or ``"error"`` (the job raises and
-      must be quarantined).
+      must be quarantined);
+    * ``requests`` — serve-layer request id -> ``"error"`` (the request
+      fails at dispatch), ``"corrupt"`` (its result reads as corrupt
+      and is quarantined at completion), or ``"hang"`` (its chunks are
+      withheld until the scheduler's request deadline) — consumed by
+      :mod:`repro.core.serve` to prove poisoned requests are
+      quarantined while their batch-mates complete byte-identically.
     """
 
     tasks: Mapping[int, FaultSpec] = field(default_factory=dict)
     scope: str = ""
     cache_keys: Tuple[str, ...] = ()
     jobs: Mapping[str, str] = field(default_factory=dict)
+    requests: Mapping[str, str] = field(default_factory=dict)
 
     def fault_for(self, index: int, attempt: int,
                   scope: str = "") -> Optional[FaultSpec]:
@@ -142,6 +149,9 @@ class FaultPlan:
 
     def job_fault(self, stem: str) -> Optional[str]:
         return self.jobs.get(stem)
+
+    def request_fault(self, request_id: str) -> Optional[str]:
+        return self.requests.get(request_id)
 
 
 # Parent-side active plan.  Pool workers never read this global (they

@@ -35,6 +35,7 @@ from .pipeline import CoDesignPipeline
 from .reporting import format_table, ratio_note
 from .runner import run_variants
 from .scene_cache import exported_cache_knob
+from . import serve as S
 
 Task = Tuple[Callable, Dict[str, Any]]
 
@@ -629,6 +630,50 @@ register(Experiment(
     params={"seed": 0},
     units=_single_unit(E._patch_candidate_unit, "seed"),
     reduce=_first, render=_render_patch_candidates))
+
+
+# ----------------------------------------------------------------------
+# serve_replay — deterministic traffic replay through the render daemon
+# ----------------------------------------------------------------------
+_SERVE_REPLAY_BASE_KEYS = (
+    "requests_per_client", "seed", "batch_window", "max_batch",
+    "queue_limit", "scene_capacity", "scenes", "qualities", "image_scale",
+    "views", "step", "source_points", "mean_gap")
+
+
+def _serve_replay_units(ctx, params, shared) -> List[Task]:
+    base = {key: params[key] for key in _SERVE_REPLAY_BASE_KEYS}
+    base["workers"] = ctx.workers
+    tasks = [(S._serve_replay_unit, dict(level=int(level), burst=False,
+                                         **base))
+             for level in params["levels"]]
+    # One burst row past the high-water mark proves deterministic
+    # shedding in the committed artefact.
+    tasks.append((S._serve_replay_unit,
+                  dict(level=int(params["burst_clients"]), burst=True,
+                       **base)))
+    return tasks
+
+
+def _reduce_serve_replay(results, params):
+    return list(results)
+
+
+register(Experiment(
+    name="serve_replay", title="serve — deterministic traffic replay",
+    kind="table", artefact="serve_replay",
+    description="Cross-request micro-batching service replayed against "
+                "seeded synthetic traffic at several concurrency levels "
+                "(virtual clock; byte-stable pixels).",
+    params=dict(seed=0, levels=(1, 4, 16), requests_per_client=3,
+                batch_window=4, max_batch=192, queue_limit=12,
+                scene_capacity=2, scenes=("fern", "fortress"),
+                qualities=("draft", "standard", "high", "gen_nerf"),
+                image_scale=1 / 16, views=4, step=8, source_points=32,
+                mean_gap=3, burst_clients=24),
+    units=_serve_replay_units, reduce=_reduce_serve_replay,
+    render=S.render_serve_replay,
+    scale_rules={"requests_per_client": 1, "burst_clients": 4}))
 
 
 # ----------------------------------------------------------------------

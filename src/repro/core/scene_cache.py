@@ -66,6 +66,21 @@ def exported_cache_knob(cache_dir: Optional[str]):
             os.environ[ENV_KNOB] = previous
 
 
+def source_images_key(name: str, image_scale: float,
+                      num_source_views: int, seed: int,
+                      gt_points: int) -> str:
+    """The disk key of one LLFF-analogue scene's rendered source views.
+
+    Shared by the experiment-layer memos (:mod:`repro.core.context`)
+    and the serving LRU (:class:`repro.core.serve.SceneStore`), so a
+    daemon warm-up and a harness run at matching recipes hit the same
+    entries instead of re-rendering.
+    """
+    return recipe_key(f"llff-src-{name}", image_scale=float(image_scale),
+                      num_source_views=int(num_source_views),
+                      seed=int(seed), gt_points=int(gt_points))
+
+
 def recipe_key(slug: str, **fields) -> str:
     """Stable cache key: a readable slug plus the crc32 of the recipe.
 

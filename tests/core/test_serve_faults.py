@@ -1,0 +1,192 @@
+"""Request-scoped fault injection for the serving layer.
+
+A :class:`repro.core.faults.FaultPlan` maps request ids to a fault
+kind (``error`` / ``corrupt`` / ``hang``).  The contract under test:
+the poisoned request is quarantined into an error response (with a
+``serve.request_failed`` event) while its batch-mates complete with
+pixels bitwise identical to an undisturbed run — request faults never
+leak across the batch boundary.
+"""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.core import log, serve
+from repro.core.faults import FaultPlan, injected_faults
+from repro.core.serve import (QUALITIES, RenderRequest, RenderScheduler,
+                              SceneStore, ServeConfig)
+
+SCENE_KW = dict(step=8, image_scale=1 / 16, views=4, scene_seed=1)
+
+
+@pytest.fixture(scope="module")
+def store():
+    return SceneStore(capacity=4, source_points=24, cache=None)
+
+
+@pytest.fixture(scope="module")
+def models():
+    return {quality: serve.build_model(quality) for quality in QUALITIES}
+
+
+@pytest.fixture(scope="module")
+def clean_images(store, models):
+    """Reference responses from a fault-free run of the same trio."""
+    scheduler = _scheduler(store, models)
+    for request in _trio():
+        scheduler.submit(request, 0)
+    responses, _ = scheduler.drain(0)
+    assert all(r.status == "ok" for r in responses)
+    return {r.request_id: r.image for r in responses}
+
+
+def _trio():
+    """Three same-group requests that coalesce into shared batches."""
+    return [RenderRequest(request_id=name, scene="fern",
+                          quality="standard", **SCENE_KW)
+            for name in ("good-a", "victim", "good-b")]
+
+
+def _scheduler(store, models, **overrides):
+    kwargs = dict(batch_window=1, max_batch=512, queue_limit=16,
+                  scene_capacity=4, workers=1, source_points=24)
+    kwargs.update(overrides)
+    return RenderScheduler(ServeConfig(**kwargs), store=store,
+                           models=models)
+
+
+def _run_with_plan(store, models, plan, **config):
+    scheduler = _scheduler(store, models, **config)
+    with injected_faults(plan):
+        for request in _trio():
+            scheduler.submit(request, 0)
+        responses, _ = scheduler.drain(0)
+    return scheduler, {r.request_id: r for r in responses}
+
+
+class TestErrorFault:
+    def test_poisoned_request_quarantined_mates_identical(
+            self, store, models, clean_images, caplog):
+        plan = FaultPlan(requests={"victim": "error"})
+        with caplog.at_level(logging.WARNING, logger="repro.serve"):
+            scheduler, responses = _run_with_plan(store, models, plan)
+        assert responses["victim"].status == "error"
+        assert "injected request fault" in responses["victim"].error
+        assert responses["victim"].image is None
+        for name in ("good-a", "good-b"):
+            assert responses[name].status == "ok"
+            assert np.array_equal(responses[name].image,
+                                  clean_images[name])
+        events = log.events_named(caplog.records, "serve.request_failed")
+        assert [e.repro_fields["request_id"] for e in events] \
+            == ["victim"]
+        assert scheduler.counters["failed"] == 1
+        assert scheduler.counters["completed"] == 2
+
+
+class TestCorruptFault:
+    def test_corrupt_result_detected_mates_identical(
+            self, store, models, clean_images, caplog):
+        plan = FaultPlan(requests={"victim": "corrupt"})
+        with caplog.at_level(logging.WARNING, logger="repro.serve"):
+            scheduler, responses = _run_with_plan(store, models, plan)
+        assert responses["victim"].status == "error"
+        assert "corrupt result detected" in responses["victim"].error
+        for name in ("good-a", "good-b"):
+            assert np.array_equal(responses[name].image,
+                                  clean_images[name])
+        events = log.events_named(caplog.records, "serve.request_failed")
+        assert [e.repro_fields["request_id"] for e in events] \
+            == ["victim"]
+
+    def test_non_finite_pixels_always_quarantined(self, store, models):
+        """The corruption check is a real output validation, not just a
+        flag: NaN pixels fail the request even without a plan."""
+        scheduler = _scheduler(store, models)
+        request = RenderRequest(request_id="nan", scene="fern",
+                                quality="draft", **SCENE_KW)
+        scheduler.submit(request, 0)
+        state = scheduler._pending["nan"]
+        original = serve._CHUNK_FUNCTIONS["uniform"]
+
+        def poisoned(payload, origins, directions):
+            out = original(payload, origins, directions)
+            out = np.array(out, copy=True)
+            out[0, 0] = np.nan
+            return out
+
+        serve._CHUNK_FUNCTIONS = dict(serve._CHUNK_FUNCTIONS,
+                                      uniform=poisoned)
+        try:
+            responses, _ = scheduler.drain(0)
+        finally:
+            serve._CHUNK_FUNCTIONS = dict(serve._CHUNK_FUNCTIONS,
+                                          uniform=original)
+        assert responses[0].status == "error"
+        assert "corrupt result detected" in responses[0].error
+        assert state.failed is not None
+
+
+class TestHangFault:
+    def test_hang_fails_at_deadline_mates_identical(
+            self, store, models, clean_images, caplog):
+        plan = FaultPlan(requests={"victim": "hang"})
+        with caplog.at_level(logging.INFO, logger="repro.serve"):
+            scheduler, responses = _run_with_plan(
+                store, models, plan, request_deadline=5)
+        assert responses["victim"].status == "error"
+        assert "deadline exceeded after 5 ticks" \
+            in responses["victim"].error
+        assert responses["victim"].latency_ticks >= 5
+        for name in ("good-a", "good-b"):
+            assert responses[name].status == "ok"
+            assert np.array_equal(responses[name].image,
+                                  clean_images[name])
+        hung = log.events_named(caplog.records, "serve.request_hung")
+        assert [e.repro_fields["request_id"] for e in hung] == ["victim"]
+
+    def test_hang_without_deadline_raises_on_drain(self, store, models):
+        plan = FaultPlan(requests={"victim": "hang"})
+        scheduler = _scheduler(store, models)
+        with injected_faults(plan):
+            for request in _trio():
+                scheduler.submit(request, 0)
+            with pytest.raises(RuntimeError, match="did not drain"):
+                scheduler.drain(0, max_ticks=50)
+        assert scheduler.depth == 1          # only the hung one is stuck
+
+
+class TestPlanPlumbing:
+    def test_no_plan_means_no_faults(self, store, models, clean_images):
+        scheduler = _scheduler(store, models)
+        for request in _trio():
+            scheduler.submit(request, 0)
+        responses, _ = scheduler.drain(0)
+        assert all(r.status == "ok" for r in responses)
+        for response in responses:
+            assert np.array_equal(response.image,
+                                  clean_images[response.request_id])
+
+    def test_request_fault_accessor(self):
+        plan = FaultPlan(requests={"a": "error", "b": "hang"})
+        assert plan.request_fault("a") == "error"
+        assert plan.request_fault("b") == "hang"
+        assert plan.request_fault("c") is None
+        assert FaultPlan().request_fault("a") is None
+
+    def test_replay_applies_plan(self, store, models):
+        """The trace-replay harness honours an installed plan too."""
+        trace = [(0, request) for request in _trio()]
+        config = ServeConfig(batch_window=1, max_batch=512,
+                             queue_limit=16, workers=1,
+                             source_points=24)
+        with injected_faults(FaultPlan(requests={"victim": "error"})):
+            result = serve.replay(trace, config, store=store,
+                                  models=models)
+        by_id = {r.request_id: r for r in result.responses}
+        assert by_id["victim"].status == "error"
+        assert by_id["good-a"].status == "ok"
+        assert by_id["good-b"].status == "ok"
+        assert len(result.ok_responses()) == 2

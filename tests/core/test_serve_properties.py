@@ -1,0 +1,199 @@
+"""Scheduler invariants under randomized arrival schedules.
+
+A seeded-random loop (a lightweight property test — no external
+framework) drives :func:`repro.core.serve.replay` across random batch
+windows, ray budgets, concurrency levels, and burst/open arrivals, and
+asserts the invariants the serving design promises:
+
+* responses map 1:1 to submitted requests (shed included, no dupes);
+* no accepted request starves — its first dispatch happens within
+  ``batch_window`` ticks of submission on the virtual clock;
+* every dispatched batch holds at most ``max_batch`` rays unless it is
+  a single atomic chunk (which dispatches alone);
+* the whole replay is deterministic: same trace, same config, same
+  pixels, same batch log;
+* nothing in the measured path touches wall time (``time.sleep`` is
+  booby-trapped for the duration of every replay).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import serve
+from repro.core.serve import (QUALITIES, RenderScheduler, SceneStore,
+                              ServeConfig, synthetic_trace)
+
+SOURCE_POINTS = 24
+N_SCHEDULES = 12
+
+
+@pytest.fixture(scope="module")
+def store():
+    return SceneStore(capacity=8, source_points=SOURCE_POINTS, cache=None)
+
+
+@pytest.fixture(scope="module")
+def models():
+    return {quality: serve.build_model(quality) for quality in QUALITIES}
+
+
+@pytest.fixture(autouse=True)
+def no_real_time_sleeps(monkeypatch):
+    """Zero real-time sleeps in the measured path: any ``time.sleep``
+    during a replay is a test failure, not a slow test."""
+
+    def trapped(seconds):
+        raise AssertionError(
+            f"time.sleep({seconds!r}) called inside a virtual-clock "
+            f"replay")
+
+    monkeypatch.setattr(time, "sleep", trapped)
+
+
+def _random_setup(seed):
+    """One randomized (config, trace) pair, fully determined by seed."""
+    rng = np.random.default_rng((seed, 0xC0FFEE))
+    config = ServeConfig(
+        batch_window=int(rng.integers(0, 7)),
+        max_batch=int(rng.choice([32, 64, 96, 512])),
+        queue_limit=int(rng.integers(3, 20)),
+        scene_capacity=8, workers=1, source_points=SOURCE_POINTS)
+    qualities = [("draft",), ("standard",), ("draft", "standard"),
+                 ("draft", "high")][int(rng.integers(0, 4))]
+    trace = synthetic_trace(
+        seed=seed, clients=int(rng.integers(1, 6)),
+        requests_per_client=int(rng.integers(1, 4)),
+        scenes=("fern", "fortress"), qualities=qualities,
+        mean_gap=int(rng.integers(1, 6)),
+        burst=bool(rng.integers(0, 2)))
+    return config, trace
+
+
+def _replay(config, trace, store, models):
+    return serve.replay(trace, config, store=store, models=models)
+
+
+@pytest.mark.parametrize("seed", range(N_SCHEDULES))
+def test_scheduler_invariants(seed, store, models):
+    config, trace = _random_setup(seed)
+    result = _replay(config, trace, store, models)
+    scheduler = result.scheduler
+
+    # --- 1:1 mapping: every submitted request answered exactly once.
+    submitted_ids = [request.request_id for _, request in trace]
+    answered_ids = [response.request_id for response in result.responses]
+    assert sorted(answered_ids) == sorted(submitted_ids)
+    assert len(set(answered_ids)) == len(answered_ids)
+
+    # --- Status partition and counter accounting.
+    by_status = {"ok": 0, "error": 0, "shed": 0}
+    for response in result.responses:
+        by_status[response.status] += 1
+    assert by_status["error"] == 0           # no faults in this loop
+    assert by_status["ok"] == scheduler.counters["completed"]
+    assert by_status["shed"] == scheduler.counters["shed"]
+    assert scheduler.counters["submitted"] \
+        == len(trace) - by_status["shed"]
+    assert scheduler.idle
+
+    # --- No starvation: first dispatch within the batch window.
+    for response in result.ok_responses():
+        waited = response.stats["first_dispatch_tick"] \
+            - response.submitted_tick
+        assert 0 <= waited <= config.batch_window, \
+            f"{response.request_id} waited {waited} ticks " \
+            f"(window {config.batch_window})"
+        assert response.completed_tick >= \
+            response.stats["first_dispatch_tick"]
+
+    # --- Batch-size bound: <= max_batch rays unless atomic.
+    assert scheduler.batch_log, "replay dispatched nothing"
+    for entry in scheduler.batch_log:
+        assert entry["rays"] <= config.max_batch or entry["atomic"], \
+            f"oversized non-atomic batch: {entry}"
+        assert entry["chunks"] >= entry["requests"] >= 1
+    assert sum(e["rays"] for e in scheduler.batch_log) \
+        == scheduler.counters["batched_rays"]
+    assert scheduler.counters["batched_rays"] \
+        >= sum(r.stats["rays"] for r in result.ok_responses())
+
+
+@pytest.mark.parametrize("seed", [0, 5, 9])
+def test_replay_is_deterministic(seed, store, models):
+    config, trace = _random_setup(seed)
+    first = _replay(config, trace, store, models)
+    second = _replay(config, trace, store, models)
+    assert first.pixels_crc32() == second.pixels_crc32()
+    assert first.ticks == second.ticks
+    assert first.scheduler.batch_log == second.scheduler.batch_log
+    assert [(r.request_id, r.status, r.submitted_tick, r.completed_tick)
+            for r in first.responses] \
+        == [(r.request_id, r.status, r.submitted_tick, r.completed_tick)
+            for r in second.responses]
+
+
+def test_trace_itself_deterministic_and_sorted():
+    a = synthetic_trace(seed=3, clients=4, requests_per_client=3,
+                        scenes=("fern", "fortress"),
+                        qualities=("draft", "standard"))
+    b = synthetic_trace(seed=3, clients=4, requests_per_client=3,
+                        scenes=("fern", "fortress"),
+                        qualities=("draft", "standard"))
+    assert [(t, r.request_id, r.scene, r.quality) for t, r in a] \
+        == [(t, r.request_id, r.scene, r.quality) for t, r in b]
+    assert [t for t, _ in a] == sorted(t for t, _ in a)
+    different = synthetic_trace(seed=4, clients=4, requests_per_client=3,
+                                scenes=("fern", "fortress"),
+                                qualities=("draft", "standard"))
+    assert [(t, r.request_id) for t, r in a] \
+        != [(t, r.request_id) for t, r in different]
+
+
+def test_burst_trace_all_arrive_at_tick_zero():
+    trace = synthetic_trace(seed=0, clients=6, requests_per_client=2,
+                            burst=True)
+    assert {t for t, _ in trace} == {0}
+    assert len(trace) == 12
+
+
+def test_serve_module_never_reads_wall_clock():
+    """The scheduler module has no wall-time dependency at all — the
+    only clock is the integer tick threaded through submit/run_tick.
+    (The daemon wrapper's pacing sleep lives behind ``tick_s`` and is
+    outside every measured path.)"""
+    import ast
+    import inspect
+
+    tree = ast.parse(inspect.getsource(serve))
+    daemon = next(node for node in ast.walk(tree)
+                  if isinstance(node, ast.FunctionDef)
+                  and node.name == "run_daemon")
+    offenders = [
+        (node.lineno, node.attr) for node in ast.walk(tree)
+        if isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name) and node.value.id == "time"
+        and not daemon.lineno <= node.lineno <= daemon.end_lineno]
+    assert not offenders, f"wall-clock use outside run_daemon: {offenders}"
+
+
+def test_percentile_nearest_rank():
+    values = list(range(1, 101))
+    assert serve.percentile(values, 50) == 50.0
+    assert serve.percentile(values, 99) == 99.0
+    assert serve.percentile(values, 100) == 100.0
+    assert serve.percentile([7], 99) == 7.0
+    assert serve.percentile([], 50) == 0.0
+
+
+def test_max_batch_one_still_serves(store, models):
+    """Degenerate budget: every chunk dispatches alone (atomic), and
+    requests still complete correctly."""
+    config = ServeConfig(batch_window=2, max_batch=1, queue_limit=16,
+                         workers=1, source_points=SOURCE_POINTS)
+    trace = synthetic_trace(seed=1, clients=3, requests_per_client=1,
+                            qualities=("draft",))
+    result = _replay(config, trace, store, models)
+    assert len(result.ok_responses()) == 3
+    assert all(entry["atomic"] for entry in result.scheduler.batch_log)
