@@ -58,6 +58,17 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 RESULT_PATH = os.path.join(REPO_ROOT, "BENCH_hotpaths.json")
 REGRESSION_THRESHOLD_PCT = 25.0
 
+# Per-bench timing budgets beyond the uniform default.  Sub-10ms benches
+# on this shared single-core container need more rounds and a larger
+# per-round budget before the median sits reliably above scheduler
+# noise: ``inverse_transform_r4096`` (~8 ms) drifted 30.1% against its
+# committed baseline — past the 25% regression budget — purely from
+# round-to-round jitter.  Applied only to measured runs; ``--smoke``
+# keeps its single quick round.
+TIMING_OVERRIDES: Dict[str, Dict[str, float]] = {
+    "inverse_transform_r4096": {"rounds": 9, "min_total_s": 0.9},
+}
+
 
 def _time(func: Callable[[], object], rounds: int = 5,
           min_total_s: float = 0.2) -> float:
@@ -471,6 +482,66 @@ def bench_serve_replay():
     return coalesced, one_by_one
 
 
+def _sparse_fine_pass_bench(occupancy: float):
+    """IBRNet fine forward, packed vs padded, at a fixed mask occupancy.
+
+    Fast path: the packed fine pass (``sparse=True``) — gather the
+    mask-valid samples, run feature fetch + the pointwise MLP stacks on
+    the flat buffers only, scatter zeros back.  Loop reference: the
+    pinned padded path (``sparse=False``), which pays the full
+    ``(R, n_max)`` grid.  The two are byte-identical
+    (``tests/models/test_sparse_fine_pass.py``), so the speedup column
+    reads directly as the packing's win at this occupancy — it should
+    track ``1 / occupancy`` minus the fixed ray-stage and
+    gather/scatter overheads.
+    """
+    from repro import nn
+    from repro.geometry.rays import rays_for_image, stratified_depths
+    from repro.models.ibrnet import GeneralizableNeRF, ModelConfig
+    from repro.models.renderer import render_source_views
+    from repro.scenes.datasets import make_scene
+
+    scene = make_scene("llff", seed=3, image_scale=1 / 8)
+    model = GeneralizableNeRF(ModelConfig(ray_module="mixer"))
+    model.eval()
+    source_images = render_source_views(scene, num_points=64, step=2)
+    with nn.inference_mode():
+        feature_maps = model.encode_scene(source_images)
+    bundle = rays_for_image(scene.target_camera, scene.near, scene.far,
+                            step=2).select(slice(0, 1024))
+    depths = stratified_depths(np.random.default_rng(0), len(bundle), 32,
+                               scene.near, scene.far, jitter=False)
+    points = bundle.points_at(depths)
+    rng = np.random.default_rng(int(round(occupancy * 100)))
+    mask = rng.random(depths.shape) < occupancy
+
+    def packed():
+        with nn.inference_mode():
+            return model(points, bundle.directions, scene.source_cameras,
+                         feature_maps, source_images, mask=mask,
+                         sparse=True)
+
+    def padded():
+        with nn.inference_mode():
+            return model(points, bundle.directions, scene.source_cameras,
+                         feature_maps, source_images, mask=mask,
+                         sparse=False)
+
+    return packed, padded
+
+
+def bench_sparse_fine_pass_occ10():
+    return _sparse_fine_pass_bench(0.10)
+
+
+def bench_sparse_fine_pass_occ50():
+    return _sparse_fine_pass_bench(0.50)
+
+
+def bench_sparse_fine_pass_occ90():
+    return _sparse_fine_pass_bench(0.90)
+
+
 def bench_training_step_gen_nerf():
     return _training_bench("gen_nerf")
 
@@ -491,6 +562,9 @@ BENCHES = {
     "scheduler_slab_sweep": bench_scheduler_slab_sweep,
     "accel_frame_sim": bench_accel_frame_sim,
     "serve_replay": bench_serve_replay,
+    "sparse_fine_pass_occ10": bench_sparse_fine_pass_occ10,
+    "sparse_fine_pass_occ50": bench_sparse_fine_pass_occ50,
+    "sparse_fine_pass_occ90": bench_sparse_fine_pass_occ90,
     "training_step_e2e_gen_nerf": bench_training_step_gen_nerf,
     "training_step_e2e_ibrnet": bench_training_step_ibrnet,
 }
@@ -538,16 +612,22 @@ def run(strict: bool = True, result_path: str = RESULT_PATH,
           f"{'prev':>10} {'delta':>8}")
     for name, build in selected.items():
         vectorised, looped = build()
-        mean_s = _time(vectorised, rounds=rounds, min_total_s=min_total_s)
+        # Smoke runs (rounds == 1) stay uniformly quick; measured runs
+        # honour per-bench budgets for noise-prone sub-10ms paths.
+        overrides = TIMING_OVERRIDES.get(name, {}) if rounds > 1 else {}
+        bench_rounds = int(overrides.get("rounds", rounds))
+        bench_min_total = float(overrides.get("min_total_s", min_total_s))
+        mean_s = _time(vectorised, rounds=bench_rounds,
+                       min_total_s=bench_min_total)
         loop_mean_s: Optional[float] = (
-            _time(looped, rounds=rounds, min_total_s=min_total_s)
+            _time(looped, rounds=bench_rounds, min_total_s=bench_min_total)
             if looped else None)
         speedup = (loop_mean_s / mean_s) if loop_mean_s else None
         prev_entry = previous.get(name)
         regression_pct = compare_to_previous(mean_s, prev_entry)
         benches[name] = {
             "mean_s": mean_s,
-            "rounds": rounds,
+            "rounds": bench_rounds,
             "loop_reference_mean_s": loop_mean_s,
             "speedup_vs_loop": speedup,
             "previous_mean_s": (prev_entry or {}).get("mean_s"),

@@ -1,0 +1,37 @@
+"""Occupancy profile (sparse fine pass evidence base).
+
+Regenerates the per-ray valid-sample occupancy histograms across all
+scene families through the experiment registry and asserts the property
+the packed fine pass depends on: the occupancy-stress families actually
+de-saturate ``n_max`` (ISSUE 9 / docs/performance.md, "Sparse fine
+pass")."""
+
+from repro.core.experiments import OCCUPANCY_FAMILIES
+from repro.core.registry import get_experiment
+
+
+def test_occupancy_profile(benchmark, report):
+    experiment = get_experiment("occupancy_profile")
+    result = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    report(experiment.artefact, result.text)
+    rows = result.rows
+
+    by_family = {row["family"]: row for row in rows}
+    assert set(by_family) == set(OCCUPANCY_FAMILIES)
+    for row in rows:
+        assert row["rays"] > 0
+        assert len(row["histogram"]) == 10
+        assert sum(row["histogram"]) == row["rays"]
+        assert 0.0 <= row["mean_occupancy"] <= 1.0
+        assert 0.0 <= row["empty_fraction"] <= 1.0
+        assert 0.0 <= row["saturated_fraction"] <= 1.0
+
+    # The new families bracket the old regime: orbit_sparse holds the
+    # sub-50% mean the acceptance criteria require, and thicket stays
+    # materially less saturated than the LLFF clutter.
+    assert by_family["orbit_sparse"]["mean_occupancy"] < 0.5
+    assert by_family["thicket"]["saturated_fraction"] \
+        < by_family["llff"]["saturated_fraction"]
+    # The packed path's win is proportional to (1 - occupancy): at least
+    # one family must leave most of the padded grid empty.
+    assert min(row["mean_occupancy"] for row in rows) < 0.35

@@ -696,6 +696,59 @@ def run_coarse_budget_ablation(dataset: str = "nerf_synthetic", seed: int = 3,
         focused=focused).rows
 
 
+OCCUPANCY_FAMILIES = ("llff", "nerf_synthetic", "deepvoxels", "thicket",
+                      "orbit_sparse")
+
+
+def _occupancy_profile_unit(family: str, seeds: Sequence[int], step: int,
+                            image_scale: float, coarse_points: int,
+                            focused: int, n_max: int, tau: float
+                            ) -> Dict[str, object]:
+    """Per-ray valid-sample occupancy of the coarse-then-focus plan.
+
+    Runs the oracle coarse pass (analytic field, no trained weights, so
+    the statistic is a property of the *scene family*, not of one
+    checkpoint) and reports how full each ray's ``n_max`` slot budget
+    ends up — the quantity the sparse fine pass's saving is proportional
+    to."""
+    from ..geometry.rays import rays_for_image, stratified_depths
+    from ..models.sampling import coarse_then_focus_plan
+    from ..scenes.render_gt import composite_numpy, field_sigma_color
+
+    edges = np.linspace(0.0, 1.0, 11)
+    histogram = np.zeros(10, dtype=np.int64)
+    occupancies = []
+    empty = saturated = rays = 0
+    for seed in seeds:
+        kwargs = {"scene_name": "fern"} if family == "llff" else {}
+        scene = make_scene(family, seed=int(seed), image_scale=image_scale,
+                           num_source_views=6, **kwargs)
+        bundle = rays_for_image(scene.target_camera, scene.near, scene.far,
+                                step=step)
+        coarse = stratified_depths(np.random.default_rng(int(seed)),
+                                   len(bundle), coarse_points, scene.near,
+                                   scene.far, jitter=False)
+        sigmas, colors = field_sigma_color(scene.field, bundle, coarse)
+        _, weights, _ = composite_numpy(sigmas, colors, coarse, bundle.far)
+        plan = coarse_then_focus_plan(coarse, weights, focused, n_max, tau,
+                                      scene.near, scene.far,
+                                      rng=np.random.default_rng(int(seed)))
+        occupancy = plan.counts / n_max
+        # Clip exact 1.0 into the last bin (np.histogram already does);
+        # the saturated count is tracked separately anyway.
+        histogram += np.histogram(occupancy, bins=edges)[0]
+        occupancies.append(occupancy)
+        empty += int((plan.counts == 0).sum())
+        saturated += int((plan.counts == n_max).sum())
+        rays += len(bundle)
+    occupancy = np.concatenate(occupancies)
+    return {"family": family, "rays": int(rays),
+            "mean_occupancy": float(occupancy.mean()),
+            "empty_fraction": empty / rays,
+            "saturated_fraction": saturated / rays,
+            "histogram": histogram.tolist()}
+
+
 def _patch_candidate_unit(seed: int) -> List[Dict[str, float]]:
     """Prefetch traffic and FPS vs the candidate-set size M."""
     from ..hardware.accelerator import AcceleratorConfig, GenNerfAccelerator

@@ -30,8 +30,28 @@ from .encoder import ConvEncoder
 from .features import FetchedFeatures, fetch_features
 from .ray_mixer import RayMixer
 from .ray_transformer import PointwiseDensityHead, RayTransformer
+from .sampling import SamplePacking, _aligned_rows, pack_samples
+from .sparse import sparse_enabled
 
 DIRECTION_DIM = 4  # relative-direction encoding width (diff vec + dot)
+
+# Empirical OpenBLAS kernel-switch thresholds on this container's
+# single-threaded scipy-openblas build (measured, pinned by the sparse
+# equivalence suite).  ``sgemm`` picks its small-matrix kernel while
+# M*K*N stays at or under ~1e6 output-cells-times-depth; the two
+# kernels produce bitwise-different rows only for the narrow-output
+# shapes flagged in ``_packed_pad_bounds``.  The N == 1 matrix-vector
+# path switches kernels above 16384 rows.  The packed fine pass pads
+# its row count so every GEMM it issues lands in the *same* kernel
+# regime as its dense (R * N_max)-row counterpart — that is what makes
+# packed and padded outputs byte-identical rather than merely close.
+_SGEMM_KERNEL_SWITCH_CELLS = 1_000_000
+_GEMV_KERNEL_SWITCH_ROWS = 16_384
+
+# Running tally of packed-vs-dense forward calls, keyed for the test
+# suite (engagement assertions) and cheap introspection; not thread- or
+# process-shared.
+PACK_STATS = {"packed": 0, "dense": 0}
 
 
 def _scaled(width: int, scale: float, minimum: int = 2) -> int:
@@ -95,7 +115,16 @@ class ModelConfig:
 
 @dataclass
 class RenderOutput:
-    """Per-point predictions plus bookkeeping for compositing."""
+    """Per-point predictions plus bookkeeping for compositing.
+
+    Convention at masked (padded) sample positions: ``rgb`` and
+    ``sigma`` are exactly ``+0.0`` and ``any_visible`` is False on both
+    the padded and the packed fine pass; ``density_features`` is
+    path-dependent there (the padded path leaves the MLP-of-zeros
+    values, the packed path scatters zeros) — nothing downstream reads
+    masked ``density_features``, and the equivalence suite pins the
+    observable fields byte-identical.
+    """
 
     rgb: Tensor          # (R, P, 3)
     sigma: Tensor        # (R, P) non-negative densities
@@ -151,24 +180,51 @@ class GeneralizableNeRF(nn.Module):
                 source_cameras: Sequence[Camera],
                 feature_maps: Union[Tensor, Sequence[Tensor]],
                 source_images: np.ndarray,
-                mask: Optional[np.ndarray] = None) -> RenderOutput:
+                mask: Optional[np.ndarray] = None,
+                sparse: Optional[bool] = None) -> RenderOutput:
         """Predict (rgb, sigma) for (R, P, 3) sampled points.
 
         ``mask`` (R, P) marks valid (non-padded) samples; padded points
         get sigma = 0 via the compositing mask downstream, but are also
         excluded from the ray module's context here.
+
+        ``sparse`` selects the packed fine pass (None defers to the
+        ``REPRO_SPARSE`` knob, default on): when the mask has holes and
+        the kernel-regime solver finds a feasible padded row count, the
+        feature fetch and the pointwise MLP stacks run on the packed
+        valid samples only and the results scatter back to the dense
+        grid before the ray module — byte-identical outputs, cost
+        proportional to per-ray occupancy instead of N_max.
         """
-        fetched = fetch_features(points, ray_dirs, source_cameras,
-                                 feature_maps, source_images,
-                                 self.encoder.feature_scale)
-        return self._forward_fetched(fetched, mask)
+        packing = self._plan_packing(mask, len(source_cameras), sparse)
+        if packing is None:
+            fetched = fetch_features(points, ray_dirs, source_cameras,
+                                     feature_maps, source_images,
+                                     self.encoder.feature_scale)
+            return self._forward_fetched(fetched, mask)
+        return self._forward_packed(points, ray_dirs, source_cameras,
+                                    feature_maps, source_images,
+                                    np.asarray(mask, dtype=bool), packing)
 
     def _forward_fetched(self, fetched: FetchedFeatures,
                          mask: Optional[np.ndarray]) -> RenderOutput:
-        cfg = self.config
+        """The padded (dense-grid) path: every (ray, point) cell pays."""
+        PACK_STATS["dense"] += 1
         visibility = fetched.visibility  # (S, R, P) bool
         if mask is not None:
             visibility = visibility & np.asarray(mask, dtype=bool)[None]
+        rgb, density_features, ray_mask = self._pointwise_stage(fetched,
+                                                                visibility)
+        return self._ray_stage(rgb, density_features, ray_mask)
+
+    def _pointwise_stage(self, fetched: FetchedFeatures,
+                         visibility: np.ndarray):
+        """Steps 2-3 of the per-point pipeline: per-view latents, masked
+        pooling, and the colour/density heads — everything that treats
+        each sample independently of its ray neighbours.  Works on the
+        dense (S, R, P, ...) grid and on packed (S, V_pad, 1, ...)
+        buffers alike; all reductions run along the view axis, so each
+        sample column computes identically in either layout."""
         # Dense renders usually see every point in every view; masking
         # is then multiplication by exactly 1.0 and a constant S
         # denominator, so the masking passes are skipped outright —
@@ -220,12 +276,170 @@ class GeneralizableNeRF(nn.Module):
                                       [pooled, var])         # (R, P, D_sigma)
 
         ray_mask = visibility.any(axis=0)                    # (R, P)
+        return rgb, density_features, ray_mask
+
+    def _ray_stage(self, rgb: Tensor, density_features: Tensor,
+                   ray_mask: np.ndarray) -> RenderOutput:
+        """Step 4: the cross-point density module.  Always runs on the
+        dense (R, P) grid — the packed path scatters back first, so the
+        Ray-Mixer / ray transformer see byte-identical inputs."""
         logits = self.ray_module(density_features, mask=ray_mask)
         sigma = nn.functional.softplus(logits) \
             * Tensor(ray_mask.astype(np.float32))
         return RenderOutput(rgb=rgb, sigma=sigma,
                             density_features=density_features,
                             any_visible=ray_mask)
+
+    # ------------------------------------------------------------------
+    # Sparse fine pass: pack -> fetch + pointwise MLPs on valid samples
+    # only -> scatter zeros back -> dense ray stage.
+    # ------------------------------------------------------------------
+    def _forward_packed(self, points: np.ndarray, ray_dirs: np.ndarray,
+                        source_cameras: Sequence[Camera],
+                        feature_maps: Union[Tensor, Sequence[Tensor]],
+                        source_images: np.ndarray, mask: np.ndarray,
+                        packing: SamplePacking) -> RenderOutput:
+        """Packed fine pass — byte-identical to the padded path.
+
+        Each packed row is one valid (ray, point) cell, treated as a
+        one-point ray: the gathered f64 points go through the same
+        projection GEMM (row-stable at any count >= the padded
+        alignment), the bilinear gathers and direction features are
+        per-sample, and every pointwise GEMM runs at a padded row count
+        chosen by :meth:`_packed_pad_bounds` to share its dense
+        counterpart's kernel regime.  Valid rows then scatter into
+        zero-filled dense buffers; masked cells get exactly the ``+0.0``
+        the padded path computes for them (fully-masked softmax weights
+        are ``+0.0`` and source colours are non-negative), so the ray
+        stage and compositing see byte-identical inputs.
+        """
+        PACK_STATS["packed"] += 1
+        num_rays, points_per_ray = mask.shape
+        packed_points = points[packing.ray_index,
+                               packing.point_index][:, None, :]
+        packed_dirs = np.ascontiguousarray(ray_dirs[packing.ray_index])
+        fetched = fetch_features(packed_points, packed_dirs, source_cameras,
+                                 feature_maps, source_images,
+                                 self.encoder.feature_scale)
+        # Every packed row is a valid sample (padding rows replicate a
+        # valid cell and are dropped below), so the sample mask is
+        # all-True and per-view visibility is the whole story.
+        rgb_p, density_p, ray_mask_p = self._pointwise_stage(
+            fetched, fetched.visibility)
+
+        valid, cells = packing.valid, num_rays * points_per_ray
+        flat = packing.flat_index
+        feature_dim = density_p.shape[-1]
+        rgb = nn.functional.scatter_rows(
+            rgb_p.reshape(packing.padded, 3)[:valid], flat,
+            cells).reshape(num_rays, points_per_ray, 3)
+        density_features = nn.functional.scatter_rows(
+            density_p.reshape(packing.padded, feature_dim)[:valid], flat,
+            cells).reshape(num_rays, points_per_ray, feature_dim)
+        ray_mask = np.zeros(cells, dtype=bool)
+        ray_mask[flat] = ray_mask_p.reshape(-1)[:valid]
+        return self._ray_stage(rgb, density_features,
+                               ray_mask.reshape(num_rays, points_per_ray))
+
+    def _plan_packing(self, mask: Optional[np.ndarray], num_views: int,
+                      sparse: Optional[bool]) -> Optional[SamplePacking]:
+        """Decide whether (and how) to pack this forward call.
+
+        Returns None — the dense path — whenever packing cannot both
+        save work and stay byte-identical: training mode (trajectories
+        are pinned against the padded reference), no mask / a mask
+        without holes, an infeasible kernel-regime constraint set, or a
+        padded row count that wouldn't beat the dense cell count.
+        """
+        if mask is None or self.training or not sparse_enabled(sparse):
+            return None
+        mask = np.asarray(mask, dtype=bool)
+        if mask.ndim != 2:
+            return None
+        valid = int(mask.sum())
+        cells = mask.size
+        if valid == 0 or valid == cells:
+            return None
+        floor, cap = self._packed_pad_bounds(num_views, cells)
+        if floor is None:
+            return None
+        padded = _aligned_rows(max(valid, floor))
+        if cap is not None and padded > cap:
+            return None
+        if padded >= cells:
+            return None
+        return pack_samples(mask, pad_to=padded)
+
+    def _pointwise_gemm_shapes(self, num_views: int):
+        """(row-scale, K, N) of every f32 GEMM the pointwise stage
+        issues.  Row-scale is the multiplier on the sample-column count:
+        ``num_views`` for per-view buffers, 1 for pooled/broadcast
+        buffers (``linear_split`` multiplies broadcast inputs at their
+        own shape).  Later layers of a split MLP run at the widest
+        family of their inputs."""
+        cfg = self.config
+        per_view, pooled = num_views, 1
+        shapes = []
+
+        def add_mlp(mlp, first_slices):
+            layers = [m for m in mlp.net if isinstance(m, nn.Linear)]
+            for width, scale in first_slices:
+                shapes.append((scale, width, layers[0].out_features))
+            scale = max(s for _, s in first_slices)
+            for layer in layers[1:]:
+                shapes.append((scale, layer.in_features,
+                               layer.out_features))
+
+        add_mlp(self.view_mlp, [(cfg.feature_dim, per_view), (3, per_view),
+                                (DIRECTION_DIM, per_view)])
+        add_mlp(self.score_mlp, [(cfg.view_hidden, per_view),
+                                 (cfg.view_hidden, pooled),
+                                 (cfg.view_hidden, pooled)])
+        add_mlp(self.color_mlp, [(cfg.view_hidden, per_view),
+                                 (cfg.view_hidden, pooled),
+                                 (DIRECTION_DIM, per_view)])
+        add_mlp(self.density_mlp, [(cfg.view_hidden, pooled),
+                                   (cfg.view_hidden, pooled)])
+        return shapes
+
+    def _packed_pad_bounds(self, num_views: int, dense_columns: int):
+        """(min rows, max rows | None) keeping every packed GEMM in its
+        dense counterpart's kernel regime; (None, None) if infeasible.
+
+        Only the empirically regime-sensitive shapes constrain the
+        count: narrow-output GEMMs (K > 24 with 4 <= N <= 8, e.g. the
+        default density head's 32 -> 8 layer) switch kernels above
+        ``_SGEMM_KERNEL_SWITCH_CELLS`` output-cells-times-depth, and
+        the N == 1 matrix-vector heads switch above
+        ``_GEMV_KERNEL_SWITCH_ROWS`` rows.  Small-regime tail kernels
+        are only row-stable on aligned counts, so a dense call whose
+        row count is not a multiple of 4 cannot be matched and the
+        solver bails (the packed side is always 16-aligned).
+        """
+        floor, cap = 1, None
+        for scale, k, n in self._pointwise_gemm_shapes(num_views):
+            dense_rows = scale * dense_columns
+            if n == 1:
+                if dense_rows > _GEMV_KERNEL_SWITCH_ROWS:
+                    floor = max(floor,
+                                _GEMV_KERNEL_SWITCH_ROWS // scale + 1)
+                else:
+                    if dense_rows % 4:
+                        return None, None
+                    limit = _GEMV_KERNEL_SWITCH_ROWS // scale
+                    cap = limit if cap is None else min(cap, limit)
+            elif k > 24 and 4 <= n <= 8:
+                cells_per_row = scale * k * n
+                if dense_rows * k * n > _SGEMM_KERNEL_SWITCH_CELLS:
+                    floor = max(
+                        floor,
+                        _SGEMM_KERNEL_SWITCH_CELLS // cells_per_row + 1)
+                else:
+                    limit = _SGEMM_KERNEL_SWITCH_CELLS // cells_per_row
+                    cap = limit if cap is None else min(cap, limit)
+            elif n <= 3 and dense_rows % 4:
+                return None, None
+        return floor, cap
 
     # ------------------------------------------------------------------
     def per_point_flops(self, num_views: int) -> int:

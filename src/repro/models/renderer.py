@@ -26,6 +26,14 @@ image is **byte-identical** at any worker count
 (``tests/models/test_render_sharded.py``).  ``workers=1`` (the default)
 keeps the historical in-process loop; ``workers=None`` autodetects
 (``REPRO_WORKERS`` env, then CPU count) with the nested-pool guard.
+
+The sparse fine pass (:mod:`repro.models.sparse`) composes with all of
+the above untouched: chunk boundaries are computed *before* any model
+forward, and the packing is a per-chunk decision inside
+``GeneralizableNeRF.forward`` that scatters back to the dense grid
+before returning — so packed renders keep identical chunk geometry and
+stay byte-identical to the padded reference at any worker width
+(``tests/models/test_sparse_fine_pass.py``).
 """
 
 from __future__ import annotations

@@ -39,10 +39,22 @@ import numpy as np
 from ..geometry.rays import stratified_depths
 
 __all__ = [
-    "stratified_depths", "SampleSet", "hierarchical_depths",
-    "sampling_pdf", "allocate_ray_budget", "focused_depths",
-    "coarse_then_focus_plan",
+    "stratified_depths", "SampleSet", "SamplePacking", "pack_samples",
+    "hierarchical_depths", "sampling_pdf", "allocate_ray_budget",
+    "focused_depths", "coarse_then_focus_plan",
 ]
+
+# Packed-row alignment for :func:`pack_samples`.  16 keeps every GEMM
+# the packed fine pass issues on a row granularity where this
+# container's OpenBLAS kernels are tail-free for all the shapes the
+# models use (the strictest measured granularity is 16 rows, for the
+# K=2 matrix-vector tail); it also floors the padded length so the
+# f64 projection GEMM never degenerates to a single row.
+PACK_ALIGN = 16
+
+
+def _aligned_rows(rows: int, align: int = PACK_ALIGN) -> int:
+    return max(align, ((rows + align - 1) // align) * align)
 
 
 @dataclass
@@ -75,6 +87,79 @@ class SampleSet:
     def dense(depths: np.ndarray) -> "SampleSet":
         depths = np.asarray(depths, dtype=np.float64)
         return SampleSet(depths, np.ones(depths.shape, dtype=bool))
+
+
+@dataclass(frozen=True)
+class SamplePacking:
+    """Struct-of-arrays compression of a ``SampleSet.mask``.
+
+    The sparse fine pass flattens the valid entries of an (R, N_max)
+    sample grid into flat ``(V_pad, ...)`` buffers — the same
+    struct-of-arrays idiom as ``TraceArrays``/``PlanArrays``.
+    ``ray_index``/``point_index`` name each packed row's dense cell in
+    **ray-major order** (``np.nonzero`` order), so one ray's samples
+    form a contiguous segment whose length is ``counts[ray]`` and whose
+    start is ``offsets[ray]``.  Rows past ``valid`` are padding: copies
+    of the first valid cell, present only to keep the packed GEMMs on
+    an aligned, kernel-regime-matched row count (see
+    :meth:`repro.models.ibrnet.GeneralizableNeRF._packed_pad_bounds`);
+    their outputs are dropped on scatter.
+    """
+
+    ray_index: np.ndarray    # (V_pad,) intp — dense ray of each packed row
+    point_index: np.ndarray  # (V_pad,) intp — dense sample slot of each row
+    valid: int               # V: real packed rows; the rest are padding
+    num_rays: int            # R of the dense grid
+    points_per_ray: int      # N_max of the dense grid
+
+    @property
+    def padded(self) -> int:
+        """V_pad — total packed rows including alignment padding."""
+        return int(self.ray_index.shape[0])
+
+    @property
+    def flat_index(self) -> np.ndarray:
+        """(V,) flat dense-grid positions of the valid rows (for the
+        scatter back into ``(R * N_max, ...)`` buffers)."""
+        return (self.ray_index[:self.valid] * self.points_per_ray
+                + self.point_index[:self.valid])
+
+    @property
+    def counts(self) -> np.ndarray:
+        """(R,) per-ray segment lengths (== ``SampleSet.counts``)."""
+        return np.bincount(self.ray_index[:self.valid],
+                           minlength=self.num_rays)
+
+    @property
+    def offsets(self) -> np.ndarray:
+        """(R + 1,) CSR-style segment starts into the packed buffers."""
+        return np.concatenate([[0], np.cumsum(self.counts)])
+
+
+def pack_samples(mask: np.ndarray, pad_to: Optional[int] = None
+                 ) -> SamplePacking:
+    """Build the packed index set for an (R, N_max) validity mask.
+
+    ``pad_to`` raises the padded row count (it is then aligned up to
+    :data:`PACK_ALIGN`); the result always has at least
+    ``max(valid, pad_to, PACK_ALIGN)`` rows.  With zero valid samples
+    the padding rows point at cell (0, 0).
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if mask.ndim != 2:
+        raise ValueError(f"mask must be (R, N_max), got shape {mask.shape}")
+    rows, cols = np.nonzero(mask)
+    valid = int(rows.shape[0])
+    padded = _aligned_rows(max(valid, pad_to or 0))
+    ray_index = np.empty(padded, dtype=np.intp)
+    point_index = np.empty(padded, dtype=np.intp)
+    ray_index[:valid] = rows
+    point_index[:valid] = cols
+    ray_index[valid:] = rows[0] if valid else 0
+    point_index[valid:] = cols[0] if valid else 0
+    return SamplePacking(ray_index=ray_index, point_index=point_index,
+                         valid=valid, num_rays=int(mask.shape[0]),
+                         points_per_ray=int(mask.shape[1]))
 
 
 def _inverse_transform(bin_edges: np.ndarray, pdf: np.ndarray,

@@ -22,7 +22,7 @@ import numpy as np
 
 from .tensor import (Tensor, as_tensor, concatenate, grad_enabled,  # noqa: F401
                      stack, unbroadcast, where)
-from .tensor import _node, _plain
+from .tensor import _node, _plain, _scatter_add_rows
 
 
 def relu(x: Tensor) -> Tensor:
@@ -229,6 +229,56 @@ def pad_last_axes(x: Tensor, pad: Sequence[tuple], value: float = 0.0) -> Tensor
     def backward(g: np.ndarray) -> None:
         if x.requires_grad:
             x._accumulate(g[slicer])
+
+    return _node(out_data, (x,), backward)
+
+
+def gather_rows(x: Tensor, index: np.ndarray) -> Tensor:
+    """Axis-0 rows of ``x`` at integer ``index`` — the packing gather.
+
+    Fused equivalent of ``x[index]`` for integer row indices: one graph
+    node whose backward is the bincount-based scatter-add (duplicate
+    indices accumulate), instead of ``__getitem__``'s generic fancy-index
+    node.  Under :class:`repro.nn.inference_mode` it returns a plain
+    tensor — no graph, no closure — which is how the sparse fine pass
+    uses it (see :mod:`repro.models.ibrnet`).
+    """
+    x = as_tensor(x)
+    index = np.asarray(index, dtype=np.intp)
+    out_data = x.data[index]
+    if not x._tracked():
+        return _plain(out_data)
+
+    def backward(g: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(_scatter_add_rows(index, g, x.data.shape,
+                                            x.data.dtype))
+
+    return _node(out_data, (x,), backward)
+
+
+def scatter_rows(x: Tensor, index: np.ndarray, num_rows: int) -> Tensor:
+    """Scatter ``x``'s axis-0 rows into a zero tensor of ``num_rows`` rows.
+
+    ``out[index[i]] = x[i]``; every row of the output not named by
+    ``index`` is exactly ``+0.0``.  ``index`` must be unique (the packed
+    fine pass scatters each valid sample to its own padded slot; with
+    duplicates numpy's last-write-wins applies and the backward would
+    overcount).  Gradient flows only to the scattered rows — backward is
+    the plain gather ``g[index]`` — and under
+    :class:`repro.nn.inference_mode` no graph is recorded, keeping the
+    op autograd- and inference-clean in both modes.
+    """
+    x = as_tensor(x)
+    index = np.asarray(index, dtype=np.intp)
+    out_data = np.zeros((num_rows,) + x.data.shape[1:], dtype=x.data.dtype)
+    out_data[index] = x.data
+    if not x._tracked():
+        return _plain(out_data)
+
+    def backward(g: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(g[index])
 
     return _node(out_data, (x,), backward)
 

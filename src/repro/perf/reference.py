@@ -44,7 +44,8 @@ __all__ = [
     "inverse_transform_loop", "focused_depths_loop",
     "merge_critical_points_loop", "footprint_trace_loop",
     "replay_trace_loop", "encode_views_loop", "fetch_features_loop",
-    "forward_fetched_loop", "render_rays_chunked_loop",
+    "forward_fetched_loop", "model_forward_padded",
+    "render_rays_chunked_loop",
     "evaluate_candidate_loop", "plan_frame_loop", "simulate_frame_loop",
     "AdamLoop", "clip_grad_norm_loop", "TrainerLoop", "trainer_fit_loop",
 ]
@@ -300,6 +301,24 @@ def forward_fetched_loop(model, fetched: FetchedFeatures,
     return RenderOutput(rgb=rgb, sigma=sigma,
                         density_features=density_features,
                         any_visible=ray_mask)
+
+
+def model_forward_padded(model, points: np.ndarray, ray_dirs: np.ndarray,
+                         source_cameras, feature_maps,
+                         source_images: np.ndarray, mask=None):
+    """Pinned padded reference for the sparse fine pass.
+
+    Forces the dense ``(R, n_max)`` grid path (``sparse=False``) — the
+    layout every committed artefact was generated with.  The sparse
+    equivalence suite (``tests/models/test_sparse_fine_pass.py``)
+    asserts the packed path reproduces this output **byte-for-byte**,
+    the same convention as the other equivalence pins in this module.
+    Unlike the seed loops above, this is not a historical copy: it calls
+    the current model with the packing disabled, so it tracks pointwise
+    stage changes while staying layout-pinned.
+    """
+    return model(points, ray_dirs, source_cameras, feature_maps,
+                 source_images, mask=mask, sparse=False)
 
 
 def _model_forward_loop(model, points: np.ndarray, ray_dirs: np.ndarray,

@@ -2,13 +2,21 @@
 
 Three families mirror the paper's Table/Figure axes:
 
-========  ==========  ===================  =====================
-Family    Resolution  Rig                  Analogue of
-========  ==========  ===================  =====================
-llff      1008 x 756  forward-facing grid  LLFF real scenes
-nerf_syn   800 x 800  inward orbit         NeRF-Synthetic objects
-deepvoxels 512 x 512  inward orbit         DeepVoxels Lambertian
-========  ==========  ===================  =====================
+============  ==========  ===================  =====================
+Family        Resolution  Rig                  Analogue of
+============  ==========  ===================  =====================
+llff          1008 x 756  forward-facing grid  LLFF real scenes
+nerf_syn       800 x 800  inward orbit         NeRF-Synthetic objects
+deepvoxels     512 x 512  inward orbit         DeepVoxels Lambertian
+thicket        640 x 480  forward-facing grid  (occupancy stress, high)
+orbit_sparse   512 x 512  inward orbit         (occupancy stress, low)
+============  ==========  ===================  =====================
+
+The last two are not paper splits: they are seeded occupancy-stress
+families (see :mod:`repro.scenes.generator`) whose per-ray valid-sample
+occupancy spans the 10–90 % range the sparse fine pass is benchmarked
+over; the ``occupancy_profile`` registry experiment records the
+histograms.
 
 ``image_scale`` shrinks resolution for tractable numpy runs (tests use
 1/8 or 1/16 scale); the *hardware* experiments always use the paper's
@@ -27,7 +35,8 @@ from ..geometry.transforms import (camera_at, forward_facing_cameras,
                                    orbit_cameras)
 from .fields import Field
 from .generator import (deepvoxels_like_field, llff_like_field,
-                        nerf_synthetic_like_field)
+                        nerf_synthetic_like_field, orbit_sparse_like_field,
+                        thicket_like_field)
 
 
 @dataclass(frozen=True)
@@ -65,6 +74,13 @@ DATASETS: Dict[str, DatasetSpec] = {
                               fov_x_deg=45.0, near=2.5, far=5.5,
                               rig="orbit", rig_distance=4.0,
                               white_background=True),
+    "thicket": DatasetSpec("thicket", width=640, height=480,
+                           fov_x_deg=55.0, near=2.0, far=8.0,
+                           rig="forward", rig_distance=4.0),
+    "orbit_sparse": DatasetSpec("orbit_sparse", width=512, height=512,
+                                fov_x_deg=50.0, near=2.0, far=6.0,
+                                rig="orbit", rig_distance=4.0,
+                                white_background=True),
 }
 
 
@@ -105,6 +121,10 @@ def _build_field(family: str, seed: int, scene_name: Optional[str]) -> Field:
         return nerf_synthetic_like_field(seed)
     if family == "deepvoxels":
         return deepvoxels_like_field(seed)
+    if family == "thicket":
+        return thicket_like_field(seed)
+    if family == "orbit_sparse":
+        return orbit_sparse_like_field(seed)
     raise KeyError(f"unknown dataset family {family!r}; "
                    f"choose from {sorted(DATASETS)}")
 

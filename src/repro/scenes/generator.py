@@ -9,6 +9,19 @@ match what the paper's datasets stress:
 * **NeRF-Synthetic-like** — a compact object assembly at the origin with
   lots of empty space around it, viewed from an inward orbit.
 * **DeepVoxels-like** — a single, simple Lambertian object.
+
+Two additional families exist to spread per-ray *sample occupancy*
+(valid focused samples / ``n_max``) across the 10–90 % range instead of
+pinning at saturation like the LLFF analogues do — the evidence base for
+the sparse fine pass (see ``occupancy_profile`` in the registry):
+
+* **Thicket** — high depth complexity: a forward-facing stack of thin
+  shells and slats at staggered depths, so most rays cross many distinct
+  density transitions and occupancy runs high (but sub-saturated).
+* **Orbit-sparse** — the opposite regime: a handful of small, well
+  separated blobs in a mostly empty orbit volume, so the bulk of rays
+  hit nothing and the sampler's redistributed budget concentrates on the
+  few occupied rays.
 """
 
 from __future__ import annotations
@@ -111,6 +124,69 @@ def nerf_synthetic_like_field(seed: int) -> Field:
             components.append(_random_box(rng, 0.45))
         else:
             components.append(_random_shell(rng, 0.4))
+    return CompositeField(components)
+
+
+def thicket_like_field(seed: int) -> Field:
+    """High-depth-complexity forward scene: layered thin structure.
+
+    Several depth layers of thin shells and thin slab-like boxes, each
+    laterally jittered, so a typical camera ray threads multiple
+    partially transmissive surfaces — many coarse bins clear the
+    critical threshold per ray, which keeps per-ray occupancy high
+    without the uniform saturation of the LLFF clutter."""
+    rng = np.random.default_rng(seed * 15485863 + 101)
+    components: List[Field] = []
+    layers = int(rng.integers(6, 9))
+    for layer in range(layers):
+        # Stagger layers front-to-back through the forward rig's view
+        # volume; lateral jitter keeps silhouettes from aligning.
+        depth = -1.3 + 3.2 * layer / max(layers - 1, 1)
+        for _ in range(int(rng.integers(2, 4))):
+            center = rng.uniform(-1.1, 1.1, size=3)
+            center[2] = depth + rng.uniform(-0.15, 0.15)
+            if rng.integers(0, 2) == 0:
+                components.append(SphereShell(
+                    center=center,
+                    radius=rng.uniform(0.25, 0.5),
+                    thickness=rng.uniform(0.02, 0.05),
+                    density_value=rng.uniform(20.0, 40.0),
+                    base_color=_random_color(rng)))
+            else:
+                half = np.array([rng.uniform(0.25, 0.6),
+                                 rng.uniform(0.25, 0.6),
+                                 rng.uniform(0.02, 0.06)])
+                components.append(SolidBox(
+                    center=center, half_extent=half,
+                    density_value=rng.uniform(15.0, 35.0),
+                    base_color=_random_color(rng)))
+    return CompositeField(components)
+
+
+def orbit_sparse_like_field(seed: int) -> Field:
+    """Empty-space-heavy orbit scene: a few small, separated blobs.
+
+    Most rays from the orbit rig cross nothing but empty space, so they
+    have no critical coarse points and the focused-sample budget
+    concentrates on the minority that hit — the low-occupancy regime
+    where the packed fine pass pays most."""
+    rng = np.random.default_rng(seed * 32452843 + 7)
+    components: List[Field] = []
+    count = int(rng.integers(2, 4))
+    # Rejection-free spread: park each blob in its own octant-ish cell
+    # so small radii cannot merge into one compact assembly.
+    directions = rng.permutation(np.array([
+        [1.0, 1.0, 1.0], [-1.0, -1.0, 1.0], [1.0, -1.0, -1.0],
+        [-1.0, 1.0, -1.0]]))[:count]
+    for direction in directions:
+        center = direction / np.linalg.norm(direction) \
+            * rng.uniform(0.55, 0.85)
+        components.append(GaussianBlob(
+            center=center + rng.uniform(-0.1, 0.1, size=3),
+            radius=rng.uniform(0.1, 0.18),
+            peak_density=rng.uniform(35.0, 60.0),
+            base_color=_random_color(rng),
+            view_tint=0.2))
     return CompositeField(components)
 
 

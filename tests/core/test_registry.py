@@ -23,7 +23,8 @@ RESULTS_DIR = os.path.join(REPO_ROOT, "benchmarks", "results")
 
 EXPECTED = ["table1", "fig2", "fig9", "table2", "table3", "fig10",
             "fig11", "table4", "fig12", "ablation_coarse_budget",
-            "ablation_patch_candidates", "serve_replay"]
+            "ablation_patch_candidates", "serve_replay",
+            "occupancy_profile"]
 
 
 def _read_cache_knob():
