@@ -5,7 +5,7 @@ PYTEST := PYTHONPATH=src python -m pytest
 HARNESS := PYTHONPATH=src python -m benchmarks.harness
 REPRO := PYTHONPATH=src python -m repro
 
-.PHONY: test test-all bench bench-e2e bench-train bench-shard bench-serve bench-sparse bench-smoke perf docs-check sweep-smoke batch-smoke serve-smoke check
+.PHONY: test test-all bench bench-e2e bench-train bench-shard bench-serve bench-sparse bench-encode bench-smoke perf docs-check sweep-smoke batch-smoke serve-smoke check
 
 BATCH_SMOKE_OUT := /tmp/repro-batch-smoke
 
@@ -32,6 +32,9 @@ bench-serve: ## serving bench only (coalesced replay vs sequential serving)
 
 bench-sparse: ## sparse fine-pass benches (packed vs padded at 10/50/90% occupancy)
 	$(HARNESS) --only sparse_fine_pass_occ10 sparse_fine_pass_occ50 sparse_fine_pass_occ90
+
+bench-encode: ## footprint-restricted training encode vs full encode (4/16-ray batches)
+	$(HARNESS) --only train_encode_footprint_r4 train_encode_footprint_r16
 
 bench-smoke: ## one quick round of every bench body (incl. sharding), no JSON write
 	$(HARNESS) --smoke

@@ -550,6 +550,65 @@ def bench_training_step_ibrnet():
     return _training_bench("ibrnet")
 
 
+def _encode_footprint_bench(rays: int):
+    """Training steps with the footprint-restricted encode on vs off.
+
+    One timed call = a short IBRNet run on a prepared scene.  Fast
+    path: ``Trainer(..., footprint=True)`` — each step plans the exact
+    feature-map pixel set its ray bundle gathers and convolves only
+    the matching receptive-field crops
+    (:mod:`repro.models.footprint`).  Loop reference:
+    ``repro.perf.reference.trainer_full_encode`` — the planner forced
+    off, every step convolving the full source stack.  The two are
+    byte-identical (``tests/models/test_footprint_equivalence.py``),
+    so the speedup column reads directly as the footprint win at this
+    ray count: it grows as the batch shrinks relative to the feature
+    maps (the coverage the step actually needs).
+    """
+    import numpy as np
+
+    from repro import models as M
+    from repro.perf import reference
+    from repro.scenes.datasets import make_scene
+
+    scene = make_scene("llff", seed=3, scene_name="fern",
+                       num_source_views=6, image_scale=1 / 8)
+    data = M.SceneData.prepare(scene, gt_points=64)
+    ref_data = M.SceneData.prepare(scene, gt_points=64)
+    cfg = M.TrainConfig(steps=6, rays_per_batch=rays, num_points=12,
+                        gt_points=64, seed=0, pixel_block_steps=6)
+    model_cfg = M.ModelConfig(feature_dim=8, view_hidden=8, score_hidden=4,
+                              density_hidden=12, density_feature_dim=6,
+                              ray_module="mixer", n_max=12,
+                              encoder_hidden=6)
+    model = M.GeneralizableNeRF(model_cfg, rng=np.random.default_rng(0))
+    init_state = model.state_dict()
+
+    def footprint():
+        model.load_state_dict(init_state)
+        model.train()
+        trainer = M.Trainer(model, [data], cfg, footprint=True)
+        losses = trainer.fit(cfg.steps)
+        assert trainer.footprint_stats["footprint"] == cfg.steps
+        return losses
+
+    def full_encode():
+        model.load_state_dict(init_state)
+        model.train()
+        return reference.trainer_full_encode(model, [ref_data],
+                                             cfg).fit(cfg.steps)
+
+    return footprint, full_encode
+
+
+def bench_train_encode_footprint_r4():
+    return _encode_footprint_bench(4)
+
+
+def bench_train_encode_footprint_r16():
+    return _encode_footprint_bench(16)
+
+
 BENCHES = {
     "coarse_then_focus_plan_r4096": bench_coarse_then_focus_plan,
     "inverse_transform_r4096": bench_inverse_transform,
@@ -567,6 +626,8 @@ BENCHES = {
     "sparse_fine_pass_occ90": bench_sparse_fine_pass_occ90,
     "training_step_e2e_gen_nerf": bench_training_step_gen_nerf,
     "training_step_e2e_ibrnet": bench_training_step_ibrnet,
+    "train_encode_footprint_r4": bench_train_encode_footprint_r4,
+    "train_encode_footprint_r16": bench_train_encode_footprint_r16,
 }
 
 

@@ -47,6 +47,7 @@ from .core.registry import (all_experiments, get_experiment,
 from .core.scene_cache import ENV_KNOB
 from .core.serve import (MAX_BATCH_ENV, QUEUE_ENV, WINDOW_ENV, ServeConfig,
                          run_daemon)
+from .models.footprint import FOOTPRINT_ENV
 from .models.sparse import SPARSE_ENV
 
 
@@ -88,6 +89,14 @@ def _add_common_options(parser: argparse.ArgumentParser,
                              f"every render in this invocation "
                              f"(exported as the {SPARSE_ENV} env knob; "
                              f"default: the knob, then on — outputs "
+                             f"are byte-identical either way)")
+    parser.add_argument("--footprint", action=argparse.BooleanOptionalAction,
+                        default=None,
+                        help=f"force the footprint-restricted training "
+                             f"encode on/off for every training run in "
+                             f"this invocation (exported as the "
+                             f"{FOOTPRINT_ENV} env knob; default: the "
+                             f"knob, then on — training trajectories "
                              f"are byte-identical either way)")
 
 
@@ -279,6 +288,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Exported (not passed through call chains) so worker-pool
         # subprocesses inherit the choice too.
         os.environ[SPARSE_ENV] = "1" if sparse else "0"
+    footprint = getattr(args, "footprint", None)
+    if footprint is not None:
+        os.environ[FOOTPRINT_ENV] = "1" if footprint else "0"
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":

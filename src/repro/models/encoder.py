@@ -59,8 +59,57 @@ class ConvEncoder(nn.Module):
         # gather reshapes the maps on every chunk — materialise once.
         return features.transpose((0, 2, 3, 1)).contiguous()
 
+    @property
+    def convs(self):
+        """The conv stack in execution order (for the footprint planner)."""
+        return (self.conv1, self.conv2, self.conv3)
+
+    def feature_shape(self, height: int, width: int) -> tuple:
+        """(Hf, Wf) of the encoded maps for an (H, W) source image."""
+        shape = (height, width)
+        for conv in self.convs:
+            shape = conv.output_shape(*shape)
+        return shape
+
+    def encode_views_footprint(self, images: np.ndarray, plan) -> Tensor:
+        """Footprint-restricted :meth:`encode_views`: same bits at every
+        planned pixel, compute proportional to the footprint.
+
+        ``plan`` is a :class:`repro.models.footprint.FootprintPlan` for
+        this conv stack.  Each layer runs as a packed gather + GEMM
+        (:func:`repro.nn.functional.conv2d_at`); the first layer reuses
+        the scene-level im2col cache rows when a full encode of the
+        same array already paid for them.  Output pixels outside the
+        footprint are exact ``+0.0`` — they are, by construction, never
+        gathered by the step this plan was built for.
+        """
+        x = np.asarray(images, dtype=np.float32)
+        channels = x.shape[1]
+        first = plan.layers[0]
+        cached = nn.shared_patch_rows(x, self.conv1.kernel,
+                                      self.conv1.stride, self.conv1.padding,
+                                      first.out_index)
+        rows = x.transpose(0, 2, 3, 1).reshape(-1, channels)[plan.input_index]
+        out = Tensor(rows)
+        for conv, layer in zip(self.convs, plan.layers):
+            out = nn.functional.conv2d_at(
+                out, layer.gather, conv.weight, conv.bias, layer.dense_rows,
+                pad_rows=layer.pad_rows, pad_rows_grad=layer.pad_rows_grad,
+                cols=cached if layer is first else None)
+            if conv is not self.conv3:
+                out = nn.functional.elu(out)
+        num_views, final_h, final_w = plan.out_shape
+        maps = nn.functional.scatter_rows(out, plan.layers[-1].out_index,
+                                          num_views * final_h * final_w)
+        return maps.reshape(num_views, final_h, final_w,
+                            self.conv3.out_channels)
+
     def flops(self, height: int, width: int, views: int = 1) -> int:
-        half_h, half_w = height // 2, width // 2
+        # conv2's stride-2 output is ceil(H/2) x ceil(W/2) for k3/p1
+        # (not floor): derive conv3's input from the actual conv
+        # arithmetic instead of halving.
+        mid = self.conv2.output_shape(*self.conv1.output_shape(height,
+                                                               width))
         return (self.conv1.flops(views, height, width)
                 + self.conv2.flops(views, height, width)
-                + self.conv3.flops(views, half_h, half_w))
+                + self.conv3.flops(views, *mid))

@@ -216,6 +216,41 @@ def fetch_features(points: np.ndarray, ray_dirs: np.ndarray,
                            direction_delta=view_dirs, visibility=view_visible)
 
 
+def fetched_pixel_mask(points: np.ndarray,
+                       source_cameras: Sequence[Camera],
+                       map_height: int, map_width: int,
+                       feature_scale: float = 0.5) -> np.ndarray:
+    """Feature-map pixels :func:`fetch_features` will gather, as a
+    (S, map_height, map_width) boolean mask.
+
+    Replicates the fetcher's bilinear-corner arithmetic exactly —
+    non-finite projections clamp to pixel 0 (they are still gathered,
+    with zero lerp weight), coordinates clip to the map, and all four
+    corners of every point are marked.  The footprint-restricted encode
+    (:mod:`repro.models.footprint`) treats this set as the pixels whose
+    values and gradients must be bit-exact.
+    """
+    flat_points = np.asarray(points, dtype=np.float64).reshape(-1, 3)
+    mask = np.zeros((len(source_cameras), map_height, map_width),
+                    dtype=bool)
+    for index, camera in enumerate(source_cameras):
+        pixels, depth = camera.project(flat_points, return_depth=True)
+        finite = np.isfinite(pixels).all(axis=-1) & (depth > 1e-6)
+        safe = np.where(finite[:, None], pixels, 0.0) * feature_scale
+        u = np.clip(safe[:, 0], 0.0, map_width - 1.0)
+        v = np.clip(safe[:, 1], 0.0, map_height - 1.0)
+        x0 = np.floor(u).astype(np.int64)
+        y0 = np.floor(v).astype(np.int64)
+        x1 = np.minimum(x0 + 1, map_width - 1)
+        y1 = np.minimum(y0 + 1, map_height - 1)
+        view = mask[index]
+        view[y0, x0] = True
+        view[y0, x1] = True
+        view[y1, x0] = True
+        view[y1, x1] = True
+    return mask
+
+
 def _bilinear_numpy_batched(images_shwc: np.ndarray,
                             pixels: np.ndarray) -> np.ndarray:
     """Plain-numpy bilinear sample over all views: (S, H, W, C) at (S, N, 2).

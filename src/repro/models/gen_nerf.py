@@ -99,12 +99,16 @@ class GenNeRF(nn.Module):
                     source_cameras: Sequence[Camera],
                     coarse_maps: Union[Tensor, Sequence[Tensor]],
                     source_images: np.ndarray,
-                    rng: Optional[np.random.Generator] = None
+                    rng: Optional[np.random.Generator] = None,
+                    depths: Optional[np.ndarray] = None
                     ) -> Tuple[np.ndarray, np.ndarray, RenderOutput]:
         """Step 1: lightweight coarse sampling.
 
         Returns (coarse_depths, coarse_weights, coarse_output); weights
         are detached numpy (the sampler is not differentiated through).
+        ``depths`` injects pre-drawn coarse depths — the trainer draws
+        them *before* encoding so it can plan the encode footprint from
+        the step's sample points without disturbing the RNG stream.
         """
         cfg = self.config
         chosen = self.select_coarse_views(bundle, source_cameras)
@@ -115,10 +119,11 @@ class GenNeRF(nn.Module):
             maps = [coarse_maps[i] for i in chosen]
         images = source_images[chosen]
 
-        gen = rng or np.random.default_rng(0)
-        depths = stratified_depths(gen, len(bundle), cfg.coarse_points,
-                                   bundle.near, bundle.far,
-                                   jitter=rng is not None)
+        if depths is None:
+            gen = rng or np.random.default_rng(0)
+            depths = stratified_depths(gen, len(bundle), cfg.coarse_points,
+                                       bundle.near, bundle.far,
+                                       jitter=rng is not None)
         points = bundle.points_at(depths)
         output = self.coarse(points, bundle.directions, cams, maps, images)
         _, weights = composite(output.sigma, output.rgb, depths, bundle.far)

@@ -45,6 +45,7 @@ pins losses and final weights bit-identical against it.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -55,10 +56,15 @@ from .. import nn
 from ..geometry.rays import RayBundle, rays_for_pixels, stratified_depths
 from ..scenes.datasets import Scene
 from ..scenes.render_gt import render_rays as render_gt_rays
+from .features import fetched_pixel_mask
+from .footprint import (FOOTPRINT_STATS, footprint_enabled,
+                        plan_conv_footprint)
 from .gen_nerf import GenNeRF
 from .ibrnet import GeneralizableNeRF
 from .renderer import render_source_views
 from .volume_rendering import composite
+
+_LOG = logging.getLogger("repro.models.training")
 
 
 @dataclass
@@ -191,12 +197,20 @@ class Trainer:
     """Shared training driver for baseline and Gen-NeRF models."""
 
     def __init__(self, model: nn.Module, scenes: Sequence[SceneData],
-                 config: Optional[TrainConfig] = None):
+                 config: Optional[TrainConfig] = None,
+                 footprint: Optional[bool] = None):
         if not scenes:
             raise ValueError("need at least one scene")
         self.model = model
         self.scenes = list(scenes)
         self.config = config or TrainConfig()
+        # ``footprint`` forces the footprint-restricted training encode
+        # on/off; the default defers to the ``REPRO_FOOTPRINT`` knob
+        # (see :mod:`repro.models.footprint`).  Either way the training
+        # trajectory is byte-identical — the knob only picks which
+        # equivalent compute layout runs the encoder.
+        self._footprint = footprint
+        self.footprint_stats = {"footprint": 0, "dense": 0, "coverage": 0.0}
         schedule = nn.ExponentialDecayLR(self.config.learning_rate,
                                          self.config.lr_decay_rate,
                                          self.config.lr_decay_steps)
@@ -286,29 +300,105 @@ class Trainer:
             for j in steps:
                 self._block[j][2] = cached[j]
 
+    def _encode_footprint(self, encoder, scene_data: SceneData, groups):
+        """Encode ``scene_data.source_images`` restricted to the feature
+        pixels this step will actually gather.
+
+        ``groups`` lists ``(cameras, view_indices_or_None, points)``
+        gathers the step is about to perform; the union of their
+        bilinear corner sets is the footprint.  Falls back to the dense
+        :meth:`ConvEncoder.encode_views` when the footprint cannot be
+        restricted profitably (planner returns ``None``) or is
+        trivially dense (cheap ray-count guard) — the dense path
+        produces the same bits, so the choice is pure performance.
+        """
+        images = scene_data.source_images
+        num_views = images.shape[0]
+        height, width = images.shape[2], images.shape[3]
+        map_h, map_w = encoder.feature_shape(height, width)
+        cells = num_views * map_h * map_w
+        candidates = 4 * sum(len(cams) * points.shape[0] * points.shape[1]
+                             for cams, _, points in groups)
+        plan = None
+        if 2 * candidates < cells:
+            mask = np.zeros((num_views, map_h, map_w), dtype=bool)
+            for cams, view_idx, points in groups:
+                part = fetched_pixel_mask(points, cams, map_h, map_w,
+                                          encoder.feature_scale)
+                if view_idx is None:
+                    mask |= part
+                else:
+                    mask[view_idx] |= part
+            plan = plan_conv_footprint(encoder.convs, num_views, height,
+                                       width, mask)
+        if plan is None:
+            self.footprint_stats["dense"] += 1
+            FOOTPRINT_STATS["dense"] += 1
+            return encoder.encode_views(images)
+        self.footprint_stats["footprint"] += 1
+        self.footprint_stats["coverage"] += plan.coverage
+        FOOTPRINT_STATS["footprint"] += 1
+        return encoder.encode_views_footprint(images, plan)
+
+    def _use_footprint(self) -> bool:
+        return footprint_enabled(self._footprint)
+
     def _loss_ibrnet(self, model: GeneralizableNeRF, scene_data: SceneData,
                      bundle: RayBundle, target: np.ndarray):
-        feature_maps = model.encode_scene(scene_data.source_images)
+        # Depths are drawn *before* the encode so the footprint planner
+        # can see the step's sample points; the encode consumes no RNG,
+        # so the stream is bit-identical to the draw-after-encode order.
         depths = stratified_depths(self.rng, len(bundle),
                                    self.config.num_points, bundle.near,
                                    bundle.far, jitter=True)
         points = bundle.points_at(depths)
-        output = model(points, bundle.directions,
-                       scene_data.scene.source_cameras, feature_maps,
+        cameras = scene_data.scene.source_cameras
+        if self._use_footprint():
+            feature_maps = self._encode_footprint(
+                model.encoder, scene_data, [(cameras, None, points)])
+        else:
+            feature_maps = model.encode_scene(scene_data.source_images)
+        output = model(points, bundle.directions, cameras, feature_maps,
                        scene_data.source_images)
         pixel, _ = composite(output.sigma, output.rgb, depths, bundle.far)
         return nn.functional.mse_loss(pixel, target.astype(np.float32))
 
     def _loss_gen_nerf(self, model: GenNeRF, scene_data: SceneData,
                        bundle: RayBundle, target: np.ndarray):
-        coarse_maps, fine_maps = model.encode_scene(scene_data.source_images)
-        coarse_depths, coarse_weights, coarse_out = model.coarse_pass(
-            bundle, scene_data.scene.source_cameras, coarse_maps,
-            scene_data.source_images, rng=self.rng)
-        samples = model.plan_samples(coarse_depths, coarse_weights, bundle,
-                                     rng=self.rng, min_points=2)
-        pixel, _, _ = model.fine_pass(bundle, samples,
-                                      scene_data.scene.source_cameras,
+        cameras = scene_data.scene.source_cameras
+        if self._use_footprint():
+            cfg = model.config
+            # Pre-draw the coarse depths (first RNG consumer of the
+            # step) so both encodes can be footprint-planned; the
+            # stream order is unchanged because encoding draws nothing.
+            coarse_depths = stratified_depths(
+                self.rng, len(bundle), cfg.coarse_points, bundle.near,
+                bundle.far, jitter=True)
+            chosen = model.select_coarse_views(bundle, cameras)
+            coarse_cams = [cameras[i] for i in chosen]
+            coarse_points = bundle.points_at(coarse_depths)
+            coarse_maps = self._encode_footprint(
+                model.coarse.encoder, scene_data,
+                [(coarse_cams, chosen, coarse_points)])
+            coarse_out_tuple = model.coarse_pass(
+                bundle, cameras, coarse_maps, scene_data.source_images,
+                rng=self.rng, depths=coarse_depths)
+            coarse_depths, coarse_weights, coarse_out = coarse_out_tuple
+            samples = model.plan_samples(coarse_depths, coarse_weights,
+                                         bundle, rng=self.rng, min_points=2)
+            fine_points = bundle.points_at(samples.depths)
+            fine_maps = self._encode_footprint(
+                model.fine.encoder, scene_data,
+                [(cameras, None, fine_points)])
+        else:
+            coarse_maps, fine_maps = model.encode_scene(
+                scene_data.source_images)
+            coarse_depths, coarse_weights, coarse_out = model.coarse_pass(
+                bundle, cameras, coarse_maps,
+                scene_data.source_images, rng=self.rng)
+            samples = model.plan_samples(coarse_depths, coarse_weights,
+                                         bundle, rng=self.rng, min_points=2)
+        pixel, _, _ = model.fine_pass(bundle, samples, cameras,
                                       fine_maps, scene_data.source_images)
         loss = nn.functional.mse_loss(pixel, target.astype(np.float32))
         # Auxiliary coarse loss (vanilla-NeRF style) trains the coarse
@@ -361,6 +451,16 @@ class Trainer:
                 print(f"step {index + 1:5d}/{total} loss={value:.5f} "
                       f"({elapsed:.1f}s)")
         self._remaining_hint = None
+        footprint_steps = self.footprint_stats["footprint"]
+        if footprint_steps or self.footprint_stats["dense"]:
+            from ..core import log
+            log.event(
+                _LOG, "train.encode_footprint", level=logging.INFO,
+                footprint=footprint_steps,
+                dense=self.footprint_stats["dense"],
+                mean_coverage=round(
+                    self.footprint_stats["coverage"] / footprint_steps, 4)
+                if footprint_steps else None)
         return self.history
 
 

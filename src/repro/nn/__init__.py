@@ -8,7 +8,8 @@ substrate exists.
 from . import functional
 from .attention import MultiHeadSelfAttention, TransformerBlock
 from .layers import (MLP, AvgPool2d, Conv2d, ELU, LayerNorm, Linear, Module,
-                     Parameter, ReLU, Sequential, Sigmoid, conv_patch_cache)
+                     Parameter, ReLU, Sequential, Sigmoid, conv_patch_cache,
+                     shared_patch_rows)
 from .optim import (Adam, ConstantLR, ExponentialDecayLR, LRSchedule, SGD,
                     clip_grad_norm)
 from .serialize import load_module, save_module
@@ -22,6 +23,7 @@ __all__ = [
     "no_grad", "inference_mode", "grad_enabled", "unbroadcast",
     "Module", "Parameter", "Linear", "Conv2d", "AvgPool2d", "Sequential",
     "MLP", "LayerNorm", "ReLU", "ELU", "Sigmoid", "conv_patch_cache",
+    "shared_patch_rows",
     "MultiHeadSelfAttention", "TransformerBlock",
     "Adam", "SGD", "ConstantLR", "ExponentialDecayLR", "LRSchedule",
     "clip_grad_norm", "save_module", "load_module",

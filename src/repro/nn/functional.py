@@ -333,6 +333,125 @@ def col2im(cols: np.ndarray, image_shape, kernel: int, stride: int,
     return images
 
 
+def grad_live_rows(g2d: np.ndarray, dense_rows: int) -> Optional[np.ndarray]:
+    """Rows of ``g2d`` carrying any nonzero gradient, when compacting pays.
+
+    The conv weight/bias gradient skips exactly-zero gradient rows when
+    fewer than half of ``dense_rows`` are live; returns ``None`` when the
+    dense GEMM should run unchanged.  Training gradients are sparse in
+    feature-map pixels (only gathered bilinear corners receive gradient),
+    so this makes the backward GEMM cost track the fetched footprint.
+
+    Both the dense conv backward (:class:`repro.nn.layers.Conv2d`) and
+    the footprint-restricted :func:`conv2d_at` apply this same rule
+    against the *dense* row count — that is what keeps their weight
+    gradients bit-identical: they reduce the same compacted GEMM rather
+    than two differently shaped ones (OpenBLAS's reduction blocking
+    depends on the row count, so dropping zero rows is not a bitwise
+    no-op).
+    """
+    rows = np.flatnonzero(np.any(g2d != 0, axis=1))
+    if rows.size * 2 < dense_rows:
+        return rows
+    return None
+
+
+def conv2d_at(x: Tensor, gather: np.ndarray, weight: Tensor,
+              bias: Optional[Tensor], dense_rows: int, pad_rows: int = 0,
+              pad_rows_grad: int = 0,
+              cols: Optional[np.ndarray] = None) -> Tensor:
+    """Convolution restricted to a packed set of output pixels.
+
+    ``x`` holds the *input* pixels the requested outputs depend on, one
+    row per pixel, channels last (``(n_in, C)``).  ``gather`` maps each
+    output pixel to its ``k*k`` input rows in ``(ky, kx)`` order, with
+    the out-of-range sentinel ``n_in`` standing in for the zeros the
+    full image's padding would supply — so crop borders read real
+    neighbours exactly where the full conv does and zero-pad exactly
+    where it does.  The patch rows this builds are bitwise the rows
+    :func:`im2col` would produce at the same output positions, which is
+    what makes the footprint-restricted encode byte-identical to the
+    dense one (see :mod:`repro.models.footprint` for the planner and
+    the kernel-regime reasoning behind ``pad_rows``/``pad_rows_grad``).
+
+    ``cols`` short-circuits patch assembly with pre-gathered im2col rows
+    (the :func:`repro.nn.layers.shared_patch_rows` cache hit); it must
+    contain exactly the rows ``gather`` would build.
+
+    The weight/bias gradient applies :func:`grad_live_rows` against
+    ``dense_rows`` — the caller must guarantee ``2 * n_out <
+    dense_rows`` so the dense backward would compact too; the input
+    gradient replays :func:`col2im`'s per-offset accumulation order so
+    skipped zero contributions are bitwise no-ops.
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    bias_t = as_tensor(bias) if bias is not None else None
+    gather = np.asarray(gather, dtype=np.intp)
+    n_out, taps = gather.shape
+    n_in, channels = x.data.shape
+    if cols is None:
+        ext = np.concatenate(
+            [x.data, np.zeros((1, channels), dtype=x.data.dtype)])
+        # (n_out, k*k, C) -> the channel-major (C, ky, kx) patch layout
+        # im2col produces.
+        cols = np.ascontiguousarray(
+            ext[gather].transpose(0, 2, 1)).reshape(n_out, -1)
+    if pad_rows:
+        # Row count chosen by the planner so this GEMM runs in the same
+        # BLAS kernel regime as its dense counterpart; pad contents are
+        # irrelevant (rows are independent) and the rows are sliced off.
+        cols_g = np.concatenate(
+            [cols, np.zeros((pad_rows, cols.shape[1]), dtype=cols.dtype)])
+    else:
+        cols_g = cols
+    out2d = cols_g @ weight.data
+    if bias_t is not None:
+        out2d = out2d + bias_t.data
+    out_data = out2d[:n_out] if pad_rows else out2d
+    if not x._tracked(weight, *(() if bias_t is None else (bias_t,))):
+        return _plain(out_data)
+
+    def backward(g: np.ndarray) -> None:
+        g2d = np.ascontiguousarray(g)
+        if weight.requires_grad or (bias_t is not None
+                                    and bias_t.requires_grad):
+            rows = grad_live_rows(g2d, dense_rows)
+            if rows is None:  # unreachable under the planner's row guard
+                rows = np.arange(n_out, dtype=np.intp)
+            g_live = g2d[rows]
+            if weight.requires_grad:
+                weight._accumulate(cols[rows].T @ g_live)
+            if bias_t is not None and bias_t.requires_grad:
+                bias_t._accumulate(g_live.sum(axis=0))
+        if x.requires_grad:
+            if pad_rows_grad:
+                g_pad = np.concatenate(
+                    [g2d, np.zeros((pad_rows_grad, g2d.shape[1]),
+                                   dtype=g2d.dtype)])
+            else:
+                g_pad = g2d
+            gcols = g_pad @ weight.data.T
+            if pad_rows_grad:
+                gcols = gcols[:n_out]
+            gcols3 = gcols.reshape(n_out, channels, taps)
+            grad_in = np.zeros((n_in, channels), dtype=g2d.dtype)
+            # Mirror col2im's accumulation order: one scatter pass per
+            # kernel offset in (ky, kx) order.  Within a pass the
+            # offset's output->input map is one-to-one, so fancy += is
+            # exact; the full path's extra contributions are exact
+            # zeros, which cannot flip bits of a +0.0-seeded
+            # accumulator.
+            for off in range(taps):
+                target = gather[:, off]
+                valid = target < n_in
+                grad_in[target[valid]] += gcols3[valid, :, off]
+            x._accumulate(grad_in)
+
+    parents = (x, weight) if bias_t is None else (x, weight, bias_t)
+    return _node(out_data, parents, backward)
+
+
 def linear_split(xs: Sequence[Tensor], weight: Tensor,
                  bias: Optional[Tensor] = None) -> Tensor:
     """``concatenate(xs, -1) @ W + b`` without materialising the concat.

@@ -272,6 +272,30 @@ class conv_patch_cache:
         return False
 
 
+def shared_patch_rows(data: np.ndarray, kernel: int, stride: int,
+                      padding: int, rows: np.ndarray) -> Optional[np.ndarray]:
+    """Gather im2col patch rows from the active :class:`conv_patch_cache`.
+
+    The footprint-restricted encode (:mod:`repro.models.footprint`) only
+    needs the patch rows of the output pixels it will actually compute.
+    When a full encode already paid for the scene-level im2col of the
+    same input array — the trainer's ``SceneData.conv_cache`` after any
+    evaluation pass — those rows can be gathered straight from the cached
+    cols (same key and staleness checks as :class:`Conv2d`).  Returns
+    ``None`` on any miss so the caller assembles patches from its packed
+    input rows instead.
+    """
+    cache = _SHARED_COLS_CACHE[0]
+    if cache is None:
+        return None
+    entry = cache.get((id(data), kernel, stride, padding))
+    if entry is None or entry[0] is not data \
+            or entry[1] != _array_fingerprint(data):
+        return None
+    cols = entry[2]
+    return cols.reshape(-1, cols.shape[-1])[np.asarray(rows, dtype=np.intp)]
+
+
 def _array_fingerprint(arr: np.ndarray) -> tuple:
     """Cheap content fingerprint for cache-staleness detection.
 
@@ -374,10 +398,19 @@ class Conv2d(Module):
         def backward(g: np.ndarray) -> None:
             g2d = np.ascontiguousarray(
                 g.transpose(0, 2, 3, 1)).reshape(-1, out_channels)
-            if weight.requires_grad:
-                weight._accumulate(cols2d.T @ g2d)
-            if bias.requires_grad:
-                bias._accumulate(g2d.sum(axis=0))
+            if weight.requires_grad or bias.requires_grad:
+                rows = F.grad_live_rows(g2d, g2d.shape[0])
+                if rows is None:
+                    if weight.requires_grad:
+                        weight._accumulate(cols2d.T @ g2d)
+                    if bias.requires_grad:
+                        bias._accumulate(g2d.sum(axis=0))
+                else:
+                    g_live = g2d[rows]
+                    if weight.requires_grad:
+                        weight._accumulate(cols2d[rows].T @ g_live)
+                    if bias.requires_grad:
+                        bias._accumulate(g_live.sum(axis=0))
             if x.requires_grad:
                 gcols = (g2d @ weight.data.T).reshape(batch, -1,
                                                       cols2d.shape[-1])
@@ -386,9 +419,14 @@ class Conv2d(Module):
 
         return _node(out_data, (x, weight, bias), backward)
 
-    def flops(self, batch: int, height: int, width: int) -> int:
+    def output_shape(self, height: int, width: int) -> tuple:
+        """Spatial (out_h, out_w) this conv produces for an (H, W) input."""
         out_h = (height + 2 * self.padding - self.kernel) // self.stride + 1
         out_w = (width + 2 * self.padding - self.kernel) // self.stride + 1
+        return out_h, out_w
+
+    def flops(self, batch: int, height: int, width: int) -> int:
+        out_h, out_w = self.output_shape(height, width)
         macs = (batch * out_h * out_w * self.out_channels
                 * self.in_channels * self.kernel * self.kernel)
         return 2 * macs

@@ -48,6 +48,7 @@ __all__ = [
     "render_rays_chunked_loop",
     "evaluate_candidate_loop", "plan_frame_loop", "simulate_frame_loop",
     "AdamLoop", "clip_grad_norm_loop", "TrainerLoop", "trainer_fit_loop",
+    "trainer_full_encode",
 ]
 
 
@@ -818,3 +819,22 @@ class TrainerLoop:
 def trainer_fit_loop(model, scenes, config, steps: int):
     """Run ``steps`` seed training steps; returns the loss history."""
     return TrainerLoop(model, scenes, config).fit(steps)
+
+
+def trainer_full_encode(model, scenes, config):
+    """Pinned full-encode reference for the footprint-restricted
+    training encode.
+
+    Returns a :class:`repro.models.Trainer` with the footprint planner
+    forced off (``footprint=False``) — every step convolves the whole
+    source image stack, the layout every committed training artefact
+    was generated with.  The footprint equivalence suite
+    (``tests/models/test_footprint_equivalence.py``) asserts the
+    restricted encode reproduces this trainer's losses, encoder
+    gradients, and final weights **byte-for-byte**.  Like
+    :func:`model_forward_padded`, this is not a historical copy: it
+    runs the current trainer with the optimisation disabled, so it
+    tracks trainer changes while staying layout-pinned.
+    """
+    from ..models.training import Trainer
+    return Trainer(model, scenes, config, footprint=False)

@@ -1,0 +1,335 @@
+"""Property suite for the footprint-restricted conv path.
+
+The contract under test: running a conv stack through
+``plan_conv_footprint`` + ``conv2d_at`` reproduces the dense stack
+**byte-for-byte** — forward values at every planned output pixel, and
+weight/bias gradients when the upstream gradient is zero outside the
+footprint (the training situation: only gathered pixels receive
+gradient).  Random stacks x random pixel sets cover crop borders
+(zero-padding sentinel), stride phases, single-pixel and
+near-half-coverage edges.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+from repro.nn import functional as F
+from repro.models.footprint import plan_conv_footprint
+
+
+def _random_mask(rng, num_views, out_h, out_w, count):
+    """``count`` distinct output pixels, uniformly over views/positions."""
+    total = num_views * out_h * out_w
+    flat = rng.choice(total, size=min(count, total), replace=False)
+    mask = np.zeros(total, dtype=bool)
+    mask[flat] = True
+    return mask.reshape(num_views, out_h, out_w)
+
+
+def _dense_stack(convs, images):
+    out = nn.as_tensor(images)
+    for index, conv in enumerate(convs):
+        out = conv(out)
+        if index < len(convs) - 1:
+            out = F.elu(out)
+    return out
+
+
+def _packed_stack(convs, images, plan):
+    x = np.asarray(images, dtype=np.float32)
+    rows = x.transpose(0, 2, 3, 1).reshape(-1, x.shape[1])[plan.input_index]
+    out = Tensor(rows)
+    for index, (conv, layer) in enumerate(zip(convs, plan.layers)):
+        out = F.conv2d_at(out, layer.gather, conv.weight, conv.bias,
+                          layer.dense_rows, pad_rows=layer.pad_rows,
+                          pad_rows_grad=layer.pad_rows_grad)
+        if index < len(convs) - 1:
+            out = F.elu(out)
+    return out
+
+
+def _compare_stack(convs, images, mask, rng):
+    """Dense vs packed: forward bits at the footprint, grad bits on every
+    conv parameter.  Returns False when the planner (correctly) refused."""
+    num_views, _, height, width = images.shape
+    plan = plan_conv_footprint(convs, num_views, height, width, mask)
+    if plan is None:
+        return False
+    final = plan.layers[-1]
+    out_channels = convs[-1].out_channels
+
+    # Upstream gradient: random at footprint pixels, exactly zero
+    # elsewhere — the shape every training backward has (only gathered
+    # pixels receive gradient).
+    s_idx, y_idx, x_idx = np.nonzero(mask)
+    coeff = np.zeros(mask.shape + (out_channels,), dtype=np.float32)
+    coeff[s_idx, y_idx, x_idx] = rng.standard_normal(
+        (s_idx.size, out_channels)).astype(np.float32)
+    coeff_rows = coeff.reshape(-1, out_channels)[final.out_index]
+
+    for conv in convs:
+        conv.weight.zero_grad()
+        conv.bias.zero_grad()
+    dense = _dense_stack(convs, images)          # (S, C, oh, ow)
+    dense_rows = dense.transpose((0, 2, 3, 1)).reshape((-1, out_channels))
+    (dense_rows * Tensor(coeff.reshape(-1, out_channels))).sum().backward()
+    dense_vals = dense_rows.data[final.out_index].copy()
+    dense_grads = [(conv.weight.grad.copy(), conv.bias.grad.copy())
+                   for conv in convs]
+
+    for conv in convs:
+        conv.weight.zero_grad()
+        conv.bias.zero_grad()
+    packed = _packed_stack(convs, images, plan)  # (n_out, C)
+    (packed * Tensor(coeff_rows)).sum().backward()
+
+    assert packed.data.tobytes() == dense_vals.tobytes()
+    for conv, (dw, db) in zip(convs, dense_grads):
+        assert conv.weight.grad.tobytes() == dw.tobytes()
+        assert conv.bias.grad.tobytes() == db.tobytes()
+    return True
+
+
+def _encoder_like_stack(rng, in_channels=3, hidden=9, out_channels=10):
+    return (nn.Conv2d(in_channels, hidden, kernel=3, stride=1, padding=1,
+                      rng=rng),
+            nn.Conv2d(hidden, hidden, kernel=3, stride=2, padding=1,
+                      rng=rng),
+            nn.Conv2d(hidden, out_channels, kernel=3, stride=1, padding=1,
+                      rng=rng))
+
+
+class TestConvFootprintBitIdentity:
+    def test_random_stacks_random_pixel_sets(self):
+        """Seeded-random conv geometries x random footprints."""
+        rng = np.random.default_rng(0)
+        geometries = [
+            [(3, 1, 1)],
+            [(3, 2, 1)],
+            [(5, 1, 2)],
+            [(3, 1, 1), (3, 2, 1)],
+            [(3, 1, 1), (3, 2, 1), (3, 1, 1)],
+            [(5, 2, 2), (3, 1, 1)],
+        ]
+        ran = 0
+        for geometry in geometries:
+            convs = []
+            channels = 3
+            for index, (kernel, stride, padding) in enumerate(geometry):
+                # First layer reads 3-channel images (K <= 30: any
+                # output width is row-stable); later layers keep N >= 9
+                # so their small-regime GEMMs stay plannable.
+                lo, hi = (4, 17) if index == 0 else (9, 17)
+                out_ch = int(rng.integers(lo, hi))
+                convs.append(nn.Conv2d(channels, out_ch, kernel=kernel,
+                                       stride=stride, padding=padding,
+                                       rng=rng))
+                channels = out_ch
+            num_views, height, width = 2, 21, 26
+            images = rng.standard_normal(
+                (num_views, 3, height, width)).astype(np.float32)
+            shape = (height, width)
+            for conv in convs:
+                shape = conv.output_shape(*shape)
+            mask = _random_mask(rng, num_views, *shape, count=4)
+            if _compare_stack(convs, images, mask, rng):
+                ran += 1
+        assert ran >= 4  # most geometries must actually exercise the path
+
+    def test_border_pixels_hit_zero_padding(self):
+        """Corner/edge outputs read the padding sentinel, not garbage."""
+        rng = np.random.default_rng(1)
+        convs = _encoder_like_stack(rng)
+        num_views, height, width = 2, 20, 24
+        images = rng.standard_normal(
+            (num_views, 3, height, width)).astype(np.float32)
+        oh, ow = height, width
+        for conv in convs:
+            oh, ow = conv.output_shape(oh, ow)
+        mask = np.zeros((num_views, oh, ow), dtype=bool)
+        mask[0, 0, 0] = True          # top-left corner
+        mask[0, oh - 1, ow - 1] = True  # bottom-right corner
+        mask[1, 0, ow - 1] = True
+        mask[1, oh - 1, 0] = True
+        assert _compare_stack(convs, images, mask, rng)
+
+    def test_stride_phases(self):
+        """Every output parity of a stride-2 layer maps back correctly."""
+        rng = np.random.default_rng(2)
+        for phase in range(4):
+            convs = (nn.Conv2d(3, 5, kernel=3, stride=2, padding=1, rng=rng),)
+            num_views, height, width = 1, 19, 23
+            images = rng.standard_normal(
+                (num_views, 3, height, width)).astype(np.float32)
+            oh, ow = convs[0].output_shape(height, width)
+            mask = np.zeros((num_views, oh, ow), dtype=bool)
+            mask[0, 1 + (phase // 2), 1 + (phase % 2)] = True
+            assert _compare_stack(convs, images, mask, rng)
+
+    def test_single_pixel_footprint(self):
+        rng = np.random.default_rng(3)
+        convs = _encoder_like_stack(rng)
+        num_views, height, width = 1, 20, 24
+        images = rng.standard_normal(
+            (num_views, 3, height, width)).astype(np.float32)
+        oh, ow = height, width
+        for conv in convs:
+            oh, ow = conv.output_shape(oh, ow)
+        mask = np.zeros((num_views, oh, ow), dtype=bool)
+        mask[0, oh // 2, ow // 2] = True
+        assert _compare_stack(convs, images, mask, rng)
+
+    def test_odd_image_sizes(self):
+        """Odd H/W: the stride-2 stage rounds up (ceil), and crops at the
+        ragged border still replay the dense arithmetic."""
+        rng = np.random.default_rng(4)
+        convs = _encoder_like_stack(rng)
+        num_views, height, width = 2, 21, 27
+        images = rng.standard_normal(
+            (num_views, 3, height, width)).astype(np.float32)
+        oh, ow = height, width
+        for conv in convs:
+            oh, ow = conv.output_shape(oh, ow)
+        assert (oh, ow) == (11, 14)   # ceil, not floor
+        mask = np.zeros((num_views, oh, ow), dtype=bool)
+        mask[:, oh - 1, ow - 1] = True   # the ceil-only row/col
+        mask[0, 0, ow - 1] = True
+        assert _compare_stack(convs, images, mask, rng)
+
+
+class TestPlannerFallbacks:
+    def test_empty_mask_returns_none(self):
+        rng = np.random.default_rng(5)
+        convs = _encoder_like_stack(rng)
+        mask = np.zeros((1, 10, 12), dtype=bool)
+        assert plan_conv_footprint(convs, 1, 20, 24, mask) is None
+
+    def test_full_coverage_returns_none(self):
+        rng = np.random.default_rng(6)
+        convs = _encoder_like_stack(rng)
+        mask = np.ones((1, 10, 12), dtype=bool)
+        assert plan_conv_footprint(convs, 1, 20, 24, mask) is None
+
+    def test_near_half_coverage_returns_none(self):
+        """The >= half guard on *any* layer forces the dense fallback —
+        that guard is what keeps both backwards compacting."""
+        rng = np.random.default_rng(7)
+        convs = _encoder_like_stack(rng)
+        mask = np.zeros((1, 10, 12), dtype=bool)
+        mask.reshape(-1)[:60] = True   # exactly half the final layer
+        assert plan_conv_footprint(convs, 1, 20, 24, mask) is None
+
+    def test_mask_shape_mismatch_raises(self):
+        rng = np.random.default_rng(8)
+        convs = _encoder_like_stack(rng)
+        with pytest.raises(ValueError):
+            plan_conv_footprint(convs, 1, 20, 24,
+                                np.zeros((1, 9, 12), dtype=bool))
+
+    def test_narrow_small_regime_returns_none(self):
+        """2 <= N <= 8 with K > 30 under the 1M-cell kernel switch has
+        no bitwise-safe packed row count; the planner must refuse."""
+        rng = np.random.default_rng(9)
+        convs = (nn.Conv2d(6, 4, kernel=3, stride=1, padding=1, rng=rng),)
+        mask = np.zeros((1, 20, 24), dtype=bool)   # K=54, N=4, 480 rows
+        mask[0, 2, 2] = True
+        assert plan_conv_footprint(convs, 1, 20, 24, mask) is None
+
+    def test_single_output_channel_returns_none(self):
+        """N == 1 dispatches to sgemv, which is row-unstable at any
+        count — always the dense fallback."""
+        rng = np.random.default_rng(10)
+        convs = (nn.Conv2d(3, 1, kernel=3, stride=1, padding=1, rng=rng),)
+        mask = np.zeros((1, 20, 24), dtype=bool)
+        mask[0, 2, 2] = True
+        assert plan_conv_footprint(convs, 1, 20, 24, mask) is None
+
+    def test_small_k_narrow_output_runs(self):
+        """K <= 30 (3-channel input) is row-stable even for narrow
+        outputs and unaligned dense counts."""
+        rng = np.random.default_rng(10)
+        convs = (nn.Conv2d(3, 2, kernel=3, stride=1, padding=1, rng=rng),)
+        height, width = 5, 5           # dense rows 25: not even 4-aligned
+        images = rng.standard_normal((1, 3, height, width)).astype(np.float32)
+        mask = np.zeros((1, 5, 5), dtype=bool)
+        mask[0, 2, 2] = True
+        assert _compare_stack(convs, images, mask, rng)
+
+
+class TestGradLiveRows:
+    def test_compacts_sparse_gradients(self):
+        g = np.zeros((10, 4), dtype=np.float32)
+        g[3, 1] = 1.0
+        g[7, 0] = -2.0
+        rows = F.grad_live_rows(g, 10)
+        assert rows.tolist() == [3, 7]
+
+    def test_dense_gradients_run_unchanged(self):
+        g = np.ones((10, 4), dtype=np.float32)
+        assert F.grad_live_rows(g, 10) is None
+
+    def test_half_threshold(self):
+        g = np.zeros((10, 4), dtype=np.float32)
+        g[:5] = 1.0
+        assert F.grad_live_rows(g, 10) is None     # 5*2 == 10: not under
+        g[4] = 0.0
+        assert F.grad_live_rows(g, 10).tolist() == [0, 1, 2, 3]
+
+    def test_dense_conv_backward_matches_unfactored_gemm(self):
+        """Conv2d's compacted weight gradient equals the cols[rows] GEMM
+        it claims to run (sanity on the layers.py integration)."""
+        rng = np.random.default_rng(11)
+        conv = nn.Conv2d(3, 5, kernel=3, stride=1, padding=1, rng=rng)
+        images = rng.standard_normal((1, 3, 8, 8)).astype(np.float32)
+        coeff = np.zeros((1, 5, 8, 8), dtype=np.float32)
+        coeff[0, :, 2, 3] = rng.standard_normal(5).astype(np.float32)
+        conv.weight.zero_grad()
+        out = conv(nn.as_tensor(images))
+        (out * Tensor(coeff)).sum().backward()
+        cols, _, _ = F.im2col(images, 3, 1, 1)
+        g2d = coeff.transpose(0, 2, 3, 1).reshape(-1, 5)
+        rows = F.grad_live_rows(g2d, g2d.shape[0])
+        expected = cols.reshape(-1, cols.shape[-1])[rows].T @ g2d[rows]
+        assert conv.weight.grad.tobytes() == expected.tobytes()
+
+
+class TestSharedPatchRowsCache:
+    def test_cache_hit_matches_fresh_gather(self):
+        """conv2d_at fed cached im2col rows returns the same node as
+        when it assembles the patch rows itself."""
+        rng = np.random.default_rng(12)
+        convs = (nn.Conv2d(3, 6, kernel=3, stride=1, padding=1, rng=rng),)
+        num_views, height, width = 1, 12, 16
+        images = rng.standard_normal(
+            (num_views, 3, height, width)).astype(np.float32)
+        mask = np.zeros((num_views, height, width), dtype=bool)
+        mask[0, 0, 0] = True
+        mask[0, 5, 7] = True
+        plan = plan_conv_footprint(convs, num_views, height, width, mask)
+        layer = plan.layers[0]
+        cache = {}
+        with nn.conv_patch_cache(cache):
+            dense = convs[0](nn.as_tensor(images))   # populates the cache
+            cached = nn.shared_patch_rows(images, 3, 1, 1, layer.out_index)
+            assert cached is not None
+            rows = images.transpose(0, 2, 3, 1).reshape(-1, 3)[
+                plan.input_index]
+            via_cache = F.conv2d_at(Tensor(rows), layer.gather,
+                                    convs[0].weight, convs[0].bias,
+                                    layer.dense_rows, cols=cached)
+            fresh = F.conv2d_at(Tensor(rows), layer.gather,
+                                convs[0].weight, convs[0].bias,
+                                layer.dense_rows)
+        assert via_cache.data.tobytes() == fresh.data.tobytes()
+        dense_rows_data = dense.transpose((0, 2, 3, 1)).reshape(
+            (-1, convs[0].out_channels)).data
+        assert fresh.data.tobytes() == \
+            dense_rows_data[layer.out_index].tobytes()
+
+    def test_cache_miss_returns_none(self):
+        images = np.zeros((1, 3, 8, 8), dtype=np.float32)
+        with nn.conv_patch_cache({}):
+            assert nn.shared_patch_rows(images, 3, 1, 1,
+                                        np.array([0])) is None
